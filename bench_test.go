@@ -1,0 +1,165 @@
+package dkclique
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dynamic"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/kclique"
+	"repro/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Table / figure regeneration benches: one per experiment in the paper's
+// evaluation (§VI), each running the corresponding harness on the quick
+// configuration. Run a single one with e.g.
+//
+//	go test -bench BenchmarkTable2Quality -benchtime 1x
+//
+// or regenerate with full output via `go run ./cmd/experiments -table 2`.
+// ---------------------------------------------------------------------------
+
+func benchRunner(b *testing.B, run func(experiments.Config) error) {
+	b.Helper()
+	cfg := experiments.Quick(io.Discard)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1CliqueCounts(b *testing.B)     { benchRunner(b, experiments.Table1) }
+func BenchmarkFig6Runtime(b *testing.B)            { benchRunner(b, experiments.Fig6) }
+func BenchmarkTable2Quality(b *testing.B)          { benchRunner(b, experiments.Table2) }
+func BenchmarkTable3Space(b *testing.B)            { benchRunner(b, experiments.Table3) }
+func BenchmarkTable4Exact(b *testing.B)            { benchRunner(b, experiments.Table4) }
+func BenchmarkTable5Synthetic(b *testing.B)        { benchRunner(b, experiments.Table5) }
+func BenchmarkTable6SyntheticQuality(b *testing.B) { benchRunner(b, experiments.Table6) }
+func BenchmarkTable7Index(b *testing.B)            { benchRunner(b, experiments.Table7) }
+func BenchmarkFig7Updates(b *testing.B)            { benchRunner(b, experiments.Fig7) }
+func BenchmarkTable8DynamicQuality(b *testing.B)   { benchRunner(b, experiments.Table8) }
+func BenchmarkAblationPruning(b *testing.B)        { benchRunner(b, experiments.AblationPruning) }
+func BenchmarkAblationOrdering(b *testing.B)       { benchRunner(b, experiments.AblationOrdering) }
+func BenchmarkAblationParallel(b *testing.B)       { benchRunner(b, experiments.AblationParallel) }
+func BenchmarkAblationLeafCount(b *testing.B)      { benchRunner(b, experiments.AblationLeafCount) }
+func BenchmarkAblationBitset(b *testing.B)         { benchRunner(b, experiments.AblationBitset) }
+func BenchmarkAblationSwap(b *testing.B)           { benchRunner(b, experiments.AblationSwap) }
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks for the hot paths behind those tables.
+// ---------------------------------------------------------------------------
+
+func benchGraph(b *testing.B, name string) *graph.Graph {
+	b.Helper()
+	g, err := dataset.Load(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkAlgorithms times each static method on the HST stand-in, k=4 —
+// the per-cell cost of Fig. 6.
+func BenchmarkAlgorithms(b *testing.B) {
+	g := benchGraph(b, "HST")
+	for _, alg := range []core.Algorithm{core.HG, core.GC, core.L, core.LP} {
+		b.Run(alg.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Find(g, core.Options{K: 4, Algorithm: alg}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLPByK shows the near-exponential growth in k reported in §VI-B.
+func BenchmarkLPByK(b *testing.B) {
+	g := benchGraph(b, "HST")
+	for _, k := range []int{3, 4, 5, 6} {
+		b.Run(map[int]string{3: "k3", 4: "k4", 5: "k5", 6: "k6"}[k], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Find(g, core.Options{K: k, Algorithm: core.LP}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCliqueCounting times the score pass (Algorithm 3 line 2), the
+// dominant cost of L/LP on dense graphs.
+func BenchmarkCliqueCounting(b *testing.B) {
+	g := benchGraph(b, "FBP")
+	d := graph.Orient(g, graph.ListingOrdering(g))
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			kclique.CountSerial(d, 4)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			kclique.Count(d, 4, 0)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			kclique.CountNaive(d, 4)
+		}
+	})
+}
+
+// BenchmarkDynamicUpdate reports the paper's Fig. 7 unit: nanoseconds per
+// single update on a maintained engine.
+func BenchmarkDynamicUpdate(b *testing.B) {
+	g := benchGraph(b, "FBP")
+	k := 4
+	res, err := core.Find(g, core.Options{K: k, Algorithm: core.LP})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := dynamic.New(g, k, res.Cliques)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ops := workload.Mixed(g, 5000, 1).Stream
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := ops[i%len(ops)]
+		if op.Insert {
+			if !e.InsertEdge(op.U, op.V) {
+				e.DeleteEdge(op.U, op.V)
+			}
+		} else {
+			if !e.DeleteEdge(op.U, op.V) {
+				e.InsertEdge(op.U, op.V)
+			}
+		}
+		_ = rng
+	}
+}
+
+// BenchmarkIndexBuild times Algorithm 5 (Construction), Table VII's
+// indexing-time column.
+func BenchmarkIndexBuild(b *testing.B) {
+	g := benchGraph(b, "FBP")
+	k := 4
+	res, err := core.Find(g, core.Options{K: k, Algorithm: core.LP})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dynamic.New(g, k, res.Cliques); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

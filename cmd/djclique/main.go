@@ -1,0 +1,205 @@
+// Command djclique computes a maximal set of disjoint k-cliques of a graph
+// with one of the paper's algorithms.
+//
+// Usage:
+//
+//	djclique -k 4 -alg LP -input graph.txt
+//	djclique -k 3 -alg HG -dataset OR -print
+//	djclique -k 3 -dataset HST -json
+//	djclique -k 3 -input graph.txt -interactive
+//
+// The input is a whitespace-separated edge list ('#'/'%' comments allowed).
+// With -dataset, one of the built-in benchmark stand-ins is used instead.
+//
+// Interactive mode maintains the result under updates (Section V of the
+// paper), reading commands from stdin:
+//
+//	insert U V   delete U V   size   cliques   candidates   quit
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	dkclique "repro"
+)
+
+func main() {
+	var (
+		inputPath   = flag.String("input", "", "edge-list file to read ('-' for stdin)")
+		dsName      = flag.String("dataset", "", "built-in dataset name (FTB, HST, ..., OR) instead of -input")
+		k           = flag.Int("k", 3, "clique size (>= 3)")
+		algName     = flag.String("alg", "LP", "algorithm: HG, GC, L, LP or OPT")
+		budget      = flag.Duration("budget", 0, "optional wall-time budget (e.g. 30s); exceeding it fails with OOT")
+		maxStored   = flag.Int("max-cliques", 0, "optional storage cap for GC/OPT; exceeding it fails with OOM")
+		workers     = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		strict      = flag.Bool("strict", false, "strict total clique ordering (Theorem 4 mode)")
+		print       = flag.Bool("print", false, "print every clique, one per line")
+		check       = flag.Bool("check", true, "verify the result before reporting")
+		jsonOut     = flag.Bool("json", false, "emit the result as JSON on stdout")
+		interactive = flag.Bool("interactive", false, "after solving, maintain the result under stdin updates")
+	)
+	flag.Parse()
+
+	alg, err := dkclique.ParseAlgorithm(*algName)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := loadGraph(*inputPath, *dsName)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "graph: n=%d m=%d\n", g.N(), g.M())
+
+	start := time.Now()
+	res, err := dkclique.Find(g, dkclique.Options{
+		K:                *k,
+		Algorithm:        alg,
+		Workers:          *workers,
+		Budget:           *budget,
+		MaxStoredCliques: *maxStored,
+		StrictTies:       *strict,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *check {
+		if err := dkclique.Verify(g, *k, res.Cliques); err != nil {
+			fatal(fmt.Errorf("result failed verification: %w", err))
+		}
+	}
+	elapsed := time.Since(start)
+
+	switch {
+	case *jsonOut:
+		out := jsonResult{
+			Algorithm: res.Algorithm.String(),
+			K:         res.K,
+			Nodes:     g.N(),
+			Edges:     g.M(),
+			Size:      res.Size(),
+			Covered:   res.CoveredNodes(),
+			ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+			Cliques:   res.Cliques,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Printf("algorithm=%s k=%d |S|=%d covered=%d/%d elapsed=%s\n",
+			res.Algorithm, res.K, res.Size(), res.CoveredNodes(), g.N(), elapsed.Round(time.Microsecond))
+		if res.TotalKCliques > 0 {
+			fmt.Printf("total %d-cliques counted: %d\n", *k, res.TotalKCliques)
+		}
+		if *print {
+			for _, c := range res.Cliques {
+				for i, u := range c {
+					if i > 0 {
+						fmt.Print(" ")
+					}
+					fmt.Print(u)
+				}
+				fmt.Println()
+			}
+		}
+	}
+
+	if *interactive {
+		dyn, err := dkclique.NewDynamic(g, *k, res.Cliques)
+		if err != nil {
+			fatal(err)
+		}
+		if err := repl(os.Stdin, os.Stdout, dyn); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+type jsonResult struct {
+	Algorithm string    `json:"algorithm"`
+	K         int       `json:"k"`
+	Nodes     int       `json:"nodes"`
+	Edges     int       `json:"edges"`
+	Size      int       `json:"size"`
+	Covered   int       `json:"covered"`
+	ElapsedMS float64   `json:"elapsed_ms"`
+	Cliques   [][]int32 `json:"cliques"`
+}
+
+// repl maintains the result under textual update commands.
+func repl(in io.Reader, out io.Writer, dyn *dkclique.Dynamic) error {
+	sc := bufio.NewScanner(in)
+	fmt.Fprintln(out, "interactive: insert U V | delete U V | size | cliques | candidates | quit")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "quit", "exit", "q":
+			return nil
+		case "size":
+			fmt.Fprintf(out, "|S| = %d\n", dyn.Size())
+		case "candidates":
+			fmt.Fprintf(out, "index holds %d candidate cliques\n", dyn.NumCandidates())
+		case "cliques":
+			for _, c := range dyn.Result() {
+				fmt.Fprintln(out, c)
+			}
+		case "insert", "delete":
+			if len(fields) != 3 {
+				fmt.Fprintf(out, "usage: %s U V\n", fields[0])
+				continue
+			}
+			u, err1 := strconv.ParseInt(fields[1], 10, 32)
+			v, err2 := strconv.ParseInt(fields[2], 10, 32)
+			if err1 != nil || err2 != nil {
+				fmt.Fprintln(out, "bad node ids")
+				continue
+			}
+			t0 := time.Now()
+			var changed bool
+			if fields[0] == "insert" {
+				changed = dyn.InsertEdge(int32(u), int32(v))
+			} else {
+				changed = dyn.DeleteEdge(int32(u), int32(v))
+			}
+			fmt.Fprintf(out, "%s(%d,%d): applied=%v |S|=%d (%s)\n",
+				fields[0], u, v, changed, dyn.Size(), time.Since(t0).Round(time.Microsecond))
+		default:
+			fmt.Fprintf(out, "unknown command %q\n", fields[0])
+		}
+	}
+	return sc.Err()
+}
+
+func loadGraph(path, ds string) (*dkclique.Graph, error) {
+	switch {
+	case ds != "":
+		return dkclique.LoadDataset(ds)
+	case path == "-":
+		return dkclique.Read(os.Stdin)
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return dkclique.Read(f)
+	}
+	return nil, fmt.Errorf("need -input FILE or -dataset NAME")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "djclique:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// Command gengraph emits synthetic graphs as edge lists.
+//
+// Usage:
+//
+//	gengraph -model ws -n 100000 -deg 16 -beta 0.1 > ws.txt
+//	gengraph -model caveman -nc 1000 -cs 6 -p 0.2 -out caves.txt
+//	gengraph -model planted -c 500 -k 4
+//
+// Models: ws (Watts–Strogatz), er (Erdős–Rényi G(n,m)), ba
+// (Barabási–Albert), caveman (relaxed caveman), planted (disjoint
+// k-cliques + noise), sbm (stochastic block model), social (community +
+// hub mixture).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	dkclique "repro"
+)
+
+func main() {
+	var (
+		model  = flag.String("model", "ws", "ws | er | ba | caveman | planted | sbm | social")
+		out    = flag.String("out", "", "output file (default stdout)")
+		format = flag.String("format", "text", "text (edge list) or binary (fast CSR dump)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		n      = flag.Int("n", 10000, "nodes (ws, er, ba, social)")
+		m      = flag.Int("m", 50000, "edges (er)")
+		deg    = flag.Int("deg", 8, "lattice degree (ws) / edges per node (ba)")
+		beta   = flag.Float64("beta", 0.1, "rewiring probability (ws)")
+		nc     = flag.Int("nc", 500, "community count (caveman)")
+		cs     = flag.Int("cs", 6, "community size (caveman) / (social)")
+		p      = flag.Float64("p", 0.2, "rewiring probability (caveman, social)")
+		c      = flag.Int("c", 100, "planted clique count")
+		k      = flag.Int("k", 4, "planted clique size")
+		noise  = flag.Int("noise", 0, "planted noise edges")
+		hub    = flag.Int("hub", 0, "hub edges (social; default 2n)")
+	)
+	flag.Parse()
+
+	var spec dkclique.GenSpec
+	switch *model {
+	case "ws":
+		spec = dkclique.WattsStrogatz(*n, *deg, *beta, *seed)
+	case "er":
+		spec = dkclique.ErdosRenyi(*n, *m, *seed)
+	case "ba":
+		spec = dkclique.BarabasiAlbert(*n, *deg, *seed)
+	case "caveman":
+		spec = dkclique.RelaxedCaveman(*nc, *cs, *p, *seed)
+	case "planted":
+		spec = dkclique.Planted(*c, *k, *noise, *seed)
+	case "sbm":
+		spec = dkclique.StochasticBlock(*nc, *cs, 0.7, *p/10, *seed)
+	case "social":
+		h := *hub
+		if h == 0 {
+			h = 2 * *n
+		}
+		spec = dkclique.CommunitySocial(*n, *cs, *p, h, *seed)
+	default:
+		fatal(fmt.Errorf("unknown model %q", *model))
+	}
+	g, err := dkclique.Generate(spec)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "text":
+		err = g.Write(w)
+	case "binary":
+		err = g.WriteBinary(w)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "gengraph: %s n=%d m=%d (%s)\n", *model, g.N(), g.M(), *format)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gengraph:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+package dkclique
+
+import (
+	"io"
+
+	"repro/internal/dynamic"
+)
+
+// Dynamic maintains a near-optimal maximal disjoint k-clique set while the
+// graph receives edge insertions and deletions (the paper's Section V). It
+// keeps the candidate-clique index of §V-B and repairs the result set with
+// swap operations (Algorithm 4), so a typical update costs microseconds
+// instead of a full recomputation.
+type Dynamic struct {
+	e *dynamic.Engine
+}
+
+// DynamicStats counts engine activity since construction.
+type DynamicStats = dynamic.Stats
+
+// NewDynamic builds a dynamic maintainer from a starting graph and an
+// initial disjoint k-clique set — normally the Cliques field of a static
+// Find result. A nil or non-maximal initial set is completed greedily
+// before the index is built.
+func NewDynamic(g *Graph, k int, initial [][]int32) (*Dynamic, error) {
+	e, err := dynamic.New(g.g, k, initial)
+	if err != nil {
+		return nil, err
+	}
+	return &Dynamic{e: e}, nil
+}
+
+// InsertEdge applies an edge insertion (Algorithm 6) and reports whether
+// the edge was new. The result set only ever grows or stays equal on
+// insertion.
+func (d *Dynamic) InsertEdge(u, v int32) bool { return d.e.InsertEdge(u, v) }
+
+// DeleteEdge applies an edge deletion (Algorithm 7) and reports whether
+// the edge existed.
+func (d *Dynamic) DeleteEdge(u, v int32) bool { return d.e.DeleteEdge(u, v) }
+
+// Size returns the current |S|.
+func (d *Dynamic) Size() int { return d.e.Size() }
+
+// K returns the clique size.
+func (d *Dynamic) K() int { return d.e.K() }
+
+// Result returns a copy of the current disjoint k-clique set.
+func (d *Dynamic) Result() [][]int32 { return d.e.Result() }
+
+// IsFree reports whether node u is in no clique of the current set.
+func (d *Dynamic) IsFree(u int32) bool { return d.e.IsFree(u) }
+
+// NumCandidates returns the size of the candidate-clique index (the
+// paper's Table VII "index size" column).
+func (d *Dynamic) NumCandidates() int { return d.e.NumCandidates() }
+
+// Stats returns activity counters, including the index construction time.
+func (d *Dynamic) Stats() DynamicStats { return d.e.Stats() }
+
+// Snapshot returns an immutable copy of the engine's current graph, e.g.
+// to verify the maintained result or to re-run a static algorithm on the
+// mutated topology.
+func (d *Dynamic) Snapshot() *Graph { return &Graph{g: d.e.Graph().Snapshot()} }
+
+// Save writes a binary snapshot (graph topology + result set) for warm
+// restarts. The candidate index is rebuilt on load.
+func (d *Dynamic) Save(w io.Writer) error { return d.e.Save(w) }
+
+// LoadDynamic restores a maintainer from a Save snapshot.
+func LoadDynamic(r io.Reader) (*Dynamic, error) {
+	e, err := dynamic.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Dynamic{e: e}, nil
+}

@@ -1,0 +1,61 @@
+package dkclique_test
+
+import (
+	"fmt"
+
+	dkclique "repro"
+)
+
+// The paper's Fig. 2 example: 9 nodes whose seven triangles admit three
+// pairwise-disjoint ones.
+func ExampleFind() {
+	g, _ := dkclique.FromEdges(9, [][2]int32{
+		{0, 2}, {0, 5}, {2, 5},
+		{2, 4}, {4, 5},
+		{4, 7}, {5, 7},
+		{4, 6}, {6, 7},
+		{6, 8}, {7, 8},
+		{3, 6}, {3, 8},
+		{1, 3}, {1, 8},
+	})
+	res, _ := dkclique.Find(g, dkclique.Options{K: 3, Algorithm: dkclique.LP})
+	fmt.Println(res.Size(), "disjoint triangles")
+	// Output: 3 disjoint triangles
+}
+
+func ExampleNewDynamic() {
+	// Two triangles; delete an edge of one and watch S shrink, restore it
+	// and watch the engine recover — all in microseconds per update.
+	g, _ := dkclique.FromEdges(6, [][2]int32{
+		{0, 1}, {1, 2}, {0, 2},
+		{3, 4}, {4, 5}, {3, 5},
+	})
+	dyn, _ := dkclique.NewDynamic(g, 3, nil)
+	fmt.Println("initial:", dyn.Size())
+	dyn.DeleteEdge(0, 1)
+	fmt.Println("after delete:", dyn.Size())
+	dyn.InsertEdge(0, 1)
+	fmt.Println("after re-insert:", dyn.Size())
+	// Output:
+	// initial: 2
+	// after delete: 1
+	// after re-insert: 2
+}
+
+func ExampleMaximumMatching() {
+	// k = 2 special case: a 6-cycle has a perfect matching.
+	g, _ := dkclique.FromEdges(6, [][2]int32{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0},
+	})
+	m := dkclique.MaximumMatching(g)
+	fmt.Println(m.Size(), "matched pairs")
+	// Output: 3 matched pairs
+}
+
+func ExamplePartitionGraph() {
+	// Six disjoint triangles partition perfectly into six teams.
+	g, _ := dkclique.Generate(dkclique.Planted(6, 3, 0, 1))
+	p, _ := dkclique.PartitionGraph(g, dkclique.Options{K: 3, Algorithm: dkclique.LP})
+	fmt.Println(p.FullCliques(), "full-clique teams,", len(p.Unassigned()), "left over")
+	// Output: 6 full-clique teams, 0 left over
+}

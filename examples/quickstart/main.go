@@ -1,0 +1,44 @@
+// Quickstart: build a small friendship graph, find disjoint 3-cliques with
+// every algorithm, and compare against the exact optimum.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dkclique "repro"
+)
+
+func main() {
+	// The paper's Fig. 2 running example: 9 people, 15 friendships,
+	// seven triangles, of which at most three are pairwise disjoint.
+	edges := [][2]int32{
+		{0, 2}, {0, 5}, {2, 5}, // v1-v3-v6
+		{2, 4}, {4, 5}, // v3-v5, v5-v6
+		{4, 7}, {5, 7}, // v5-v8, v6-v8
+		{4, 6}, {6, 7}, // v5-v7, v7-v8
+		{6, 8}, {7, 8}, // v7-v9, v8-v9
+		{3, 6}, {3, 8}, // v4-v7, v4-v9
+		{1, 3}, {1, 8}, // v2-v4, v2-v9
+	}
+	g, err := dkclique.FromEdges(9, edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d nodes, %d edges\n\n", g.N(), g.M())
+
+	for _, alg := range []dkclique.Algorithm{dkclique.HG, dkclique.GC, dkclique.L, dkclique.LP, dkclique.OPT} {
+		res, err := dkclique.Find(g, dkclique.Options{K: 3, Algorithm: alg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := dkclique.Verify(g, 3, res.Cliques); err != nil {
+			log.Fatalf("%v produced an invalid set: %v", alg, err)
+		}
+		fmt.Printf("%-3s found %d disjoint triangles: %v  (maximal: %v)\n",
+			alg, res.Size(), res.Cliques, dkclique.IsMaximal(g, 3, res.Cliques))
+	}
+
+	fmt.Println("\nLP matches the optimum of 3 — the k-approximation bound" +
+		" (Theorem 3) guarantees it is never worse than 3x smaller.")
+}

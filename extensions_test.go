@@ -1,0 +1,107 @@
+package dkclique
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFindExactPublic(t *testing.T) {
+	g, err := Generate(Planted(4, 3, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := FindExact(g, 3, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size() != 4 {
+		t.Fatalf("exact size = %d, want 4", res.Size())
+	}
+	// Exact is never smaller than LP.
+	lp, err := Find(g, Options{K: 3, Algorithm: LP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size() < lp.Size() {
+		t.Fatal("exact below LP")
+	}
+}
+
+func TestMatchingPublic(t *testing.T) {
+	// C6: maximum matching 3, greedy at least 2.
+	g, err := FromEdges(6, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx := MaximumMatching(g)
+	if mx.Size() != 3 {
+		t.Fatalf("maximum = %d, want 3", mx.Size())
+	}
+	gr := GreedyMatching(g)
+	if gr.Size() < 2 || gr.Size() > 3 {
+		t.Fatalf("greedy = %d", gr.Size())
+	}
+	for _, e := range mx.Edges() {
+		if mx.Mate(e[0]) != e[1] || mx.Mate(e[1]) != e[0] {
+			t.Fatal("Mate inconsistent with Edges")
+		}
+	}
+}
+
+func TestPartitionPublic(t *testing.T) {
+	g, err := Generate(CommunitySocial(300, 6, 0.3, 300, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PartitionGraph(g, Options{K: 3, Algorithm: LP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FullCliques() == 0 || len(p.Teams()) < p.FullCliques() {
+		t.Fatalf("cliques=%d teams=%d", p.FullCliques(), len(p.Teams()))
+	}
+	if len(p.Unassigned()) >= 3 {
+		t.Fatalf("%d unassigned", len(p.Unassigned()))
+	}
+	hist := p.DensityHistogram()
+	if hist[3] < p.FullCliques() {
+		t.Fatal("histogram misses full cliques")
+	}
+	if p.InternalEdges(0) != 3 {
+		t.Fatal("first team should be a triangle")
+	}
+	if _, err := PartitionGraph(g, Options{K: 3, Algorithm: OPT}); err == nil {
+		t.Fatal("OPT should be rejected")
+	}
+}
+
+func TestDynamicNodeOpsPublic(t *testing.T) {
+	g, err := FromEdges(3, [][2]int32{{0, 1}, {1, 2}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := NewDynamic(g, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.Size() != 1 {
+		t.Fatal("triangle should be packed at build")
+	}
+	id := dyn.AddNode()
+	if id != 3 {
+		t.Fatalf("id = %d", id)
+	}
+	if n := dyn.RemoveNode(0); n != 2 {
+		t.Fatalf("removed %d edges, want 2", n)
+	}
+	if dyn.Size() != 0 {
+		t.Fatal("clique should dissolve")
+	}
+	// Rebuild a triangle on the new node.
+	dyn.InsertEdge(1, 2)
+	dyn.InsertEdge(1, id)
+	dyn.InsertEdge(2, id)
+	if dyn.Size() != 1 {
+		t.Fatal("new triangle should be packed")
+	}
+}

@@ -1,0 +1,103 @@
+package dkclique
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList hardens the parser: arbitrary text must either parse
+// into a consistent graph or fail cleanly, never panic.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n% more\n3 4 0.5\n")
+	f.Add("1000000 2000000\n")
+	f.Add("a b\n")
+	f.Add("")
+	f.Add("0 0\n0 1\n0 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Parsed graphs must be internally consistent.
+		if g.N() < 0 || g.M() < 0 {
+			t.Fatal("negative sizes")
+		}
+		g.Edges(func(u, v int32) bool {
+			if u == v {
+				t.Fatal("self-loop survived parsing")
+			}
+			if !g.HasEdge(v, u) {
+				t.Fatal("asymmetric edge")
+			}
+			return true
+		})
+	})
+}
+
+// FuzzDynamicEngine drives the maintenance engine with arbitrary update
+// bytes and checks full invariants at the end of every input.
+func FuzzDynamicEngine(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{10, 11, 12, 10, 11, 12})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const n = 10
+		g, err := FromEdges(n, [][2]int32{{0, 1}, {1, 2}, {0, 2}, {3, 4}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dyn, err := NewDynamic(g, 3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i+1 < len(ops); i += 2 {
+			u := int32(ops[i] % n)
+			v := int32(ops[i+1] % n)
+			if u == v {
+				continue
+			}
+			if ops[i]&1 == 0 {
+				dyn.InsertEdge(u, v)
+			} else {
+				dyn.DeleteEdge(u, v)
+			}
+		}
+		// The maintained set must verify against the final topology.
+		if err := Verify(dyn.Snapshot(), 3, dyn.Result()); err != nil {
+			t.Fatal(err)
+		}
+		if !IsMaximal(dyn.Snapshot(), 3, dyn.Result()) {
+			t.Fatal("maintained set not maximal")
+		}
+	})
+}
+
+// FuzzFindOnRandomEdges feeds arbitrary edge bytes into the static solver.
+func FuzzFindOnRandomEdges(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 0, 2})
+	f.Add([]byte{5, 6, 6, 7})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		const n = 12
+		b := NewBuilder(n)
+		for i := 0; i+1 < len(raw); i += 2 {
+			b.AddEdge(int32(raw[i]%n), int32(raw[i+1]%n))
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range []Algorithm{HG, LP} {
+			res, err := Find(g, Options{K: 3, Algorithm: alg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Verify(g, 3, res.Cliques); err != nil {
+				t.Fatal(err)
+			}
+			if !IsMaximal(g, 3, res.Cliques) {
+				t.Fatalf("%v: not maximal", alg)
+			}
+		}
+	})
+}

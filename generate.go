@@ -1,0 +1,72 @@
+package dkclique
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// A GenSpec is a deferred synthetic graph construction, built by the
+// generator helpers below and materialised by Generate. All generators are
+// deterministic in their seed.
+type GenSpec func() *graph.Graph
+
+// Generate materialises a synthetic graph.
+func Generate(spec GenSpec) (*Graph, error) {
+	return &Graph{g: spec()}, nil
+}
+
+// WattsStrogatz is the small-world model used by the paper's §VI-D
+// scalability study: a ring lattice of degree k with rewiring probability
+// beta.
+func WattsStrogatz(n, k int, beta float64, seed int64) GenSpec {
+	return func() *graph.Graph { return gen.WattsStrogatz(n, k, beta, seed) }
+}
+
+// ErdosRenyi generates a uniform random graph with n nodes and m edges.
+func ErdosRenyi(n, m int, seed int64) GenSpec {
+	return func() *graph.Graph { return gen.ErdosRenyiGNM(n, m, seed) }
+}
+
+// BarabasiAlbert generates a preferential-attachment graph with m edges
+// per arriving node (heavy-tailed degrees).
+func BarabasiAlbert(n, m int, seed int64) GenSpec {
+	return func() *graph.Graph { return gen.BarabasiAlbert(n, m, seed) }
+}
+
+// RelaxedCaveman generates nc communities of size cs with rewiring
+// probability p — a dense-community, clique-rich structure.
+func RelaxedCaveman(nc, cs int, p float64, seed int64) GenSpec {
+	return func() *graph.Graph { return gen.RelaxedCaveman(nc, cs, p, seed) }
+}
+
+// Planted generates c node-disjoint k-cliques plus noise edges; with zero
+// noise the maximum disjoint k-clique set has size exactly c.
+func Planted(c, k, noise int, seed int64) GenSpec {
+	return func() *graph.Graph { return gen.Planted(c, k, noise, seed) }
+}
+
+// StochasticBlock generates a stochastic block model graph: equal blocks
+// with intra-block edge probability pIn and inter-block probability pOut.
+func StochasticBlock(blocks, blockSize int, pIn, pOut float64, seed int64) GenSpec {
+	return func() *graph.Graph { return gen.StochasticBlock(blocks, blockSize, pIn, pOut, seed) }
+}
+
+// CommunitySocial generates the social-network stand-in used by the
+// benchmark datasets: community structure plus hub-edge degree skew.
+func CommunitySocial(nodes, community int, rewire float64, hubEdges int, seed int64) GenSpec {
+	return func() *graph.Graph { return gen.CommunitySocial(nodes, community, rewire, hubEdges, seed) }
+}
+
+// LoadDataset materialises one of the named benchmark stand-ins ("FTB",
+// "HST", ... "OR" from the paper's Table I, or the Table IV small names).
+func LoadDataset(name string) (*Graph, error) {
+	g, err := dataset.Load(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// DatasetNames returns the Table I dataset names in paper order.
+func DatasetNames() []string { return dataset.Names() }

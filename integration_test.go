@@ -1,0 +1,194 @@
+package dkclique
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestEndToEndStaticPipeline exercises the full static path: generate →
+// serialise → parse → solve with every algorithm → verify → check
+// approximation relations between methods.
+func TestEndToEndStaticPipeline(t *testing.T) {
+	g0, err := Generate(CommunitySocial(800, 7, 0.3, 1200, 321))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g0.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != g0.N() || g.M() != g0.M() {
+		t.Fatal("serialisation round trip changed the graph")
+	}
+
+	k := 3
+	sizes := map[Algorithm]int{}
+	for _, alg := range []Algorithm{HG, GC, L, LP} {
+		res, err := Find(g, Options{K: k, Algorithm: alg, Budget: time.Minute})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if err := Verify(g, k, res.Cliques); err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if !IsMaximal(g, k, res.Cliques) {
+			t.Fatalf("%v: not maximal", alg)
+		}
+		sizes[alg] = res.Size()
+	}
+	// The paper's quality ordering: LP and GC above (or equal to) HG, and
+	// L == LP exactly.
+	if sizes[LP] < sizes[HG] {
+		t.Fatalf("LP (%d) below HG (%d)", sizes[LP], sizes[HG])
+	}
+	if sizes[L] != sizes[LP] {
+		t.Fatalf("L (%d) != LP (%d)", sizes[L], sizes[LP])
+	}
+	// Maximality gives the k-approximation bound even without OPT: any two
+	// maximal sets are within a factor k of each other.
+	if sizes[HG]*k < sizes[LP] {
+		t.Fatal("k-approximation relation violated between maximal sets")
+	}
+}
+
+// TestEndToEndDynamicPipeline drives the dynamic engine from a static
+// result through heavy churn and cross-checks against static recomputation
+// on the final topology.
+func TestEndToEndDynamicPipeline(t *testing.T) {
+	g, err := Generate(CommunitySocial(500, 6, 0.35, 800, 654))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 3
+	static, err := Find(g, Options{K: k, Algorithm: LP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := NewDynamic(g, k, static.Cliques)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(777))
+	var edges [][2]int32
+	g.Edges(func(u, v int32) bool { edges = append(edges, [2]int32{u, v}); return true })
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	// Delete a third of the graph, then add random edges back.
+	for _, e := range edges[:len(edges)/3] {
+		dyn.DeleteEdge(e[0], e[1])
+	}
+	for i := 0; i < len(edges)/3; i++ {
+		u := int32(rng.Intn(g.N()))
+		v := int32(rng.Intn(g.N()))
+		if u != v {
+			dyn.InsertEdge(u, v)
+		}
+	}
+
+	final := dyn.Snapshot()
+	if err := Verify(final, k, dyn.Result()); err != nil {
+		t.Fatal(err)
+	}
+	if !IsMaximal(final, k, dyn.Result()) {
+		t.Fatal("maintained set must stay maximal")
+	}
+	rebuilt, err := Find(final, Options{K: k, Algorithm: LP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := dyn.Size() - rebuilt.Size()
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > rebuilt.Size()/4+2 {
+		t.Fatalf("dynamic %d vs rebuild %d drifted too far", dyn.Size(), rebuilt.Size())
+	}
+}
+
+// TestEndToEndExactAgreement runs the two exact methods and LP on small
+// graphs: exact == exact >= LP with the k-approximation floor.
+func TestEndToEndExactAgreement(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g, err := Generate(ErdosRenyi(22, 70, 900+seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 3
+		exact, err := FindExact(g, k, time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := Find(g, Options{K: k, Algorithm: OPT, Budget: time.Minute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact.Size() != opt.Size() {
+			t.Fatalf("seed %d: exact methods disagree: %d vs %d", seed, exact.Size(), opt.Size())
+		}
+		lp, err := Find(g, Options{K: k, Algorithm: LP})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lp.Size() > exact.Size() || exact.Size() > k*lp.Size() {
+			t.Fatalf("seed %d: approximation relation violated: LP=%d exact=%d", seed, lp.Size(), exact.Size())
+		}
+	}
+}
+
+// TestEndToEndMatchingConsistency checks that on triangle-free graphs the
+// k = 2 machinery (matching) dominates any "pairing" interpretation of
+// the clique machinery and behaves on known structures.
+func TestEndToEndMatchingConsistency(t *testing.T) {
+	// A long even cycle: perfect matching exists.
+	n := 40
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(int32(i), int32((i+1)%n))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx := MaximumMatching(g)
+	if mx.Size() != n/2 {
+		t.Fatalf("even cycle matching = %d, want %d", mx.Size(), n/2)
+	}
+	gr := GreedyMatching(g)
+	if 2*gr.Size() < mx.Size() {
+		t.Fatal("greedy below half bound")
+	}
+	// No triangles: the k = 3 solvers must return empty.
+	res, err := Find(g, Options{K: 3, Algorithm: LP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size() != 0 {
+		t.Fatal("cycle has no triangles")
+	}
+}
+
+// TestEndToEndPartitionOnDataset partitions a benchmark stand-in and
+// checks the assignment accounting.
+func TestEndToEndPartitionOnDataset(t *testing.T) {
+	g, err := LoadDataset("HST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PartitionGraph(g, Options{K: 4, Algorithm: LP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assigned := len(p.Teams()) * 4
+	if assigned+len(p.Unassigned()) != g.N() {
+		t.Fatalf("%d assigned + %d unassigned != %d nodes", assigned, len(p.Unassigned()), g.N())
+	}
+	if p.FullCliques() == 0 {
+		t.Fatal("HST stand-in should contain 4-cliques")
+	}
+}

@@ -1,0 +1,77 @@
+// Package bitset provides the fixed-capacity bit sets used by the dense
+// k-clique kernel: neighbourhood subgraphs of a few hundred nodes where
+// word-parallel intersection beats merge scans on sorted adjacency lists.
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-capacity bit set. The zero value is unusable; make one
+// with New.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set with capacity for bits [0, n).
+func New(n int) *Set {
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Cap returns the capacity.
+func (s *Set) Cap() int { return s.n }
+
+// Add sets bit i.
+func (s *Set) Add(i int) { s.words[i>>6] |= 1 << uint(i&63) }
+
+// Remove clears bit i.
+func (s *Set) Remove(i int) { s.words[i>>6] &^= 1 << uint(i&63) }
+
+// Has reports whether bit i is set.
+func (s *Set) Has(i int) bool { return s.words[i>>6]&(1<<uint(i&63)) != 0 }
+
+// Clear empties the set.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// IntersectInto sets dst = a ∩ b and returns the size of the result. All
+// three sets must share a capacity.
+func IntersectInto(dst, a, b *Set) int {
+	c := 0
+	for i := range dst.words {
+		w := a.words[i] & b.words[i]
+		dst.words[i] = w
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// ForEach calls fn with each set bit in ascending order; fn returning
+// false stops the scan.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi<<6 + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// CopyFrom overwrites the set with src (same capacity).
+func (s *Set) CopyFrom(src *Set) {
+	copy(s.words, src.words)
+}

@@ -1,0 +1,130 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130)
+	if s.Cap() != 130 || s.Count() != 0 {
+		t.Fatal("fresh set wrong")
+	}
+	for _, i := range []int{0, 63, 64, 127, 129} {
+		s.Add(i)
+		if !s.Has(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if s.Count() != 5 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	s.Remove(64)
+	if s.Has(64) || s.Count() != 4 {
+		t.Fatal("remove failed")
+	}
+	s.Clear()
+	if s.Count() != 0 {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestForEachOrderAndStop(t *testing.T) {
+	s := New(200)
+	want := []int{3, 64, 65, 130, 199}
+	for _, i := range want {
+		s.Add(i)
+	}
+	var got []int
+	s.ForEach(func(i int) bool { got = append(got, i); return true })
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order: got %v want %v", got, want)
+		}
+	}
+	count := 0
+	s.ForEach(func(int) bool { count++; return count < 2 })
+	if count != 2 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestIntersectInto(t *testing.T) {
+	a, b, dst := New(128), New(128), New(128)
+	for i := 0; i < 128; i += 2 {
+		a.Add(i)
+	}
+	for i := 0; i < 128; i += 3 {
+		b.Add(i)
+	}
+	n := IntersectInto(dst, a, b)
+	// Multiples of 6 in [0,128): 0,6,...,126 → 22.
+	if n != 22 || dst.Count() != 22 {
+		t.Fatalf("intersection size %d/%d, want 22", n, dst.Count())
+	}
+	dst.ForEach(func(i int) bool {
+		if i%6 != 0 {
+			t.Fatalf("bit %d should not be set", i)
+		}
+		return true
+	})
+}
+
+func TestCopyFrom(t *testing.T) {
+	a, b := New(70), New(70)
+	a.Add(1)
+	a.Add(69)
+	b.CopyFrom(a)
+	if !b.Has(1) || !b.Has(69) || b.Count() != 2 {
+		t.Fatal("copy failed")
+	}
+	b.Add(5)
+	if a.Has(5) {
+		t.Fatal("copy aliases source")
+	}
+}
+
+// TestQuickMatchesMapSet cross-checks against a map-based reference under
+// random operation sequences.
+func TestQuickMatchesMapSet(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 150
+		s := New(n)
+		ref := map[int]bool{}
+		for op := 0; op < 300; op++ {
+			i := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				s.Add(i)
+				ref[i] = true
+			case 1:
+				s.Remove(i)
+				delete(ref, i)
+			default:
+				if s.Has(i) != ref[i] {
+					return false
+				}
+			}
+		}
+		if s.Count() != len(ref) {
+			return false
+		}
+		ok := true
+		s.ForEach(func(i int) bool {
+			if !ref[i] {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,180 @@
+// Package cliquegraph materialises the clique graph G_C of Definition 2:
+// one node per k-clique of G, and an edge between two nodes whenever the
+// corresponding cliques share a graph node. It is the substrate of the OPT
+// baseline (clique graph + exact maximum independent set) and of the
+// Theorem 2 property tests; the paper's own algorithms deliberately avoid
+// building it.
+package cliquegraph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/kclique"
+)
+
+// ErrTooLarge is returned when materialisation would exceed the configured
+// limits — the analogue of the paper's OOM outcomes for OPT and GC.
+var ErrTooLarge = errors.New("cliquegraph: clique graph exceeds configured limits")
+
+// ErrDeadline is returned when the Limits deadline elapses mid-build — the
+// analogue of the paper's OOT outcomes.
+var ErrDeadline = errors.New("cliquegraph: deadline exceeded")
+
+// Limits bounds materialisation. Zero values mean "no limit".
+type Limits struct {
+	// MaxCliques caps the number of stored k-cliques.
+	MaxCliques int
+	// MaxEdges caps the number of condensed edges.
+	MaxEdges int
+	// Deadline, when non-zero, bounds wall time.
+	Deadline time.Time
+}
+
+// CliqueGraph is the materialised clique graph.
+type CliqueGraph struct {
+	// K is the clique size.
+	K int
+	// Cliques holds every k-clique of the source graph; clique i is node i
+	// of the condensed graph. Member lists are sorted ascending.
+	Cliques [][]int32
+	// adj[i] lists the condensed neighbours of clique i, sorted, deduped.
+	adj [][]int32
+	// byNode[u] lists the ids of cliques containing graph node u.
+	byNode [][]int32
+}
+
+// Build enumerates all k-cliques of g and constructs the condensed graph.
+func Build(g *graph.Graph, k int, lim Limits) (*CliqueGraph, error) {
+	d := graph.Orient(g, graph.ListingOrdering(g))
+	cg := &CliqueGraph{K: k, byNode: make([][]int32, g.N())}
+	tooMany := false
+	expired := false
+	kclique.ForEach(d, k, func(c []int32) bool {
+		if lim.MaxCliques > 0 && len(cg.Cliques) >= lim.MaxCliques {
+			tooMany = true
+			return false
+		}
+		if !lim.Deadline.IsZero() && len(cg.Cliques)&1023 == 0 && time.Now().After(lim.Deadline) {
+			expired = true
+			return false
+		}
+		cc := append([]int32(nil), c...)
+		sort.Slice(cc, func(i, j int) bool { return cc[i] < cc[j] })
+		id := int32(len(cg.Cliques))
+		cg.Cliques = append(cg.Cliques, cc)
+		for _, u := range cc {
+			cg.byNode[u] = append(cg.byNode[u], id)
+		}
+		return true
+	})
+	if tooMany {
+		return nil, fmt.Errorf("%w: more than %d cliques", ErrTooLarge, lim.MaxCliques)
+	}
+	if expired {
+		return nil, ErrDeadline
+	}
+	// Condensed edges: cliques sharing node u are pairwise adjacent, so the
+	// clique ids listed in byNode[u] form a condensed clique. Collect
+	// neighbour lists then dedupe.
+	nC := len(cg.Cliques)
+	cg.adj = make([][]int32, nC)
+	edges := 0
+	for u, ids := range cg.byNode {
+		if !lim.Deadline.IsZero() && u&255 == 0 && time.Now().After(lim.Deadline) {
+			return nil, ErrDeadline
+		}
+		for i, a := range ids {
+			for _, b := range ids[i+1:] {
+				cg.adj[a] = append(cg.adj[a], b)
+				cg.adj[b] = append(cg.adj[b], a)
+			}
+		}
+	}
+	for i := range cg.adj {
+		lst := cg.adj[i]
+		sort.Slice(lst, func(a, b int) bool { return lst[a] < lst[b] })
+		w := 0
+		for j, x := range lst {
+			if j == 0 || x != lst[w-1] {
+				lst[w] = x
+				w++
+			}
+		}
+		cg.adj[i] = lst[:w]
+		edges += w
+		if lim.MaxEdges > 0 && edges/2 > lim.MaxEdges {
+			return nil, fmt.Errorf("%w: more than %d condensed edges", ErrTooLarge, lim.MaxEdges)
+		}
+	}
+	return cg, nil
+}
+
+// NumCliques returns the number of condensed nodes.
+func (cg *CliqueGraph) NumCliques() int { return len(cg.Cliques) }
+
+// NumEdges returns the number of condensed edges.
+func (cg *CliqueGraph) NumEdges() int {
+	total := 0
+	for _, a := range cg.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// Neighbors returns the condensed neighbours of clique id (sorted).
+func (cg *CliqueGraph) Neighbors(id int32) []int32 { return cg.adj[id] }
+
+// Degree returns the exact clique degree deg_{G_C} of Definition 4.
+func (cg *CliqueGraph) Degree(id int32) int { return len(cg.adj[id]) }
+
+// ContainingNode returns the ids of cliques that contain graph node u.
+func (cg *CliqueGraph) ContainingNode(u int32) []int32 { return cg.byNode[u] }
+
+// CliqueScores returns s_c(C) for every clique given per-node scores s_n
+// (Definition 6: the sum of member node scores).
+func (cg *CliqueGraph) CliqueScores(nodeScores []int64) []int64 {
+	out := make([]int64, len(cg.Cliques))
+	for i, c := range cg.Cliques {
+		var s int64
+		for _, u := range c {
+			s += nodeScores[u]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// AsGraph converts the condensed structure to a plain graph.Graph so the
+// MIS solvers can run on it.
+func (cg *CliqueGraph) AsGraph() *graph.Graph {
+	b := graph.NewBuilder(len(cg.Cliques))
+	for u, lst := range cg.adj {
+		for _, v := range lst {
+			if v > int32(u) {
+				b.AddEdge(int32(u), v)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Disjoint reports whether cliques a and b share no graph node.
+func (cg *CliqueGraph) Disjoint(a, b int32) bool {
+	ca, cb := cg.Cliques[a], cg.Cliques[b]
+	i, j := 0, 0
+	for i < len(ca) && j < len(cb) {
+		switch {
+		case ca[i] < cb[j]:
+			i++
+		case ca[i] > cb[j]:
+			j++
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,207 @@
+package cliquegraph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/kclique"
+)
+
+func randomGraph(n int, p float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// paperGraph builds the 9-node running example of Fig. 2.
+func paperGraph() *graph.Graph {
+	// 1-indexed edges from the paper's seven 3-cliques:
+	// C1=(v1,v3,v6) C2=(v3,v5,v6) C3=(v5,v6,v8) C4=(v5,v7,v8)
+	// C5=(v7,v8,v9) C6=(v4,v7,v9) C7=(v2,v4,v9)
+	edges1 := [][2]int32{
+		{1, 3}, {1, 6}, {3, 6},
+		{3, 5}, {5, 6},
+		{5, 8}, {6, 8},
+		{5, 7}, {7, 8},
+		{7, 9}, {8, 9},
+		{4, 7}, {4, 9},
+		{2, 4}, {2, 9},
+	}
+	b := graph.NewBuilder(9)
+	for _, e := range edges1 {
+		b.AddEdge(e[0]-1, e[1]-1)
+	}
+	return b.MustBuild()
+}
+
+func TestPaperRunningExample(t *testing.T) {
+	g := paperGraph()
+	if g.N() != 9 || g.M() != 15 {
+		t.Fatalf("paper graph has n=%d m=%d, want 9/15", g.N(), g.M())
+	}
+	cg, err := Build(g, 3, Limits{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if cg.NumCliques() != 7 {
+		t.Fatalf("paper graph has %d 3-cliques, want 7", cg.NumCliques())
+	}
+	// Example 3: node v6 (index 5) is in three 3-cliques.
+	if got := len(cg.ContainingNode(5)); got != 3 {
+		t.Errorf("s_n(v6) = %d, want 3", got)
+	}
+	// Example 3: C1=(v1,v3,v6) has clique degree 2 (neighbours C2, C3).
+	var c1 int32 = -1
+	for i, c := range cg.Cliques {
+		if c[0] == 0 && c[1] == 2 && c[2] == 5 { // v1,v3,v6 zero-indexed
+			c1 = int32(i)
+		}
+	}
+	if c1 < 0 {
+		t.Fatal("clique (v1,v3,v6) not found")
+	}
+	if got := cg.Degree(c1); got != 2 {
+		t.Errorf("deg(C1) = %d, want 2", got)
+	}
+}
+
+func TestBuildMatchesPairwiseIntersection(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g := randomGraph(18, 0.45, seed)
+		for k := 3; k <= 4; k++ {
+			cg, err := Build(g, k, Limits{})
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			// Reference: O(T^2) pairwise disjointness.
+			nC := cg.NumCliques()
+			for a := int32(0); int(a) < nC; a++ {
+				nb := map[int32]bool{}
+				for _, b := range cg.Neighbors(a) {
+					if b == a {
+						t.Fatal("self-loop in clique graph")
+					}
+					nb[b] = true
+				}
+				for b := int32(0); int(b) < nC; b++ {
+					if a == b {
+						continue
+					}
+					want := !cg.Disjoint(a, b)
+					if nb[b] != want {
+						t.Fatalf("seed=%d k=%d: adjacency(%d,%d)=%v want %v", seed, k, a, b, nb[b], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTheorem2Bounds(t *testing.T) {
+	// (s_c(C)-k)/(k-1) <= deg(C) <= s_c(C)-k for every clique.
+	for seed := int64(10); seed < 14; seed++ {
+		g := randomGraph(20, 0.4, seed)
+		for k := 3; k <= 5; k++ {
+			cg, err := Build(g, k, Limits{})
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			if cg.NumCliques() == 0 {
+				continue
+			}
+			_, nodeScores := kclique.ScoreGraph(g, k, 1)
+			cliqueScores := cg.CliqueScores(nodeScores)
+			for i := 0; i < cg.NumCliques(); i++ {
+				deg := int64(cg.Degree(int32(i)))
+				sc := cliqueScores[i]
+				lower := (sc - int64(k)) / int64(k-1)
+				upper := sc - int64(k)
+				if deg < lower || deg > upper {
+					t.Fatalf("seed=%d k=%d clique %d: deg=%d outside [%d,%d] (s_c=%d)",
+						seed, k, i, deg, lower, upper, sc)
+				}
+			}
+		}
+	}
+}
+
+func TestLemma1(t *testing.T) {
+	// If a clique C has >= k+1 neighbours in G_C, two of them are adjacent.
+	for seed := int64(20); seed < 24; seed++ {
+		g := randomGraph(16, 0.5, seed)
+		k := 3
+		cg, err := Build(g, k, Limits{})
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		for a := int32(0); int(a) < cg.NumCliques(); a++ {
+			nb := cg.Neighbors(a)
+			if len(nb) < k+1 {
+				continue
+			}
+			found := false
+		outer:
+			for i := range nb {
+				for j := i + 1; j < len(nb); j++ {
+					if !cg.Disjoint(nb[i], nb[j]) {
+						found = true
+						break outer
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("clique %d has %d pairwise-disjoint neighbours, contradicting Lemma 1", a, len(nb))
+			}
+		}
+	}
+}
+
+func TestLimits(t *testing.T) {
+	g := randomGraph(20, 0.6, 30)
+	if _, err := Build(g, 3, Limits{MaxCliques: 1}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("MaxCliques limit: err = %v, want ErrTooLarge", err)
+	}
+	if _, err := Build(g, 3, Limits{MaxEdges: 1}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("MaxEdges limit: err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestAsGraph(t *testing.T) {
+	g := paperGraph()
+	cg, err := Build(g, 3, Limits{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	cgraph := cg.AsGraph()
+	if cgraph.N() != cg.NumCliques() {
+		t.Fatal("AsGraph node count mismatch")
+	}
+	if cgraph.M() != cg.NumEdges() {
+		t.Fatalf("AsGraph edge count %d != %d", cgraph.M(), cg.NumEdges())
+	}
+	for u := int32(0); int(u) < cgraph.N(); u++ {
+		if cgraph.Degree(u) != cg.Degree(u) {
+			t.Fatalf("degree mismatch at clique %d", u)
+		}
+	}
+}
+
+func TestEmptyCliqueGraph(t *testing.T) {
+	g, _ := graph.FromEdges(5, [][2]int32{{0, 1}, {2, 3}})
+	cg, err := Build(g, 3, Limits{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if cg.NumCliques() != 0 || cg.NumEdges() != 0 {
+		t.Fatal("graph with no triangles should give empty clique graph")
+	}
+}

@@ -1,0 +1,130 @@
+package cliquegraph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/kclique"
+)
+
+func TestCliqueScoresMatchDefinition(t *testing.T) {
+	g := randomGraph(20, 0.4, 50)
+	k := 3
+	cg, err := Build(g, k, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, nodeScores := kclique.ScoreGraph(g, k, 1)
+	scores := cg.CliqueScores(nodeScores)
+	for i, c := range cg.Cliques {
+		var want int64
+		for _, u := range c {
+			want += nodeScores[u]
+		}
+		if scores[i] != want {
+			t.Fatalf("clique %d score %d, want %d", i, scores[i], want)
+		}
+		// Definition 5 consistency: the node score of each member counts
+		// this clique, so it is at least 1.
+		for _, u := range c {
+			if nodeScores[u] < 1 {
+				t.Fatalf("member %d of clique %d has score %d", u, i, nodeScores[u])
+			}
+		}
+	}
+}
+
+func TestByNodeIndexConsistent(t *testing.T) {
+	g := randomGraph(18, 0.45, 51)
+	cg, err := Build(g, 3, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each node's containment list must exactly match membership, and its
+	// length is the node score.
+	_, nodeScores := kclique.ScoreGraph(g, 3, 1)
+	for u := int32(0); int(u) < g.N(); u++ {
+		ids := cg.ContainingNode(u)
+		if int64(len(ids)) != nodeScores[u] {
+			t.Fatalf("node %d: %d containing cliques, score says %d", u, len(ids), nodeScores[u])
+		}
+		for _, id := range ids {
+			found := false
+			for _, w := range cg.Cliques[id] {
+				if w == u {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("clique %d listed for node %d but does not contain it", id, u)
+			}
+		}
+	}
+}
+
+// TestQuickDegreeBoundsAlwaysHold re-checks Theorem 2 under quick-generated
+// random graphs.
+func TestQuickDegreeBoundsAlwaysHold(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(16, 0.5, seed)
+		k := 3
+		cg, err := Build(g, k, Limits{})
+		if err != nil || cg.NumCliques() == 0 {
+			return err == nil
+		}
+		_, nodeScores := kclique.ScoreGraph(g, k, 1)
+		scores := cg.CliqueScores(nodeScores)
+		for i := 0; i < cg.NumCliques(); i++ {
+			deg := int64(cg.Degree(int32(i)))
+			lower := (scores[i] - int64(k)) / int64(k-1)
+			upper := scores[i] - int64(k)
+			if deg < lower || deg > upper {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisjointSymmetric(t *testing.T) {
+	g := randomGraph(15, 0.5, 52)
+	cg, err := Build(g, 3, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int32(cg.NumCliques())
+	for a := int32(0); a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if cg.Disjoint(a, b) != cg.Disjoint(b, a) {
+				t.Fatalf("Disjoint(%d,%d) asymmetric", a, b)
+			}
+		}
+	}
+}
+
+func TestBuildK6DeepCliques(t *testing.T) {
+	// One K8 community: C(8,6)=28 6-cliques, pairwise intersecting.
+	b := graph.NewBuilder(8)
+	for u := 0; u < 8; u++ {
+		for v := u + 1; v < 8; v++ {
+			b.AddEdge(int32(u), int32(v))
+		}
+	}
+	cg, err := Build(b.MustBuild(), 6, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.NumCliques() != 28 {
+		t.Fatalf("K8 6-cliques = %d, want 28", cg.NumCliques())
+	}
+	// Every pair of 6-subsets of 8 elements intersects: complete clique
+	// graph with C(28,2) = 378 edges.
+	if cg.NumEdges() != 378 {
+		t.Fatalf("clique-graph edges = %d, want 378", cg.NumEdges())
+	}
+}

@@ -1,0 +1,186 @@
+// Package core implements the paper's primary contribution: computing a
+// near-optimal maximum set of disjoint k-cliques. It provides the five
+// methods evaluated in §VI behind a single entry point:
+//
+//	OPT — clique graph + exact maximum independent set (§I baseline)
+//	HG  — Algorithm 1, BasicFramework over the degree-ordered DAG
+//	GC  — Algorithm 2, ComputeWithCliqueScores (stores every k-clique)
+//	L   — Algorithm 3 without the score-driven pruning strategy
+//	LP  — Algorithm 3 with the score-driven pruning strategy
+//
+// All methods return a maximal disjoint k-clique set; by Theorem 3 this is
+// a k-approximation of the maximum.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Algorithm selects one of the paper's methods.
+type Algorithm int
+
+// The five evaluated methods (paper §VI-A "Competitors").
+const (
+	HG  Algorithm = iota // Algorithm 1 (BasicFramework)
+	GC                   // Algorithm 2 (store all cliques, ascending score)
+	L                    // Algorithm 3 without score pruning
+	LP                   // Algorithm 3 with score pruning
+	OPT                  // clique graph + exact MIS
+)
+
+// String returns the paper's name for the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case HG:
+		return "HG"
+	case GC:
+		return "GC"
+	case L:
+		return "L"
+	case LP:
+		return "LP"
+	case OPT:
+		return "OPT"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// ParseAlgorithm converts a name such as "LP" to an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "HG", "hg":
+		return HG, nil
+	case "GC", "gc":
+		return GC, nil
+	case "L", "l":
+		return L, nil
+	case "LP", "lp":
+		return LP, nil
+	case "OPT", "opt":
+		return OPT, nil
+	}
+	return 0, fmt.Errorf("core: unknown algorithm %q (want HG, GC, L, LP or OPT)", s)
+}
+
+// Sentinel errors mirroring the paper's OOT / OOM experiment outcomes.
+var (
+	// ErrOOT reports that the configured deadline elapsed.
+	ErrOOT = errors.New("core: out of time")
+	// ErrOOM reports that a clique-materialising method exceeded its
+	// storage budget.
+	ErrOOM = errors.New("core: out of memory budget")
+)
+
+// Options configures Find.
+type Options struct {
+	// K is the clique size; must be >= 3 (Definition 1 requires it; k = 2
+	// would be maximum matching, see §III).
+	K int
+	// Algorithm selects the method; default HG.
+	Algorithm Algorithm
+	// Workers bounds parallelism for score counting and heap
+	// initialisation; <= 0 means GOMAXPROCS.
+	Workers int
+	// Budget, when positive, bounds the wall time; exceeding it returns
+	// ErrOOT (the paper's 24 h cutoff, scaled).
+	Budget time.Duration
+	// MaxStoredCliques, when positive, bounds how many k-cliques the
+	// clique-materialising methods (GC, OPT) may hold; exceeding it
+	// returns ErrOOM.
+	MaxStoredCliques int
+	// StrictTies enforces the fixed total clique ordering of Theorem 4
+	// (score ties broken by the sorted member lists). With it, GC and LP
+	// produce identical sets. The paper's implementation note disables
+	// this by default for speed; so do we.
+	StrictTies bool
+}
+
+func (o *Options) deadline() time.Time {
+	if o.Budget <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(o.Budget)
+}
+
+// Result is the output of Find.
+type Result struct {
+	// Cliques is the disjoint k-clique set S; each clique's members are
+	// sorted ascending.
+	Cliques [][]int32
+	// Algorithm and K echo the request.
+	Algorithm Algorithm
+	K         int
+	// Elapsed is the in-algorithm wall time (excludes input construction).
+	Elapsed time.Duration
+	// TotalKCliques is the number of k-cliques counted during score
+	// computation; zero for methods that do not count (HG).
+	TotalKCliques uint64
+}
+
+// Size returns |S|.
+func (r *Result) Size() int { return len(r.Cliques) }
+
+// CoveredNodes returns the number of graph nodes contained in S.
+func (r *Result) CoveredNodes() int { return len(r.Cliques) * r.K }
+
+// Find computes a maximal set of disjoint k-cliques of g with the selected
+// method. The graph is not modified.
+func Find(g *graph.Graph, opt Options) (*Result, error) {
+	if opt.K < 3 {
+		return nil, fmt.Errorf("core: k must be >= 3, got %d", opt.K)
+	}
+	if g == nil {
+		return nil, errors.New("core: nil graph")
+	}
+	start := time.Now()
+	var (
+		cliques [][]int32
+		total   uint64
+		err     error
+	)
+	switch opt.Algorithm {
+	case HG:
+		cliques, err = runHG(g, &opt)
+	case GC:
+		cliques, total, err = runGC(g, &opt)
+	case L, LP:
+		cliques, total, err = runLightweight(g, &opt, opt.Algorithm == LP)
+	case OPT:
+		cliques, err = runOPT(g, &opt)
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %v", opt.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cliques {
+		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	}
+	return &Result{
+		Cliques:       cliques,
+		Algorithm:     opt.Algorithm,
+		K:             opt.K,
+		Elapsed:       time.Since(start),
+		TotalKCliques: total,
+	}, nil
+}
+
+// cliqueLexLess compares two cliques by their sorted member lists — the
+// fixed total clique ordering used when Options.StrictTies is set.
+func cliqueLexLess(a, b []int32) bool {
+	sa := append([]int32(nil), a...)
+	sb := append([]int32(nil), b...)
+	sort.Slice(sa, func(i, j int) bool { return sa[i] < sa[j] })
+	sort.Slice(sb, func(i, j int) bool { return sb[i] < sb[j] })
+	for i := 0; i < len(sa) && i < len(sb); i++ {
+		if sa[i] != sb[i] {
+			return sa[i] < sb[i]
+		}
+	}
+	return len(sa) < len(sb)
+}

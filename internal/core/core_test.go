@@ -1,0 +1,432 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+func randomGraph(n int, p float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// paperGraph is the 9-node running example of Fig. 2 (0-indexed).
+func paperGraph() *graph.Graph {
+	edges1 := [][2]int32{
+		{1, 3}, {1, 6}, {3, 6},
+		{3, 5}, {5, 6},
+		{5, 8}, {6, 8},
+		{5, 7}, {7, 8},
+		{7, 9}, {8, 9},
+		{4, 7}, {4, 9},
+		{2, 4}, {2, 9},
+	}
+	b := graph.NewBuilder(9)
+	for _, e := range edges1 {
+		b.AddEdge(e[0]-1, e[1]-1)
+	}
+	return b.MustBuild()
+}
+
+// plantedGraph builds c node-disjoint k-cliques and nothing else.
+func plantedGraph(c, k int) *graph.Graph {
+	b := graph.NewBuilder(c * k)
+	for i := 0; i < c; i++ {
+		base := int32(i * k)
+		for a := 0; a < k; a++ {
+			for bb := a + 1; bb < k; bb++ {
+				b.AddEdge(base+int32(a), base+int32(bb))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func allAlgorithms() []Algorithm { return []Algorithm{HG, GC, L, LP, OPT} }
+
+func heuristics() []Algorithm { return []Algorithm{HG, GC, L, LP} }
+
+func canonicalSet(cliques [][]int32) map[string]bool {
+	out := map[string]bool{}
+	for _, c := range cliques {
+		s := append([]int32(nil), c...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		key := ""
+		for _, v := range s {
+			key += string(rune(v)) + ","
+		}
+		out[key] = true
+	}
+	return out
+}
+
+func TestPaperRunningExampleMaximum(t *testing.T) {
+	g := paperGraph()
+	// The maximum disjoint 3-clique set of Fig. 2 has size 3
+	// ({v1,v3,v6}, {v5,v7,v8}, {v2,v4,v9} is one witness).
+	res, err := Find(g, Options{K: 3, Algorithm: OPT})
+	if err != nil {
+		t.Fatalf("OPT: %v", err)
+	}
+	if res.Size() != 3 {
+		t.Fatalf("OPT size = %d, want 3", res.Size())
+	}
+	if err := Verify(g, 3, res.Cliques); err != nil {
+		t.Fatal(err)
+	}
+	// LP should match the optimum here.
+	lp, err := Find(g, Options{K: 3, Algorithm: LP})
+	if err != nil {
+		t.Fatalf("LP: %v", err)
+	}
+	if lp.Size() != 3 {
+		t.Errorf("LP size = %d, want 3", lp.Size())
+	}
+}
+
+func TestAllAlgorithmsValidAndMaximal(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		for _, p := range []float64{0.2, 0.4} {
+			g := randomGraph(24, p, seed)
+			for k := 3; k <= 4; k++ {
+				for _, alg := range allAlgorithms() {
+					res, err := Find(g, Options{K: k, Algorithm: alg, Budget: time.Minute})
+					if err != nil {
+						t.Fatalf("seed=%d p=%v k=%d %v: %v", seed, p, k, alg, err)
+					}
+					if err := Verify(g, k, res.Cliques); err != nil {
+						t.Fatalf("seed=%d p=%v k=%d %v: %v", seed, p, k, alg, err)
+					}
+					if !IsMaximal(g, k, res.Cliques) {
+						t.Fatalf("seed=%d p=%v k=%d %v: set not maximal", seed, p, k, alg)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKApproximationGuarantee(t *testing.T) {
+	// Theorem 3: |OPT| <= k * |any maximal S|.
+	for seed := int64(10); seed < 14; seed++ {
+		g := randomGraph(20, 0.35, seed)
+		for k := 3; k <= 4; k++ {
+			opt, err := Find(g, Options{K: k, Algorithm: OPT, Budget: time.Minute})
+			if err != nil {
+				t.Fatalf("OPT: %v", err)
+			}
+			for _, alg := range heuristics() {
+				res, err := Find(g, Options{K: k, Algorithm: alg})
+				if err != nil {
+					t.Fatalf("%v: %v", alg, err)
+				}
+				if opt.Size() > k*res.Size() {
+					t.Fatalf("seed=%d k=%d %v: OPT=%d > k*|S|=%d — approximation violated",
+						seed, k, alg, opt.Size(), k*res.Size())
+				}
+				if res.Size() > opt.Size() {
+					t.Fatalf("seed=%d k=%d %v: heuristic %d beats optimum %d",
+						seed, k, alg, res.Size(), opt.Size())
+				}
+			}
+		}
+	}
+}
+
+func TestPlantedCliquesFullyRecovered(t *testing.T) {
+	for _, k := range []int{3, 4, 5} {
+		for _, c := range []int{1, 4, 9} {
+			g := plantedGraph(c, k)
+			for _, alg := range allAlgorithms() {
+				res, err := Find(g, Options{K: k, Algorithm: alg, Budget: time.Minute})
+				if err != nil {
+					t.Fatalf("k=%d c=%d %v: %v", k, c, alg, err)
+				}
+				if res.Size() != c {
+					t.Fatalf("k=%d c=%d %v: found %d cliques, want %d", k, c, alg, res.Size(), c)
+				}
+				if err := Verify(g, k, res.Cliques); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func TestLEqualsLP(t *testing.T) {
+	// Pruning never changes FindMin's answer, so L and LP must produce the
+	// exact same S (the paper reports identical quality).
+	for seed := int64(20); seed < 26; seed++ {
+		g := randomGraph(40, 0.3, seed)
+		for k := 3; k <= 5; k++ {
+			l, err := Find(g, Options{K: k, Algorithm: L})
+			if err != nil {
+				t.Fatalf("L: %v", err)
+			}
+			lp, err := Find(g, Options{K: k, Algorithm: LP})
+			if err != nil {
+				t.Fatalf("LP: %v", err)
+			}
+			ls, lps := canonicalSet(l.Cliques), canonicalSet(lp.Cliques)
+			if len(ls) != len(lps) {
+				t.Fatalf("seed=%d k=%d: |L|=%d |LP|=%d", seed, k, len(ls), len(lps))
+			}
+			for key := range ls {
+				if !lps[key] {
+					t.Fatalf("seed=%d k=%d: L clique missing from LP", seed, k)
+				}
+			}
+		}
+	}
+}
+
+func TestTheorem4StrictTiesGCEqualsLP(t *testing.T) {
+	// With a fixed total node ordering and fixed total clique ordering,
+	// Algorithm 2 and Algorithm 3 produce the same S.
+	for seed := int64(30); seed < 38; seed++ {
+		g := randomGraph(30, 0.35, seed)
+		for k := 3; k <= 4; k++ {
+			gc, err := Find(g, Options{K: k, Algorithm: GC, StrictTies: true})
+			if err != nil {
+				t.Fatalf("GC: %v", err)
+			}
+			lp, err := Find(g, Options{K: k, Algorithm: LP, StrictTies: true})
+			if err != nil {
+				t.Fatalf("LP: %v", err)
+			}
+			gcs, lps := canonicalSet(gc.Cliques), canonicalSet(lp.Cliques)
+			if len(gcs) != len(lps) {
+				t.Fatalf("seed=%d k=%d: strict |GC|=%d != |LP|=%d", seed, k, len(gcs), len(lps))
+			}
+			for key := range gcs {
+				if !lps[key] {
+					t.Fatalf("seed=%d k=%d: strict GC and LP sets differ", seed, k)
+				}
+			}
+		}
+	}
+}
+
+func TestGCQualityMatchesLPApproximately(t *testing.T) {
+	// Without strict ties the sizes may differ slightly (paper §VI-A) but
+	// must stay within a small relative gap.
+	for seed := int64(40); seed < 44; seed++ {
+		g := randomGraph(60, 0.2, seed)
+		gc, err := Find(g, Options{K: 3, Algorithm: GC})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lp, err := Find(g, Options{K: 3, Algorithm: LP})
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff := gc.Size() - lp.Size()
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 2 {
+			t.Fatalf("seed=%d: |GC|=%d and |LP|=%d differ by %d", seed, gc.Size(), lp.Size(), diff)
+		}
+	}
+}
+
+func TestOOTBudget(t *testing.T) {
+	g := randomGraph(200, 0.3, 50)
+	for _, alg := range []Algorithm{GC, L, LP, OPT} {
+		_, err := Find(g, Options{K: 5, Algorithm: alg, Budget: time.Nanosecond})
+		if !errors.Is(err, ErrOOT) && !errors.Is(err, ErrOOM) {
+			t.Errorf("%v with 1ns budget: err = %v, want OOT", alg, err)
+		}
+	}
+}
+
+func TestOOMBudget(t *testing.T) {
+	g := randomGraph(40, 0.5, 51)
+	for _, alg := range []Algorithm{GC, OPT} {
+		_, err := Find(g, Options{K: 3, Algorithm: alg, MaxStoredCliques: 2})
+		if !errors.Is(err, ErrOOM) {
+			t.Errorf("%v with tiny clique budget: err = %v, want ErrOOM", alg, err)
+		}
+	}
+}
+
+func TestFindValidation(t *testing.T) {
+	g := randomGraph(5, 0.5, 52)
+	if _, err := Find(g, Options{K: 2, Algorithm: HG}); err == nil {
+		t.Error("k=2 should be rejected")
+	}
+	if _, err := Find(nil, Options{K: 3, Algorithm: HG}); err == nil {
+		t.Error("nil graph should be rejected")
+	}
+	if _, err := Find(g, Options{K: 3, Algorithm: Algorithm(99)}); err == nil {
+		t.Error("unknown algorithm should be rejected")
+	}
+}
+
+func TestEmptyAndCliqueFreeGraphs(t *testing.T) {
+	empty, _ := graph.FromEdges(0, nil)
+	star, _ := graph.FromEdges(5, [][2]int32{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	for _, g := range []*graph.Graph{empty, star} {
+		for _, alg := range allAlgorithms() {
+			res, err := Find(g, Options{K: 3, Algorithm: alg})
+			if err != nil {
+				t.Fatalf("%v: %v", alg, err)
+			}
+			if res.Size() != 0 {
+				t.Fatalf("%v found cliques in a triangle-free graph", alg)
+			}
+		}
+	}
+}
+
+func TestCompleteGraphPacking(t *testing.T) {
+	// K9 with k=3 packs exactly 3 disjoint triangles.
+	b := graph.NewBuilder(9)
+	for u := 0; u < 9; u++ {
+		for v := u + 1; v < 9; v++ {
+			b.AddEdge(int32(u), int32(v))
+		}
+	}
+	g := b.MustBuild()
+	for _, alg := range allAlgorithms() {
+		res, err := Find(g, Options{K: 3, Algorithm: alg, Budget: time.Minute})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if res.Size() != 3 {
+			t.Fatalf("%v packed %d triangles in K9, want 3", alg, res.Size())
+		}
+	}
+}
+
+func TestResultAccessors(t *testing.T) {
+	g := plantedGraph(2, 3)
+	res, err := Find(g, Options{K: 3, Algorithm: LP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size() != 2 || res.CoveredNodes() != 6 {
+		t.Errorf("Size=%d Covered=%d, want 2/6", res.Size(), res.CoveredNodes())
+	}
+	if res.K != 3 || res.Algorithm != LP {
+		t.Error("result echo fields wrong")
+	}
+	if res.TotalKCliques != 2 {
+		t.Errorf("TotalKCliques = %d, want 2", res.TotalKCliques)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("Elapsed not recorded")
+	}
+	// Members sorted.
+	for _, c := range res.Cliques {
+		if !sort.SliceIsSorted(c, func(i, j int) bool { return c[i] < c[j] }) {
+			t.Error("clique members not sorted")
+		}
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Algorithm
+	}{{"HG", HG}, {"gc", GC}, {"L", L}, {"lp", LP}, {"OPT", OPT}} {
+		got, err := ParseAlgorithm(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseAlgorithm("nope"); err == nil {
+		t.Error("expected error for unknown name")
+	}
+	if HG.String() != "HG" || OPT.String() != "OPT" || Algorithm(42).String() == "" {
+		t.Error("String() names wrong")
+	}
+}
+
+func TestVerifyCatchesBadSets(t *testing.T) {
+	g := paperGraph()
+	// Wrong size.
+	if err := Verify(g, 3, [][]int32{{0, 2}}); err == nil {
+		t.Error("short clique accepted")
+	}
+	// Non-edge.
+	if err := Verify(g, 3, [][]int32{{0, 1, 4}}); err == nil {
+		t.Error("non-clique accepted")
+	}
+	// Overlap.
+	if err := Verify(g, 3, [][]int32{{0, 2, 5}, {2, 4, 5}}); err == nil {
+		t.Error("overlapping cliques accepted")
+	}
+	// Out of range.
+	if err := Verify(g, 3, [][]int32{{0, 2, 99}}); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+}
+
+func TestIsMaximalDetectsNonMaximal(t *testing.T) {
+	g := plantedGraph(2, 3)
+	if IsMaximal(g, 3, nil) {
+		t.Error("empty set reported maximal despite available cliques")
+	}
+	full := [][]int32{{0, 1, 2}, {3, 4, 5}}
+	if !IsMaximal(g, 3, full) {
+		t.Error("complete packing reported non-maximal")
+	}
+}
+
+func TestHGDeterminism(t *testing.T) {
+	g := randomGraph(50, 0.3, 60)
+	r1, err := Find(g, Options{K: 3, Algorithm: HG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Find(g, Options{K: 3, Algorithm: HG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Size() != r2.Size() {
+		t.Fatal("HG not deterministic")
+	}
+	s1, s2 := canonicalSet(r1.Cliques), canonicalSet(r2.Cliques)
+	for key := range s1 {
+		if !s2[key] {
+			t.Fatal("HG runs differ")
+		}
+	}
+}
+
+func TestLPParallelDeterminism(t *testing.T) {
+	// HeapInit runs root-parallel but local minima are per-root, so the
+	// final S must not depend on worker count.
+	g := randomGraph(80, 0.2, 61)
+	r1, err := Find(g, Options{K: 3, Algorithm: LP, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Find(g, Options{K: 3, Algorithm: LP, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s8 := canonicalSet(r1.Cliques), canonicalSet(r8.Cliques)
+	if len(s1) != len(s8) {
+		t.Fatalf("worker count changed |S|: %d vs %d", len(s1), len(s8))
+	}
+	for key := range s1 {
+		if !s8[key] {
+			t.Fatal("worker count changed S")
+		}
+	}
+}

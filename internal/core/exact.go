@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/kclique"
+)
+
+// ExactDirect computes a *maximum* disjoint k-clique set by branch and
+// bound directly over the clique set, without materialising the clique
+// graph. It is an independent exact method used to cross-validate OPT
+// (clique graph + exact MIS): both must return sets of identical size.
+//
+// The search fixes the lowest-id uncovered node u that still appears in an
+// available clique and branches over (a) each available clique containing
+// u and (b) leaving u uncovered, with the bound |S| + ⌈uncovered/k⌉ and a
+// deadline. Options honoured: K, Budget (ErrOOT), MaxStoredCliques
+// (ErrOOM), Workers.
+func ExactDirect(g *graph.Graph, opt Options) (*Result, error) {
+	if opt.K < 3 {
+		return nil, fmt.Errorf("core: k must be >= 3, got %d", opt.K)
+	}
+	start := time.Now()
+	k := opt.K
+	deadline := opt.deadline()
+
+	// Materialise all cliques, indexed by node.
+	d := graph.Orient(g, graph.ListingOrdering(g))
+	var cliques [][]int32
+	over := false
+	kclique.ForEach(d, k, func(c []int32) bool {
+		if opt.MaxStoredCliques > 0 && len(cliques) >= opt.MaxStoredCliques {
+			over = true
+			return false
+		}
+		cc := append([]int32(nil), c...)
+		sort.Slice(cc, func(i, j int) bool { return cc[i] < cc[j] })
+		cliques = append(cliques, cc)
+		return true
+	})
+	if over {
+		return nil, ErrOOM
+	}
+	byNode := make([][]int32, g.N())
+	for id, c := range cliques {
+		for _, u := range c {
+			byNode[u] = append(byNode[u], int32(id))
+		}
+	}
+
+	s := &exactSearch{
+		k:        k,
+		cliques:  cliques,
+		byNode:   byNode,
+		covered:  make([]bool, g.N()),
+		deadline: deadline,
+	}
+	// A greedy incumbent (take cliques first-fit) tightens the bound early.
+	for id := range cliques {
+		ok := true
+		for _, u := range cliques[id] {
+			if s.covered[u] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for _, u := range cliques[id] {
+				s.covered[u] = true
+			}
+			s.best = append(s.best, int32(id))
+		}
+	}
+	for i := range s.covered {
+		s.covered[i] = false
+	}
+
+	// relevant nodes: those appearing in at least one clique, in id order.
+	for u := int32(0); int(u) < g.N(); u++ {
+		if len(byNode[u]) > 0 {
+			s.nodes = append(s.nodes, u)
+		}
+	}
+	s.search(0)
+	if s.deadhit {
+		return nil, ErrOOT
+	}
+
+	out := make([][]int32, 0, len(s.best))
+	for _, id := range s.best {
+		out = append(out, append([]int32(nil), s.cliques[id]...))
+	}
+	return &Result{
+		Cliques:       out,
+		Algorithm:     OPT, // reported as an exact method
+		K:             k,
+		Elapsed:       time.Since(start),
+		TotalKCliques: uint64(len(cliques)),
+	}, nil
+}
+
+type exactSearch struct {
+	k        int
+	cliques  [][]int32
+	byNode   [][]int32
+	covered  []bool
+	nodes    []int32 // nodes appearing in >= 1 clique, ascending
+	cur      []int32 // chosen clique ids
+	best     []int32
+	deadline time.Time
+	deadhit  bool
+	ticks    int
+}
+
+// available reports whether all members of the clique are uncovered.
+func (s *exactSearch) available(id int32) bool {
+	for _, u := range s.cliques[id] {
+		if s.covered[u] {
+			return false
+		}
+	}
+	return true
+}
+
+// search branches from the idx-th relevant node onward.
+func (s *exactSearch) search(idx int) {
+	if s.deadhit {
+		return
+	}
+	if !s.deadline.IsZero() {
+		s.ticks++
+		if s.ticks&511 == 0 && time.Now().After(s.deadline) {
+			s.deadhit = true
+			return
+		}
+	}
+	// Find the next uncovered node that still has an available clique.
+	var pivot int32 = -1
+	var options []int32
+	for ; idx < len(s.nodes); idx++ {
+		u := s.nodes[idx]
+		if s.covered[u] {
+			continue
+		}
+		for _, id := range s.byNode[u] {
+			if s.available(id) {
+				options = append(options, id)
+			}
+		}
+		if len(options) > 0 {
+			pivot = u
+			break
+		}
+	}
+	if pivot < 0 {
+		if len(s.cur) > len(s.best) {
+			s.best = append(s.best[:0], s.cur...)
+		}
+		return
+	}
+	// Bound: even if every remaining uncovered node packed perfectly we
+	// cannot beat the incumbent.
+	uncovered := 0
+	for i := idx; i < len(s.nodes); i++ {
+		if !s.covered[s.nodes[i]] {
+			uncovered++
+		}
+	}
+	if len(s.cur)+uncovered/s.k <= len(s.best) {
+		return
+	}
+
+	// Branch (a): use one of pivot's available cliques.
+	for _, id := range options {
+		for _, u := range s.cliques[id] {
+			s.covered[u] = true
+		}
+		s.cur = append(s.cur, id)
+		s.search(idx + 1)
+		s.cur = s.cur[:len(s.cur)-1]
+		for _, u := range s.cliques[id] {
+			s.covered[u] = false
+		}
+		if s.deadhit {
+			return
+		}
+	}
+	// Branch (b): leave pivot uncovered forever.
+	s.covered[pivot] = true
+	s.search(idx + 1)
+	s.covered[pivot] = false
+}

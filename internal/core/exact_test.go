@@ -1,0 +1,89 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestExactDirectMatchesOPT(t *testing.T) {
+	// Two independent exact methods must agree on the maximum size.
+	for seed := int64(0); seed < 8; seed++ {
+		g := randomGraph(18, 0.4, 100+seed)
+		for k := 3; k <= 4; k++ {
+			opt, err := Find(g, Options{K: k, Algorithm: OPT, Budget: time.Minute})
+			if err != nil {
+				t.Fatalf("OPT: %v", err)
+			}
+			ex, err := ExactDirect(g, Options{K: k, Budget: time.Minute})
+			if err != nil {
+				t.Fatalf("ExactDirect: %v", err)
+			}
+			if ex.Size() != opt.Size() {
+				t.Fatalf("seed=%d k=%d: ExactDirect=%d OPT=%d", seed, k, ex.Size(), opt.Size())
+			}
+			if err := Verify(g, k, ex.Cliques); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestExactDirectPaperExample(t *testing.T) {
+	g := paperGraph()
+	res, err := ExactDirect(g, Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size() != 3 {
+		t.Fatalf("size = %d, want 3", res.Size())
+	}
+	if res.TotalKCliques != 7 {
+		t.Fatalf("stored cliques = %d, want 7", res.TotalKCliques)
+	}
+}
+
+func TestExactDirectPlanted(t *testing.T) {
+	for _, k := range []int{3, 4, 5} {
+		g := plantedGraph(5, k)
+		res, err := ExactDirect(g, Options{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Size() != 5 {
+			t.Fatalf("k=%d: size %d, want 5", k, res.Size())
+		}
+	}
+}
+
+func TestExactDirectBudgets(t *testing.T) {
+	g := randomGraph(60, 0.4, 200)
+	if _, err := ExactDirect(g, Options{K: 3, MaxStoredCliques: 3}); !errors.Is(err, ErrOOM) {
+		t.Fatalf("err = %v, want ErrOOM", err)
+	}
+	if _, err := ExactDirect(g, Options{K: 3, Budget: time.Nanosecond}); !errors.Is(err, ErrOOT) {
+		t.Fatalf("err = %v, want ErrOOT", err)
+	}
+	if _, err := ExactDirect(g, Options{K: 2}); err == nil {
+		t.Fatal("k=2 accepted")
+	}
+}
+
+func TestExactDirectUpperBoundsHeuristics(t *testing.T) {
+	for seed := int64(300); seed < 305; seed++ {
+		g := randomGraph(20, 0.35, seed)
+		ex, err := ExactDirect(g, Options{K: 3, Budget: time.Minute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range heuristics() {
+			res, err := Find(g, Options{K: 3, Algorithm: alg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Size() > ex.Size() {
+				t.Fatalf("%v size %d beats exact %d", alg, res.Size(), ex.Size())
+			}
+		}
+	}
+}

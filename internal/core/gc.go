@@ -1,0 +1,94 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/kclique"
+)
+
+// runGC is Algorithm 2 (ComputeWithCliqueScores): store every k-clique of
+// the graph together with its clique score s_c, then scan cliques in
+// ascending score order, adding each one that is disjoint from everything
+// chosen so far. Memory-hungry by design — this is the method the paper
+// shows running OOM on large graphs; the MaxStoredCliques budget reproduces
+// that outcome.
+func runGC(g *graph.Graph, opt *Options) ([][]int32, uint64, error) {
+	k := opt.K
+	deadline := opt.deadline()
+	d := graph.Orient(g, graph.ListingOrdering(g))
+	total, scores, err := kclique.CountWithDeadline(d, k, opt.Workers, deadline)
+	if err != nil {
+		return nil, total, ErrOOT
+	}
+	if opt.MaxStoredCliques > 0 && total > uint64(opt.MaxStoredCliques) {
+		return nil, total, ErrOOM
+	}
+
+	type entry struct {
+		clique []int32
+		score  int64
+		seq    int64
+	}
+	entries := make([]entry, 0, total)
+	oot := false
+	kclique.ForEach(d, k, func(c []int32) bool {
+		var s int64
+		for _, u := range c {
+			s += scores[u]
+		}
+		cc := make([]int32, k)
+		copy(cc, c)
+		entries = append(entries, entry{clique: cc, score: s, seq: int64(len(entries))})
+		if !deadline.IsZero() && len(entries)&8191 == 0 && time.Now().After(deadline) {
+			oot = true
+			return false
+		}
+		return true
+	})
+	if oot {
+		return nil, total, ErrOOT
+	}
+	if opt.StrictTies {
+		sort.Slice(entries, func(i, j int) bool {
+			if entries[i].score != entries[j].score {
+				return entries[i].score < entries[j].score
+			}
+			return cliqueLexLess(entries[i].clique, entries[j].clique)
+		})
+	} else {
+		// The paper's implementation note (§VI-A): ties broken by first
+		// encounter, which our stable discovery sequence reproduces.
+		sort.Slice(entries, func(i, j int) bool {
+			if entries[i].score != entries[j].score {
+				return entries[i].score < entries[j].score
+			}
+			return entries[i].seq < entries[j].seq
+		})
+	}
+
+	used := make([]bool, g.N())
+	var out [][]int32
+	for i := range entries {
+		c := entries[i].clique
+		ok := true
+		for _, u := range c {
+			if used[u] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, u := range c {
+			used[u] = true
+		}
+		out = append(out, c)
+		if !deadline.IsZero() && len(out)&1023 == 0 && time.Now().After(deadline) {
+			return nil, total, ErrOOT
+		}
+	}
+	return out, total, nil
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/kclique"
+)
+
+// runHG is Algorithm 1 (BasicFramework): orient the graph by the degree
+// ordering, then inspect nodes in ascending order; for each still-valid node
+// take the first k-clique found in its valid out-neighbourhood and remove
+// its members from the residual graph.
+func runHG(g *graph.Graph, opt *Options) ([][]int32, error) {
+	k := opt.K
+	ord := graph.DegreeOrdering(g)
+	d := graph.Orient(g, ord)
+	n := g.N()
+	valid := make([]bool, n)
+	for i := range valid {
+		valid[i] = true
+	}
+	sc := kclique.NewScratch(k, g.MaxDegree())
+	deadline := opt.deadline()
+	var out [][]int32
+	for r := 0; r < n; r++ {
+		u := ord.ByRank[r]
+		if !valid[u] || d.OutDegree(u) < k-1 {
+			continue
+		}
+		if !deadline.IsZero() && r&1023 == 0 && time.Now().After(deadline) {
+			return nil, ErrOOT
+		}
+		c, ok := kclique.FindOne(d, k, u, valid, sc)
+		if !ok {
+			continue
+		}
+		for _, v := range c {
+			valid[v] = false
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

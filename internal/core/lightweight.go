@@ -1,0 +1,164 @@
+package core
+
+import (
+	"container/heap"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/kclique"
+)
+
+// heapEntry is a clique held in the global min-heap of Algorithm 3: the
+// local-minimum-score clique found in some root's out-neighbourhood.
+type heapEntry struct {
+	clique []int32 // clique[0] is the root (maximum-ordering member)
+	score  int64
+	seq    int64 // discovery sequence, the default tie-break
+}
+
+// cliqueHeap orders entries ascending by (score, tie-break).
+type cliqueHeap struct {
+	entries []heapEntry
+	strict  bool
+}
+
+func (h *cliqueHeap) Len() int { return len(h.entries) }
+func (h *cliqueHeap) Less(i, j int) bool {
+	a, b := &h.entries[i], &h.entries[j]
+	if a.score != b.score {
+		return a.score < b.score
+	}
+	if h.strict {
+		return cliqueLexLess(a.clique, b.clique)
+	}
+	return a.seq < b.seq
+}
+func (h *cliqueHeap) Swap(i, j int) { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+func (h *cliqueHeap) Push(x any)    { h.entries = append(h.entries, x.(heapEntry)) }
+func (h *cliqueHeap) Pop() any {
+	old := h.entries
+	n := len(old)
+	e := old[n-1]
+	h.entries = old[:n-1]
+	return e
+}
+
+// runLightweight is Algorithm 3 (the L and LP competitors): compute node
+// scores without storing cliques, orient the graph by ascending score,
+// seed a min-heap with each root's local minimum-score clique (HeapInit,
+// done root-parallel), then repeatedly commit the global minimum, lazily
+// recomputing a root's local minimum when its cached clique has been
+// invalidated (Calculation). prune selects the score-driven pruning
+// strategy inside FindMin — the only difference between L and LP.
+func runLightweight(g *graph.Graph, opt *Options, prune bool) ([][]int32, uint64, error) {
+	k := opt.K
+	deadline := opt.deadline()
+	n := g.N()
+
+	// Line 2: node scores from the counting pass (memory O(n+m)).
+	countDAG := graph.Orient(g, graph.ListingOrdering(g))
+	total, scores, err := kclique.CountWithDeadline(countDAG, k, opt.Workers, deadline)
+	if err != nil {
+		return nil, total, ErrOOT
+	}
+
+	// Lines 3-4: ascending-score total ordering and its DAG.
+	ord := graph.ScoreOrdering(g, scores)
+	d := graph.Orient(g, ord)
+
+	findMin := kclique.FindMin
+	if opt.StrictTies {
+		findMin = kclique.FindMinStrict
+	}
+
+	// HeapInit (lines 10-14): one local minimum per root, in parallel.
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = 1
+	}
+	maxDeg := g.MaxDegree()
+	type found struct {
+		clique []int32
+		score  int64
+	}
+	local := make([]found, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := kclique.NewScratch(k, maxDeg)
+			for {
+				u := int32(next.Add(1) - 1)
+				if int(u) >= n {
+					return
+				}
+				if d.OutDegree(u) < k-1 {
+					continue
+				}
+				if c, s, ok := findMin(d, k, u, scores, nil, prune, sc); ok {
+					local[u] = found{clique: c, score: s}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	h := &cliqueHeap{strict: opt.StrictTies}
+	var seq int64
+	for u := int32(0); int(u) < n; u++ {
+		if local[u].clique != nil {
+			h.entries = append(h.entries, heapEntry{clique: local[u].clique, score: local[u].score, seq: seq})
+			seq++
+		}
+	}
+	heap.Init(h)
+
+	// Calculation (lines 31-39).
+	valid := make([]bool, n)
+	for i := range valid {
+		valid[i] = true
+	}
+	sc := kclique.NewScratch(k, maxDeg)
+	var out [][]int32
+	pops := 0
+	for h.Len() > 0 {
+		pops++
+		if !deadline.IsZero() && pops&1023 == 0 && time.Now().After(deadline) {
+			return nil, total, ErrOOT
+		}
+		e := heap.Pop(h).(heapEntry)
+		ok := true
+		for _, v := range e.clique {
+			if !valid[v] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for _, v := range e.clique {
+				valid[v] = false
+			}
+			out = append(out, e.clique)
+			continue
+		}
+		// Stale entry: if the root is still free, recompute its local
+		// minimum over the shrunken valid out-neighbourhood and re-push.
+		root := e.clique[0]
+		if !valid[root] || d.OutDegree(root) < k-1 {
+			continue
+		}
+		if c, s, found := findMin(d, k, root, scores, valid, prune, sc); found {
+			heap.Push(h, heapEntry{clique: c, score: s, seq: seq})
+			seq++
+		}
+	}
+	return out, total, nil
+}

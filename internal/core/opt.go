@@ -1,0 +1,47 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/cliquegraph"
+	"repro/internal/graph"
+	"repro/internal/mis"
+)
+
+// runOPT is the straightforward exact baseline of §I: materialise the
+// clique graph (Definition 2) and solve exact maximum independent set on
+// it. Selected independent condensed nodes are disjoint k-cliques, and a
+// maximum independent set is a maximum disjoint k-clique set. Both steps
+// can blow up — the paper reports OOT/OOM for OPT on all but the smallest
+// graphs — so both are budgeted.
+func runOPT(g *graph.Graph, opt *Options) ([][]int32, error) {
+	lim := cliquegraph.Limits{MaxCliques: opt.MaxStoredCliques, Deadline: opt.deadline()}
+	if lim.MaxCliques > 0 {
+		// The condensed graph is typically far denser than the clique set;
+		// cap edges proportionally so adjacency construction cannot explode
+		// after clique storage fit.
+		lim.MaxEdges = lim.MaxCliques * 64
+	}
+	cg, err := cliquegraph.Build(g, opt.K, lim)
+	if err != nil {
+		switch {
+		case errors.Is(err, cliquegraph.ErrTooLarge):
+			return nil, ErrOOM
+		case errors.Is(err, cliquegraph.ErrDeadline):
+			return nil, ErrOOT
+		}
+		return nil, err
+	}
+	set, err := mis.Exact(cg.AsGraph(), opt.deadline())
+	if err != nil {
+		if errors.Is(err, mis.ErrDeadline) {
+			return nil, ErrOOT
+		}
+		return nil, err
+	}
+	out := make([][]int32, 0, len(set))
+	for _, id := range set {
+		out = append(out, append([]int32(nil), cg.Cliques[id]...))
+	}
+	return out, nil
+}

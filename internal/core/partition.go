@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// PartitionResult is the output of Partition: a full assignment of nodes
+// to teams of exactly k.
+type PartitionResult struct {
+	// Teams lists every team; the first FullCliques entries are k-cliques.
+	Teams [][]int32
+	// FullCliques counts teams that are complete k-cliques.
+	FullCliques int
+	// K echoes the team size; Unassigned lists the n mod k leftovers.
+	K          int
+	Unassigned []int32
+}
+
+// InternalEdges returns the number of graph edges inside team i.
+func (p *PartitionResult) InternalEdges(g *graph.Graph, i int) int {
+	team := p.Teams[i]
+	edges := 0
+	for a := range team {
+		for b := a + 1; b < len(team); b++ {
+			if g.HasEdge(team[a], team[b]) {
+				edges++
+			}
+		}
+	}
+	return edges
+}
+
+// DensityHistogram returns how many teams have 0, 1, ..., k(k-1)/2
+// internal edges.
+func (p *PartitionResult) DensityHistogram(g *graph.Graph) []int {
+	hist := make([]int, p.K*(p.K-1)/2+1)
+	for i := range p.Teams {
+		hist[p.InternalEdges(g, i)]++
+	}
+	return hist
+}
+
+// Partition assigns (almost) every node of g to a team of exactly k nodes,
+// the complete workflow the paper's §I sketches for the teaming event:
+// first the maximum set of disjoint k-cliques (via the algorithm selected
+// in opt, default LP), then iterative densest-first packing on the
+// residual graph until fewer than k nodes remain. Teams after the first
+// FullCliques entries are "best effort": each is grown from the
+// highest-residual-degree node by repeatedly adding the uncovered
+// neighbour with the most edges into the team.
+func Partition(g *graph.Graph, opt Options) (*PartitionResult, error) {
+	if opt.K < 3 {
+		return nil, fmt.Errorf("core: k must be >= 3, got %d", opt.K)
+	}
+	if opt.Algorithm == OPT {
+		return nil, fmt.Errorf("core: Partition wants a scalable method, not OPT")
+	}
+	res, err := Find(g, opt)
+	if err != nil {
+		return nil, err
+	}
+	k := opt.K
+	out := &PartitionResult{K: k, FullCliques: res.Size()}
+	out.Teams = append(out.Teams, res.Cliques...)
+
+	covered := make([]bool, g.N())
+	for _, c := range res.Cliques {
+		for _, u := range c {
+			covered[u] = true
+		}
+	}
+	// Residual degree = edges to uncovered nodes.
+	deg := make([]int32, g.N())
+	var residual []int32
+	for u := int32(0); int(u) < g.N(); u++ {
+		if covered[u] {
+			continue
+		}
+		residual = append(residual, u)
+		for _, v := range g.Neighbors(u) {
+			if !covered[v] {
+				deg[u]++
+			}
+		}
+	}
+	// Seed order: descending residual degree (hubs anchor teams), then id.
+	sort.Slice(residual, func(i, j int) bool {
+		if deg[residual[i]] != deg[residual[j]] {
+			return deg[residual[i]] > deg[residual[j]]
+		}
+		return residual[i] < residual[j]
+	})
+	remaining := len(residual)
+	team := make([]int32, 0, k)
+	for _, seed := range residual {
+		if covered[seed] || remaining < k {
+			continue
+		}
+		team = append(team[:0], seed)
+		covered[seed] = true
+		for len(team) < k {
+			next := pickDensest(g, covered, team)
+			if next < 0 {
+				// No uncovered neighbour left: take any uncovered node
+				// (lowest id) so every team reaches size k.
+				for _, u := range residual {
+					if !covered[u] {
+						next = u
+						break
+					}
+				}
+			}
+			if next < 0 {
+				break
+			}
+			covered[next] = true
+			team = append(team, next)
+		}
+		remaining -= len(team)
+		if len(team) == k {
+			out.Teams = append(out.Teams, append([]int32(nil), team...))
+		} else {
+			// Could not complete (should not happen with the any-node
+			// fallback unless fewer than k remained); roll back.
+			for _, u := range team {
+				covered[u] = false
+			}
+			remaining += len(team)
+			break
+		}
+	}
+	for _, u := range residual {
+		if !covered[u] {
+			out.Unassigned = append(out.Unassigned, u)
+		}
+	}
+	return out, nil
+}
+
+// pickDensest returns the uncovered node with the most edges into team
+// (ties by id), restricted to neighbours of team members; -1 if none.
+func pickDensest(g *graph.Graph, covered []bool, team []int32) int32 {
+	bestNode := int32(-1)
+	bestEdges := -1
+	seen := map[int32]bool{}
+	for _, t := range team {
+		for _, v := range g.Neighbors(t) {
+			if covered[v] || seen[v] {
+				continue
+			}
+			seen[v] = true
+			edges := 0
+			for _, w := range team {
+				if g.HasEdge(v, w) {
+					edges++
+				}
+			}
+			if edges > bestEdges || (edges == bestEdges && v < bestNode) {
+				bestNode, bestEdges = v, edges
+			}
+		}
+	}
+	return bestNode
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestPartitionCoversEverything(t *testing.T) {
+	for _, k := range []int{3, 4, 5} {
+		g := gen.CommunitySocial(300, 7, 0.3, 300, int64(k))
+		p, err := Partition(g, Options{K: k, Algorithm: LP})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make([]bool, g.N())
+		for i, team := range p.Teams {
+			if len(team) != k {
+				t.Fatalf("team %d has %d members, want %d", i, len(team), k)
+			}
+			for _, u := range team {
+				if seen[u] {
+					t.Fatalf("node %d in two teams", u)
+				}
+				seen[u] = true
+			}
+		}
+		for _, u := range p.Unassigned {
+			if seen[u] {
+				t.Fatalf("unassigned node %d also in a team", u)
+			}
+			seen[u] = true
+		}
+		covered := 0
+		for _, s := range seen {
+			if s {
+				covered++
+			}
+		}
+		if covered != g.N() {
+			t.Fatalf("k=%d: %d of %d nodes accounted for", k, covered, g.N())
+		}
+		if len(p.Unassigned) >= k {
+			t.Fatalf("k=%d: %d unassigned nodes — a full team was left on the table", k, len(p.Unassigned))
+		}
+	}
+}
+
+func TestPartitionFullCliquesAreCliques(t *testing.T) {
+	g := gen.CommunitySocial(400, 8, 0.25, 400, 9)
+	k := 4
+	p, err := Partition(g, Options{K: k, Algorithm: LP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FullCliques == 0 {
+		t.Fatal("expected at least one full clique team")
+	}
+	maxEdges := k * (k - 1) / 2
+	for i := 0; i < p.FullCliques; i++ {
+		if p.InternalEdges(g, i) != maxEdges {
+			t.Fatalf("team %d marked full clique but has %d edges", i, p.InternalEdges(g, i))
+		}
+	}
+	hist := p.DensityHistogram(g)
+	if hist[maxEdges] < p.FullCliques {
+		t.Fatalf("histogram top bucket %d < full cliques %d", hist[maxEdges], p.FullCliques)
+	}
+	total := 0
+	for _, c := range hist {
+		total += c
+	}
+	if total != len(p.Teams) {
+		t.Fatalf("histogram sums to %d, teams %d", total, len(p.Teams))
+	}
+}
+
+func TestPartitionDenserThanArbitrarySplit(t *testing.T) {
+	// Total internal edges must beat chopping the node range into
+	// consecutive blocks (a proxy for a random assignment).
+	g := gen.CommunitySocial(300, 6, 0.35, 300, 10)
+	k := 3
+	p, err := Partition(g, Options{K: k, Algorithm: LP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours := 0
+	for i := range p.Teams {
+		ours += p.InternalEdges(g, i)
+	}
+	blocks := 0
+	for base := 0; base+k <= g.N(); base += k {
+		for a := 0; a < k; a++ {
+			for b := a + 1; b < k; b++ {
+				if g.HasEdge(int32(base+a), int32(base+b)) {
+					blocks++
+				}
+			}
+		}
+	}
+	if ours <= blocks {
+		t.Fatalf("partition density %d not better than naive blocks %d", ours, blocks)
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	g := plantedGraph(2, 3)
+	if _, err := Partition(g, Options{K: 2, Algorithm: LP}); err == nil {
+		t.Error("k=2 accepted")
+	}
+	if _, err := Partition(g, Options{K: 3, Algorithm: OPT}); err == nil {
+		t.Error("OPT accepted")
+	}
+}
+
+func TestPartitionPlantedPerfect(t *testing.T) {
+	// A graph that is exactly c disjoint cliques partitions into c full
+	// teams and nothing else.
+	g := plantedGraph(6, 3)
+	p, err := Partition(g, Options{K: 3, Algorithm: LP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FullCliques != 6 || len(p.Teams) != 6 || len(p.Unassigned) != 0 {
+		t.Fatalf("got %d cliques / %d teams / %d unassigned, want 6/6/0",
+			p.FullCliques, len(p.Teams), len(p.Unassigned))
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/kclique"
+)
+
+// Verify checks that result is a valid disjoint k-clique set of g: every
+// clique has exactly k distinct members, every member pair is an edge, and
+// no node appears in two cliques. It returns nil when all hold.
+func Verify(g *graph.Graph, k int, cliques [][]int32) error {
+	seen := make(map[int32]int, len(cliques)*k)
+	for i, c := range cliques {
+		if len(c) != k {
+			return fmt.Errorf("core: clique %d has %d members, want %d", i, len(c), k)
+		}
+		for a := 0; a < k; a++ {
+			u := c[a]
+			if u < 0 || int(u) >= g.N() {
+				return fmt.Errorf("core: clique %d contains out-of-range node %d", i, u)
+			}
+			if j, dup := seen[u]; dup {
+				return fmt.Errorf("core: node %d appears in cliques %d and %d", u, j, i)
+			}
+			seen[u] = i
+		}
+		for a := 0; a < k; a++ {
+			for b := a + 1; b < k; b++ {
+				if !g.HasEdge(c[a], c[b]) {
+					return fmt.Errorf("core: clique %d: missing edge (%d,%d)", i, c[a], c[b])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// IsMaximal reports whether the disjoint k-clique set is maximal: the
+// residual graph (g minus all covered nodes) contains no k-clique. This is
+// the precondition of the Theorem 3 k-approximation guarantee.
+func IsMaximal(g *graph.Graph, k int, cliques [][]int32) bool {
+	covered := make([]bool, g.N())
+	for _, c := range cliques {
+		for _, u := range c {
+			covered[u] = true
+		}
+	}
+	var free []int32
+	for u := int32(0); int(u) < g.N(); u++ {
+		if !covered[u] {
+			free = append(free, u)
+		}
+	}
+	sub, _ := g.Induced(free)
+	d := graph.Orient(sub, graph.ListingOrdering(sub))
+	foundAny := false
+	kclique.ForEach(d, k, func([]int32) bool {
+		foundAny = true
+		return false
+	})
+	return !foundAny
+}

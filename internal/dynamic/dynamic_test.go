@@ -1,0 +1,380 @@
+package dynamic
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func randomGraph(n int, p float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// lpResult computes the static LP solution used to seed engines.
+func lpResult(t *testing.T, g *graph.Graph, k int) [][]int32 {
+	t.Helper()
+	res, err := core.Find(g, core.Options{K: k, Algorithm: core.LP})
+	if err != nil {
+		t.Fatalf("LP: %v", err)
+	}
+	return res.Cliques
+}
+
+// fig5Graph builds G1 of the paper's Fig. 5 (0-indexed): triangles
+// (v1,v2,v3), (v3,v4,v5), (v9,v10,v11) and the path v5-v6-v7.
+func fig5Graph() *graph.Graph {
+	edges1 := [][2]int32{
+		{1, 2}, {2, 3}, {1, 3},
+		{3, 4}, {4, 5}, {3, 5},
+		{5, 6}, {6, 7},
+		{9, 10}, {10, 11}, {9, 11},
+	}
+	b := graph.NewBuilder(11)
+	for _, e := range edges1 {
+		b.AddEdge(e[0]-1, e[1]-1)
+	}
+	return b.MustBuild()
+}
+
+func TestNewBuildsConsistentIndex(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g := randomGraph(30, 0.25, seed)
+		for k := 3; k <= 4; k++ {
+			e, err := New(g, k, lpResult(t, g, k))
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			if err := e.Verify(); err != nil {
+				t.Fatalf("seed=%d k=%d: %v", seed, k, err)
+			}
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	g := randomGraph(10, 0.5, 1)
+	if _, err := New(g, 2, nil); err == nil {
+		t.Error("k=2 accepted")
+	}
+	if _, err := New(g, 3, [][]int32{{0, 1}}); err == nil {
+		t.Error("short clique accepted")
+	}
+	if _, err := New(g, 3, [][]int32{{0, 1, 9}, {2, 3, 9}}); err == nil {
+		t.Error("overlapping cliques accepted")
+	}
+	// Non-clique member list.
+	bad, _ := graph.FromEdges(4, [][2]int32{{0, 1}, {1, 2}})
+	if _, err := New(bad, 3, [][]int32{{0, 1, 2}}); err == nil {
+		t.Error("non-clique accepted")
+	}
+}
+
+func TestNewCompletesNonMaximalInitialSet(t *testing.T) {
+	// Two disjoint triangles; hand the engine an empty initial set — it
+	// must complete S to maximal on its own.
+	g, _ := graph.FromEdges(6, [][2]int32{
+		{0, 1}, {1, 2}, {0, 2},
+		{3, 4}, {4, 5}, {3, 5},
+	})
+	e, err := New(g, 3, nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if e.Size() != 2 {
+		t.Fatalf("Size = %d, want 2 after completion", e.Size())
+	}
+	if err := e.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig5InsertionSwap(t *testing.T) {
+	g := fig5Graph()
+	// S of G1: {v3,v4,v5} and {v9,v10,v11} (0-indexed {2,3,4}, {8,9,10}).
+	e, err := New(g, 3, [][]int32{{2, 3, 4}, {8, 9, 10}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if e.Size() != 2 {
+		t.Fatalf("initial size = %d, want 2", e.Size())
+	}
+	// Candidate of (v3,v4,v5) is (v1,v2,v3); (v9,v10,v11) has none.
+	if e.NumCandidates() != 1 {
+		t.Fatalf("candidates = %d, want 1", e.NumCandidates())
+	}
+	// Insert (v5,v7) → candidate (v5,v6,v7) appears; TrySwap removes
+	// (v3,v4,v5) and adds both candidates: |S| = 3.
+	if !e.InsertEdge(4, 6) {
+		t.Fatal("insert failed")
+	}
+	if e.Size() != 3 {
+		t.Fatalf("size after swap = %d, want 3", e.Size())
+	}
+	if err := e.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// §V-C2 example: deleting (v5,v7) splits the S-clique (v5,v6,v7), and
+	// its residue has no usable candidate — (v3,v4,v5)'s would-be
+	// replacement needs v3, held by another S-clique. The paper concludes
+	// S = {(v1,v2,v3), (v9,v10,v11)}, size 2.
+	if !e.DeleteEdge(4, 6) {
+		t.Fatal("delete failed")
+	}
+	if e.Size() != 2 {
+		t.Fatalf("size after delete = %d, want 2", e.Size())
+	}
+	got := map[string]bool{}
+	for _, c := range e.Result() {
+		got[key(c)] = true
+	}
+	if !got[key([]int32{0, 1, 2})] || !got[key([]int32{8, 9, 10})] {
+		t.Fatalf("S after delete = %v, want {(0,1,2),(8,9,10)}", e.Result())
+	}
+	if err := e.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertBothFreeFormsClique(t *testing.T) {
+	// Path 0-1, 1-2: no triangle. Insert (0,2) → all-free triangle joins S.
+	g, _ := graph.FromEdges(3, [][2]int32{{0, 1}, {1, 2}})
+	e, err := New(g, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Size() != 0 {
+		t.Fatal("no clique expected initially")
+	}
+	e.InsertEdge(0, 2)
+	if e.Size() != 1 {
+		t.Fatalf("size = %d, want 1", e.Size())
+	}
+	if err := e.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteCliqueEdgeRepacks(t *testing.T) {
+	// Triangle (0,1,2) in S plus free triangle path via node 3: edges make
+	// (1,2,3) a candidate. Deleting (0,1) splits the S-clique; the repack
+	// must install (1,2,3).
+	g, _ := graph.FromEdges(4, [][2]int32{
+		{0, 1}, {1, 2}, {0, 2},
+		{1, 3}, {2, 3},
+	})
+	e, err := New(g, 3, [][]int32{{0, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumCandidates() != 1 {
+		t.Fatalf("candidates = %d, want 1 ((1,2,3))", e.NumCandidates())
+	}
+	e.DeleteEdge(0, 1)
+	if e.Size() != 1 {
+		t.Fatalf("size = %d, want 1 after repack", e.Size())
+	}
+	got := e.Result()[0]
+	want := []int32{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("repacked clique = %v, want %v", got, want)
+		}
+	}
+	if err := e.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoOpUpdates(t *testing.T) {
+	g, _ := graph.FromEdges(3, [][2]int32{{0, 1}})
+	e, err := New(g, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.InsertEdge(0, 1) {
+		t.Error("inserting existing edge should be a no-op")
+	}
+	if e.InsertEdge(1, 1) {
+		t.Error("self-loop insert should be a no-op")
+	}
+	if e.DeleteEdge(1, 2) {
+		t.Error("deleting missing edge should be a no-op")
+	}
+	st := e.Stats()
+	if st.Insertions != 0 || st.Deletions != 0 {
+		t.Error("no-ops must not count as updates")
+	}
+}
+
+// TestRandomUpdateStreamInvariants is the central property test: apply a
+// long random mixed update stream and re-check every engine invariant
+// (including index == from-scratch Algorithm 5) after each operation.
+func TestRandomUpdateStreamInvariants(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		p    float64
+		k    int
+		ops  int
+		seed int64
+	}{
+		{18, 0.30, 3, 250, 1},
+		{18, 0.35, 4, 250, 2},
+		{26, 0.20, 3, 250, 3},
+		{14, 0.50, 5, 150, 4},
+	} {
+		g := randomGraph(tc.n, tc.p, tc.seed)
+		e, err := New(g, tc.k, lpResult(t, g, tc.k))
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if err := e.Verify(); err != nil {
+			t.Fatalf("initial: %v", err)
+		}
+		rng := rand.New(rand.NewSource(tc.seed * 7))
+		for op := 0; op < tc.ops; op++ {
+			u := int32(rng.Intn(tc.n))
+			v := int32(rng.Intn(tc.n))
+			if u == v {
+				continue
+			}
+			if rng.Float64() < 0.5 {
+				e.InsertEdge(u, v)
+			} else {
+				e.DeleteEdge(u, v)
+			}
+			if err := e.Verify(); err != nil {
+				t.Fatalf("n=%d k=%d seed=%d op=%d (%d,%d): %v", tc.n, tc.k, tc.seed, op, u, v, err)
+			}
+		}
+	}
+}
+
+// TestDynamicQualityTracksRebuild applies the paper's §VI-E workload shape
+// (delete a batch, re-insert it) and checks the maintained S stays close to
+// a from-scratch LP rebuild, as Table VIII reports.
+func TestDynamicQualityTracksRebuild(t *testing.T) {
+	g := randomGraph(60, 0.15, 42)
+	k := 3
+	e, err := New(g, k, lpResult(t, g, k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := g.EdgeList()
+	rng := rand.New(rand.NewSource(43))
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	batch := edges[:len(edges)/10]
+	for _, ed := range batch {
+		e.DeleteEdge(ed[0], ed[1])
+	}
+	for _, ed := range batch {
+		e.InsertEdge(ed[0], ed[1])
+	}
+	if err := e.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// The graph is back to its original edge set; compare against rebuild.
+	rebuilt := lpResult(t, g, k)
+	dyn := e.Size()
+	diff := dyn - len(rebuilt)
+	if diff < 0 {
+		diff = -diff
+	}
+	slack := len(rebuilt)/5 + 2
+	if diff > slack {
+		t.Fatalf("dynamic |S|=%d vs rebuild %d: drift %d > slack %d", dyn, len(rebuilt), diff, slack)
+	}
+	// The final result must also be a valid disjoint set of the original
+	// static graph.
+	if err := core.Verify(g, k, e.Result()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	g := fig5Graph()
+	e, err := New(g, 3, [][]int32{{2, 3, 4}, {8, 9, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.InsertEdge(4, 6)
+	e.DeleteEdge(0, 1)
+	st := e.Stats()
+	if st.Insertions != 1 || st.Deletions != 1 {
+		t.Errorf("update counters: %+v", st)
+	}
+	if st.Swaps == 0 {
+		t.Error("the Fig. 5 insertion must have executed a swap")
+	}
+	if st.CandidatesCreated == 0 {
+		t.Error("candidates should have been created")
+	}
+	if e.K() != 3 {
+		t.Error("K() wrong")
+	}
+}
+
+func TestResultIsCopy(t *testing.T) {
+	g := fig5Graph()
+	e, err := New(g, 3, [][]int32{{2, 3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := e.Result()
+	r[0][0] = 99
+	r2 := e.Result()
+	if r2[0][0] == 99 {
+		t.Error("Result must return copies")
+	}
+}
+
+func TestGrowthViaInsertions(t *testing.T) {
+	// Start from an empty graph and insert edges of three disjoint
+	// triangles one by one; the engine must end with |S| = 3.
+	b := graph.NewBuilder(9)
+	g := b.MustBuild()
+	e, err := New(g, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int32(0); i < 9; i += 3 {
+		e.InsertEdge(i, i+1)
+		e.InsertEdge(i+1, i+2)
+		e.InsertEdge(i, i+2)
+	}
+	if e.Size() != 3 {
+		t.Fatalf("size = %d, want 3", e.Size())
+	}
+	if err := e.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTeardownViaDeletions(t *testing.T) {
+	// Delete every edge of a packed graph; S must end empty with a clean
+	// index.
+	g := randomGraph(15, 0.4, 77)
+	e, err := New(g, 3, lpResult(t, g, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ed := range g.EdgeList() {
+		e.DeleteEdge(ed[0], ed[1])
+		if err := e.Verify(); err != nil {
+			t.Fatalf("after deleting (%d,%d): %v", ed[0], ed[1], err)
+		}
+	}
+	if e.Size() != 0 || e.NumCandidates() != 0 {
+		t.Fatalf("size=%d candidates=%d, want 0/0", e.Size(), e.NumCandidates())
+	}
+}

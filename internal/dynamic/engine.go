@@ -1,0 +1,305 @@
+// Package dynamic maintains a near-optimal maximal set of disjoint
+// k-cliques under edge insertions and deletions — the paper's Section V.
+//
+// The engine keeps, besides the result set S, the candidate-clique index of
+// §V-B: every k-clique that contains at least one free node (a node in no
+// S-clique) and whose non-free nodes all belong to a single S-clique (its
+// owner). When an update touches an S-clique, the candidates owned by it
+// are exactly the cliques a swap operation (Algorithm 4, TrySwap) may
+// exchange it for; maintaining them incrementally is what makes updates run
+// in micro- rather than milliseconds.
+//
+// Invariants maintained between public calls (checked by Verify):
+//
+//  1. S is a disjoint k-clique set of the current graph.
+//  2. S is maximal: no k-clique exists whose members are all free.
+//  3. The candidate index holds exactly the candidate k-cliques of §V-A
+//     for the current graph and S, each keyed to its owner.
+package dynamic
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/kclique"
+)
+
+// free marks a node that belongs to no S-clique.
+const free int32 = -1
+
+// candidate is an indexed candidate k-clique: nodes are sorted; owner is
+// the S-clique all its non-free nodes belong to.
+type candidate struct {
+	id    int32
+	nodes []int32
+	owner int32
+}
+
+// Stats counts engine activity since construction.
+type Stats struct {
+	// IndexBuild is the time Construction (Algorithm 5) took.
+	IndexBuild time.Duration
+	// Swaps counts executed swap operations (voluntary and forced).
+	Swaps int
+	// CandidatesCreated / CandidatesDropped count index churn.
+	CandidatesCreated int
+	CandidatesDropped int
+	// Insertions / Deletions count processed updates.
+	Insertions int
+	Deletions  int
+}
+
+// Engine maintains the disjoint k-clique set and its candidate index.
+type Engine struct {
+	g *graph.Dynamic
+	k int
+
+	cliques    map[int32][]int32 // S: clique id -> sorted members
+	nodeClique []int32           // node -> owning clique id, or free
+	nextClique int32
+
+	cands       map[int32]*candidate
+	candKey     map[string]int32         // canonical member key -> candidate id
+	candsByOwn  map[int32]map[int32]bool // clique id -> candidate ids owned
+	candsByNode []map[int32]bool         // node -> candidate ids containing it
+	nextCand    int32
+
+	stats Stats
+
+	// noSwaps disables voluntary swap operations (ablation studies); all
+	// correctness invariants still hold, only result quality drops.
+	noSwaps bool
+}
+
+// DisableSwaps turns off voluntary swap operations. Used by the ablation
+// benchmarks to quantify how much TrySwap contributes to result quality.
+func (e *Engine) DisableSwaps() { e.noSwaps = true }
+
+// New builds an engine from a static graph and an initial disjoint
+// k-clique set (typically the output of the static LP algorithm), then
+// constructs the candidate index with Algorithm 5.
+func New(g *graph.Graph, k int, initial [][]int32) (*Engine, error) {
+	if k < 3 {
+		return nil, fmt.Errorf("dynamic: k must be >= 3, got %d", k)
+	}
+	n := g.N()
+	e := &Engine{
+		g:           graph.DynamicFrom(g),
+		k:           k,
+		cliques:     make(map[int32][]int32, len(initial)),
+		nodeClique:  make([]int32, n),
+		cands:       make(map[int32]*candidate),
+		candKey:     make(map[string]int32),
+		candsByOwn:  make(map[int32]map[int32]bool),
+		candsByNode: make([]map[int32]bool, n),
+	}
+	for i := range e.nodeClique {
+		e.nodeClique[i] = free
+	}
+	for _, c := range initial {
+		if len(c) != k {
+			return nil, fmt.Errorf("dynamic: initial clique has %d members, want %d", len(c), k)
+		}
+		if !e.g.IsClique(c) {
+			return nil, fmt.Errorf("dynamic: initial members %v are not a clique", c)
+		}
+		cc := append([]int32(nil), c...)
+		sort.Slice(cc, func(i, j int) bool { return cc[i] < cc[j] })
+		id := e.nextClique
+		e.nextClique++
+		for _, u := range cc {
+			if e.nodeClique[u] != free {
+				return nil, fmt.Errorf("dynamic: node %d in two initial cliques", u)
+			}
+			e.nodeClique[u] = id
+		}
+		e.cliques[id] = cc
+	}
+	// The candidate index assumes S is maximal (a non-maximal S would make
+	// all-free cliques "candidates" of nobody). Complete the initial set
+	// greedily over the free-node induced subgraph before indexing.
+	e.completeMaximal(g)
+	start := time.Now()
+	e.buildIndex()
+	e.stats.IndexBuild = time.Since(start)
+	return e, nil
+}
+
+// completeMaximal extends S with disjoint k-cliques drawn from the free
+// nodes of the static build-time graph until no all-free k-clique remains.
+// A single greedy enumeration pass suffices: any clique whose members are
+// all still free when the pass ends would have been taken when visited.
+func (e *Engine) completeMaximal(g *graph.Graph) {
+	var freeNodes []int32
+	for u := int32(0); int(u) < g.N(); u++ {
+		if e.nodeClique[u] == free {
+			freeNodes = append(freeNodes, u)
+		}
+	}
+	if len(freeNodes) < e.k {
+		return
+	}
+	sub, ids := g.Induced(freeNodes)
+	d := graph.Orient(sub, graph.ListingOrdering(sub))
+	kclique.ForEach(d, e.k, func(c []int32) bool {
+		ok := true
+		for _, x := range c {
+			if e.nodeClique[ids[x]] != free {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			members := make([]int32, len(c))
+			for i, x := range c {
+				members[i] = ids[x]
+			}
+			sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+			id := e.nextClique
+			e.nextClique++
+			for _, u := range members {
+				e.nodeClique[u] = id
+			}
+			e.cliques[id] = members
+		}
+		return true
+	})
+}
+
+// K returns the clique size.
+func (e *Engine) K() int { return e.k }
+
+// Size returns |S|.
+func (e *Engine) Size() int { return len(e.cliques) }
+
+// NumCandidates returns the current size of the candidate index.
+func (e *Engine) NumCandidates() int { return len(e.cands) }
+
+// Stats returns activity counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Graph exposes the current dynamic graph (read-only use).
+func (e *Engine) Graph() *graph.Dynamic { return e.g }
+
+// Result returns a copy of the current disjoint k-clique set, each clique
+// sorted, cliques ordered by id for determinism.
+func (e *Engine) Result() [][]int32 {
+	ids := make([]int32, 0, len(e.cliques))
+	for id := range e.cliques {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([][]int32, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, append([]int32(nil), e.cliques[id]...))
+	}
+	return out
+}
+
+// IsFree reports whether u belongs to no S-clique.
+func (e *Engine) IsFree(u int32) bool { return e.nodeClique[u] == free }
+
+// key canonicalises a sorted member list for the dedup map.
+func key(nodes []int32) string {
+	b := make([]byte, 0, len(nodes)*4)
+	for _, v := range nodes {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+// addCandidate indexes a candidate clique (members must be sorted) unless
+// an identical one exists. Reports whether it was new.
+func (e *Engine) addCandidate(nodes []int32, owner int32) bool {
+	k := key(nodes)
+	if _, ok := e.candKey[k]; ok {
+		return false
+	}
+	id := e.nextCand
+	e.nextCand++
+	c := &candidate{id: id, nodes: append([]int32(nil), nodes...), owner: owner}
+	e.cands[id] = c
+	e.candKey[k] = id
+	if e.candsByOwn[owner] == nil {
+		e.candsByOwn[owner] = make(map[int32]bool)
+	}
+	e.candsByOwn[owner][id] = true
+	for _, u := range c.nodes {
+		if e.candsByNode[u] == nil {
+			e.candsByNode[u] = make(map[int32]bool)
+		}
+		e.candsByNode[u][id] = true
+	}
+	e.stats.CandidatesCreated++
+	return true
+}
+
+// dropCandidate removes a candidate from every index.
+func (e *Engine) dropCandidate(id int32) {
+	c, ok := e.cands[id]
+	if !ok {
+		return
+	}
+	delete(e.cands, id)
+	delete(e.candKey, key(c.nodes))
+	if own := e.candsByOwn[c.owner]; own != nil {
+		delete(own, id)
+		if len(own) == 0 {
+			delete(e.candsByOwn, c.owner)
+		}
+	}
+	for _, u := range c.nodes {
+		if m := e.candsByNode[u]; m != nil {
+			delete(m, id)
+		}
+	}
+	e.stats.CandidatesDropped++
+}
+
+// dropCandidatesOfOwner removes every candidate owned by the clique.
+func (e *Engine) dropCandidatesOfOwner(owner int32) {
+	for id := range e.candsByOwn[owner] {
+		e.dropCandidate(id)
+	}
+}
+
+// dropCandidatesWithNode removes every candidate containing u.
+func (e *Engine) dropCandidatesWithNode(u int32) {
+	for id := range e.candsByNode[u] {
+		e.dropCandidate(id)
+	}
+}
+
+// dropCandidatesWithEdge removes every candidate containing both u and v.
+func (e *Engine) dropCandidatesWithEdge(u, v int32) {
+	mu, mv := e.candsByNode[u], e.candsByNode[v]
+	if mu == nil || mv == nil {
+		return
+	}
+	if len(mu) > len(mv) {
+		mu, mv = mv, mu
+	}
+	var hit []int32
+	for id := range mu {
+		if mv[id] {
+			hit = append(hit, id)
+		}
+	}
+	for _, id := range hit {
+		e.dropCandidate(id)
+	}
+}
+
+// candidateIDsOfOwner returns the ids of candidates owned by the clique,
+// sorted for determinism.
+func (e *Engine) candidateIDsOfOwner(owner int32) []int32 {
+	m := e.candsByOwn[owner]
+	out := make([]int32, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,337 @@
+package dynamic
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// forEachCliqueAmong enumerates every k-clique of the current graph whose
+// members all lie in B (need not be sorted; duplicates allowed). fn may
+// return false to stop. The callback slice is reused.
+func (e *Engine) forEachCliqueAmong(B []int32, fn func(c []int32) bool) {
+	nodes := append([]int32(nil), B...)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	w := 0
+	for i, x := range nodes {
+		if i == 0 || x != nodes[w-1] {
+			nodes[w] = x
+			w++
+		}
+	}
+	nodes = nodes[:w]
+	if len(nodes) < e.k {
+		return
+	}
+	stack := make([]int32, 0, e.k)
+	levels := make([][]int32, e.k+1)
+	var rec func(cand []int32) bool
+	rec = func(cand []int32) bool {
+		l := e.k - len(stack)
+		if l == 0 {
+			return fn(stack)
+		}
+		for i, v := range cand {
+			if len(cand)-i < l {
+				break // not enough nodes left
+			}
+			// Next candidates: nodes after v adjacent to v (they are
+			// already adjacent to the whole stack).
+			next := levels[l][:0]
+			for _, w := range cand[i+1:] {
+				if e.g.HasEdge(v, w) {
+					next = append(next, w)
+				}
+			}
+			levels[l] = next
+			if len(next) < l-1 {
+				continue
+			}
+			stack = append(stack, v)
+			ok := rec(next)
+			stack = stack[:len(stack)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	for i := range levels {
+		levels[i] = make([]int32, 0, len(nodes))
+	}
+	rec(nodes)
+}
+
+// forEachCliqueWithEdge enumerates every k-clique of the current graph that
+// contains the edge (u, v), restricted to extra members for which allowed
+// returns true. allowed may be nil (no restriction). fn may return false to
+// stop; the callback slice is reused and holds u, v first.
+func (e *Engine) forEachCliqueWithEdge(u, v int32, allowed func(w int32) bool, fn func(c []int32) bool) {
+	if !e.g.HasEdge(u, v) {
+		return
+	}
+	if e.k == 2 {
+		fn([]int32{u, v})
+		return
+	}
+	// Common neighbourhood of u and v, filtered.
+	var cand []int32
+	e.g.ForEachNeighbor(u, func(w int32) {
+		if w != v && e.g.HasEdge(v, w) && (allowed == nil || allowed(w)) {
+			cand = append(cand, w)
+		}
+	})
+	if len(cand) < e.k-2 {
+		return
+	}
+	sort.Slice(cand, func(i, j int) bool { return cand[i] < cand[j] })
+	stack := make([]int32, 0, e.k)
+	stack = append(stack, u, v)
+	levels := make([][]int32, e.k+1)
+	for i := range levels {
+		levels[i] = make([]int32, 0, len(cand))
+	}
+	var rec func(cand []int32) bool
+	rec = func(cand []int32) bool {
+		l := e.k - len(stack)
+		if l == 0 {
+			return fn(stack)
+		}
+		for i, x := range cand {
+			if len(cand)-i < l {
+				break
+			}
+			next := levels[l][:0]
+			for _, w := range cand[i+1:] {
+				if e.g.HasEdge(x, w) {
+					next = append(next, w)
+				}
+			}
+			levels[l] = next
+			if len(next) < l-1 {
+				continue
+			}
+			stack = append(stack, x)
+			ok := rec(next)
+			stack = stack[:len(stack)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	rec(cand)
+}
+
+// freeNeighborhood returns B = C ∪ N_F(C): the clique members plus their
+// free neighbours (Algorithm 5 line 2).
+func (e *Engine) freeNeighborhood(members []int32) []int32 {
+	B := append([]int32(nil), members...)
+	for _, u := range members {
+		e.g.ForEachNeighbor(u, func(w int32) {
+			if e.nodeClique[w] == free {
+				B = append(B, w)
+			}
+		})
+	}
+	return B
+}
+
+// candidatesOf enumerates (read-only) the candidate cliques Algorithm 5
+// would assign to the given S-clique under the current graph and free
+// status: sorted member lists of k-cliques on B = C ∪ N_F(C), excluding C
+// and any all-free clique.
+func (e *Engine) candidatesOf(id int32) [][]int32 {
+	members := e.cliques[id]
+	var out [][]int32
+	e.forEachCliqueAmong(e.freeNeighborhood(members), func(c []int32) bool {
+		cc := append([]int32(nil), c...)
+		sort.Slice(cc, func(i, j int) bool { return cc[i] < cc[j] })
+		nonFree := 0
+		for _, u := range cc {
+			if e.nodeClique[u] != free {
+				nonFree++
+			}
+		}
+		if nonFree > 0 && nonFree < e.k {
+			out = append(out, cc)
+		}
+		return true
+	})
+	return out
+}
+
+// buildIndex constructs the whole candidate index from the current S —
+// Algorithm 5, with the per-clique enumeration running root-parallel
+// exactly as its line 1 prescribes. S must already be maximal. Candidate
+// insertion happens serially in ascending clique-id order, so ids and
+// stats are deterministic.
+func (e *Engine) buildIndex() {
+	ids := make([]int32, 0, len(e.cliques))
+	for id := range e.cliques {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	results := make([][][]int32, len(ids))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	if workers <= 1 {
+		for i, id := range ids {
+			results[i] = e.candidatesOf(id)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1) - 1)
+					if i >= len(ids) {
+						return
+					}
+					results[i] = e.candidatesOf(ids[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, id := range ids {
+		for _, c := range results[i] {
+			e.addCandidate(c, id)
+		}
+	}
+}
+
+// rebuildCandidates recomputes the candidate set owned by the given
+// S-clique from scratch (the per-clique body of Algorithm 5): enumerate the
+// k-cliques on B = C ∪ N_F(C), skip C itself, and index the rest. It
+// reports whether any candidate is new relative to the previous index
+// state. Any all-free clique encountered indicates a maximality breach and
+// is repaired by direct insertion into S.
+func (e *Engine) rebuildCandidates(id int32) bool {
+	members, ok := e.cliques[id]
+	if !ok {
+		return false
+	}
+	old := make(map[string]bool, len(e.candsByOwn[id]))
+	for cid := range e.candsByOwn[id] {
+		old[key(e.cands[cid].nodes)] = true
+	}
+	e.dropCandidatesOfOwner(id)
+	gained := false
+	var repair [][]int32
+	B := e.freeNeighborhood(members)
+	buf := make([]int32, e.k)
+	e.forEachCliqueAmong(B, func(c []int32) bool {
+		copy(buf, c)
+		sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+		nonFree := 0
+		for _, u := range buf {
+			if e.nodeClique[u] != free {
+				nonFree++
+			}
+		}
+		switch {
+		case nonFree == e.k:
+			// Only C itself consists purely of non-free nodes inside B.
+			return true
+		case nonFree == 0:
+			// All-free clique: S was not maximal. Repair after the scan.
+			repair = append(repair, append([]int32(nil), buf...))
+			return true
+		default:
+			if e.addCandidate(buf, id) && !old[key(buf)] {
+				gained = true
+			}
+			return true
+		}
+	})
+	for _, c := range repair {
+		// Members may have been consumed by an earlier repair.
+		allFree := true
+		for _, u := range c {
+			if e.nodeClique[u] != free {
+				allFree = false
+				break
+			}
+		}
+		if allFree && e.g.IsClique(c) {
+			e.addCliqueToS(c)
+			// B changed; recompute this owner's candidates once more.
+			return e.rebuildCandidates(id) || gained
+		}
+	}
+	return gained
+}
+
+// installClique records a new S-clique over currently free nodes without
+// touching the candidate index. Callers installing several cliques at once
+// must install all of them before indexing any (indexClique), so that
+// candidate rebuilds never observe a half-applied S.
+func (e *Engine) installClique(members []int32) int32 {
+	cc := append([]int32(nil), members...)
+	sort.Slice(cc, func(i, j int) bool { return cc[i] < cc[j] })
+	id := e.nextClique
+	e.nextClique++
+	for _, u := range cc {
+		e.nodeClique[u] = id
+	}
+	e.cliques[id] = cc
+	return id
+}
+
+// indexClique brings the candidate index up to date with a freshly
+// installed S-clique: candidates containing any of its nodes now span two
+// cliques (their old owner and this one) and are dropped, then the new
+// clique's own candidate set is built.
+func (e *Engine) indexClique(id int32) {
+	for _, u := range e.cliques[id] {
+		e.dropCandidatesWithNode(u)
+	}
+	e.rebuildCandidates(id)
+}
+
+// addCliqueToS installs and indexes a single new S-clique. Members must
+// form a clique of free nodes.
+func (e *Engine) addCliqueToS(members []int32) int32 {
+	id := e.installClique(members)
+	e.indexClique(id)
+	return id
+}
+
+// removeCliqueFromS dissolves an S-clique: frees its nodes and drops its
+// owned candidates. Neighbouring cliques' candidate sets are NOT refreshed
+// here; callers must rebuild owners adjacent to the freed nodes.
+func (e *Engine) removeCliqueFromS(id int32) []int32 {
+	members := e.cliques[id]
+	delete(e.cliques, id)
+	for _, u := range members {
+		e.nodeClique[u] = free
+	}
+	e.dropCandidatesOfOwner(id)
+	return members
+}
+
+// ownersAdjacentTo returns the ids of S-cliques with a member adjacent to
+// any of the given nodes (excluding the nodes' own cliques), sorted.
+func (e *Engine) ownersAdjacentTo(nodes []int32) []int32 {
+	seen := map[int32]bool{}
+	for _, u := range nodes {
+		e.g.ForEachNeighbor(u, func(w int32) {
+			if id := e.nodeClique[w]; id != free {
+				seen[id] = true
+			}
+		})
+	}
+	out := make([]int32, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

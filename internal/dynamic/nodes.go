@@ -1,0 +1,37 @@
+package dynamic
+
+// Node updates. The paper (§V) treats node changes as batches of edge
+// updates on the incident edges; these helpers package that pattern with
+// stable node ids.
+
+// AddNode appends a fresh isolated (and therefore free) node to the graph
+// and returns its id. Connect it with InsertEdge calls.
+func (e *Engine) AddNode() int32 {
+	id := e.g.AddNode()
+	e.nodeClique = append(e.nodeClique, free)
+	e.candsByNode = append(e.candsByNode, nil)
+	return id
+}
+
+// RemoveNode deletes every edge incident to u (Algorithm 7 per edge), so u
+// ends isolated and free; the id remains valid. It returns the number of
+// edges removed.
+func (e *Engine) RemoveNode(u int32) int {
+	removed := 0
+	// Delete through the engine so S and the candidate index stay
+	// consistent after every single removal.
+	for {
+		var pick int32 = -1
+		e.g.ForEachNeighbor(u, func(w int32) {
+			if pick < 0 || w < pick {
+				pick = w
+			}
+		})
+		if pick < 0 {
+			break
+		}
+		e.DeleteEdge(u, pick)
+		removed++
+	}
+	return removed
+}

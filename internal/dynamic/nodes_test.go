@@ -1,0 +1,131 @@
+package dynamic
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func emptyGraph(n int) *graph.Graph { return graph.NewBuilder(n).MustBuild() }
+
+func TestAddNodeAndConnect(t *testing.T) {
+	// Start with two isolated nodes, add a third and wire up a triangle:
+	// it must enter S directly.
+	g := emptyGraph(2)
+	e, err := New(g, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := e.AddNode()
+	if id != 2 {
+		t.Fatalf("new node id = %d, want 2", id)
+	}
+	if !e.IsFree(id) {
+		t.Fatal("fresh node must be free")
+	}
+	e.InsertEdge(0, 1)
+	e.InsertEdge(0, id)
+	e.InsertEdge(1, id)
+	if e.Size() != 1 {
+		t.Fatalf("size = %d, want 1", e.Size())
+	}
+	if err := e.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveNodeDissolvesItsClique(t *testing.T) {
+	// Two triangles sharing nothing; removing a member of the first
+	// dissolves only that clique.
+	g := emptyGraph(6)
+	e, err := New(g, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ed := range [][2]int32{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}} {
+		e.InsertEdge(ed[0], ed[1])
+	}
+	if e.Size() != 2 {
+		t.Fatalf("size = %d, want 2", e.Size())
+	}
+	removed := e.RemoveNode(0)
+	if removed != 2 {
+		t.Fatalf("removed %d edges, want 2", removed)
+	}
+	if e.Size() != 1 {
+		t.Fatalf("size after removal = %d, want 1", e.Size())
+	}
+	if e.Graph().Degree(0) != 0 {
+		t.Fatal("node 0 should be isolated")
+	}
+	if !e.IsFree(0) || !e.IsFree(1) || !e.IsFree(2) {
+		t.Fatal("first triangle's nodes should be free")
+	}
+	if err := e.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveNodeTriggersRepack(t *testing.T) {
+	// Triangle (0,1,2) in S with node 3 adjacent to 1 and 2: removing node
+	// 0 lets the candidate (1,2,3) take over.
+	g := emptyGraph(4)
+	e, err := New(g, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ed := range [][2]int32{{0, 1}, {1, 2}, {0, 2}, {1, 3}, {2, 3}} {
+		e.InsertEdge(ed[0], ed[1])
+	}
+	if e.Size() != 1 {
+		t.Fatalf("size = %d, want 1", e.Size())
+	}
+	e.RemoveNode(0)
+	if e.Size() != 1 {
+		t.Fatalf("size after removal = %d, want 1 (repacked)", e.Size())
+	}
+	got := e.Result()[0]
+	want := []int32{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("repacked clique %v, want %v", got, want)
+		}
+	}
+	if err := e.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeChurnStream(t *testing.T) {
+	// Random interleaving of node additions, removals and edge updates
+	// with full invariant verification after each operation.
+	g := randomGraph(12, 0.3, 55)
+	e, err := New(g, 3, lpResult(t, g, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(56))
+	for op := 0; op < 150; op++ {
+		n := int32(e.Graph().N())
+		switch r := rng.Float64(); {
+		case r < 0.1:
+			e.AddNode()
+		case r < 0.2:
+			e.RemoveNode(int32(rng.Intn(int(n))))
+		case r < 0.65:
+			u, v := int32(rng.Intn(int(n))), int32(rng.Intn(int(n)))
+			if u != v {
+				e.InsertEdge(u, v)
+			}
+		default:
+			u, v := int32(rng.Intn(int(n))), int32(rng.Intn(int(n)))
+			if u != v {
+				e.DeleteEdge(u, v)
+			}
+		}
+		if err := e.Verify(); err != nil {
+			t.Fatalf("op %d: %v", op, err)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package dynamic
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+)
+
+// persistMagic identifies the snapshot format; the trailing digit is the
+// version.
+var persistMagic = [8]byte{'D', 'K', 'C', 'Q', 'S', 'N', 'P', '1'}
+
+// Save writes a binary snapshot of the engine: the current graph topology
+// and the result set S. The candidate index is not serialised — it is a
+// pure function of (graph, S) and Load rebuilds it (Algorithm 5), which is
+// both simpler and usually faster than reading it back. Stats counters are
+// not persisted.
+func (e *Engine) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(persistMagic[:]); err != nil {
+		return err
+	}
+	g := e.g
+	hdr := []int64{int64(e.k), int64(g.N()), int64(g.M()), int64(len(e.cliques))}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	// Edges, u < v, ascending by (u, v) for determinism.
+	var werr error
+	for u := int32(0); int(u) < g.N() && werr == nil; u++ {
+		for _, v := range g.NeighborsSorted(u) {
+			if v <= u {
+				continue
+			}
+			if werr = binary.Write(bw, binary.LittleEndian, [2]int32{u, v}); werr != nil {
+				break
+			}
+		}
+	}
+	if werr != nil {
+		return werr
+	}
+	// S in Result order (ascending clique id), members sorted.
+	for _, c := range e.Result() {
+		if err := binary.Write(bw, binary.LittleEndian, c); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load restores an engine from a Save snapshot: it rebuilds the graph,
+// reinstalls S, and reconstructs the candidate index with Algorithm 5.
+func Load(r io.Reader) (*Engine, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("dynamic: snapshot header: %w", err)
+	}
+	if magic != persistMagic {
+		return nil, fmt.Errorf("dynamic: not a dkclique snapshot (magic %q)", magic)
+	}
+	var k, n, m, nc int64
+	for _, p := range []*int64{&k, &n, &m, &nc} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("dynamic: snapshot header: %w", err)
+		}
+	}
+	if k < 3 || n < 0 || m < 0 || nc < 0 || nc*k > n {
+		return nil, fmt.Errorf("dynamic: corrupt snapshot header (k=%d n=%d m=%d |S|=%d)", k, n, m, nc)
+	}
+	b := graph.NewBuilder(int(n))
+	for i := int64(0); i < m; i++ {
+		var e [2]int32
+		if err := binary.Read(br, binary.LittleEndian, &e); err != nil {
+			return nil, fmt.Errorf("dynamic: snapshot edge %d: %w", i, err)
+		}
+		b.AddEdge(e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("dynamic: snapshot graph: %w", err)
+	}
+	if g.M() != int(m) {
+		return nil, fmt.Errorf("dynamic: snapshot has duplicate or invalid edges")
+	}
+	initial := make([][]int32, nc)
+	for i := range initial {
+		c := make([]int32, k)
+		if err := binary.Read(br, binary.LittleEndian, &c); err != nil {
+			return nil, fmt.Errorf("dynamic: snapshot clique %d: %w", i, err)
+		}
+		initial[i] = c
+	}
+	return New(g, int(k), initial)
+}

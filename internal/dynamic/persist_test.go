@@ -1,0 +1,117 @@
+package dynamic
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := randomGraph(40, 0.25, 600)
+	e, err := New(g, 3, lpResult(t, g, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate a little so the snapshot differs from the pristine build.
+	rng := rand.New(rand.NewSource(601))
+	for i := 0; i < 60; i++ {
+		u, v := int32(rng.Intn(40)), int32(rng.Intn(40))
+		if u == v {
+			continue
+		}
+		if rng.Float64() < 0.5 {
+			e.InsertEdge(u, v)
+		} else {
+			e.DeleteEdge(u, v)
+		}
+	}
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same topology, same S, same candidate index (it is a function of
+	// graph + S), and a healthy engine.
+	if e2.Graph().M() != e.Graph().M() || e2.Graph().N() != e.Graph().N() {
+		t.Fatal("graph mismatch after load")
+	}
+	r1, r2 := e.Result(), e2.Result()
+	if len(r1) != len(r2) {
+		t.Fatalf("|S| mismatch: %d vs %d", len(r1), len(r2))
+	}
+	s1 := map[string]bool{}
+	for _, c := range r1 {
+		s1[key(c)] = true
+	}
+	for _, c := range r2 {
+		if !s1[key(c)] {
+			t.Fatal("S content mismatch after load")
+		}
+	}
+	if e2.NumCandidates() != e.NumCandidates() {
+		t.Fatalf("candidate index mismatch: %d vs %d", e2.NumCandidates(), e.NumCandidates())
+	}
+	if err := e2.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// The restored engine keeps working.
+	e2.DeleteEdge(0, 1)
+	e2.InsertEdge(0, 1)
+	if err := e2.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"short",
+		"NOTMAGIC________________",
+		string(persistMagic[:]) + "truncated-header",
+	}
+	for _, in := range cases {
+		if _, err := Load(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestLoadRejectsCorruptHeader(t *testing.T) {
+	g := randomGraph(10, 0.3, 602)
+	e, err := New(g, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Corrupt k to 1 (offset 8: first int64 after magic).
+	raw[8] = 1
+	if _, err := Load(bytes.NewReader(raw)); err == nil {
+		t.Fatal("corrupt k accepted")
+	}
+}
+
+func TestSaveDeterministic(t *testing.T) {
+	g := randomGraph(25, 0.3, 603)
+	e, err := New(g, 3, lpResult(t, g, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := e.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("Save is not deterministic")
+	}
+}

@@ -1,0 +1,132 @@
+package dynamic
+
+import "sort"
+
+// greedyDisjoint selects a maximal disjoint subset of the given cliques in
+// ascending clique-score order — Algorithm 2 applied to a candidate set
+// (Algorithm 4 line 4). Node scores are computed locally over the set
+// (the number of given cliques containing each node), which preserves the
+// minimum-conflict-first heuristic without a global recount. The returned
+// cliques are fresh copies.
+func greedyDisjoint(cliques [][]int32) [][]int32 {
+	if len(cliques) == 0 {
+		return nil
+	}
+	local := map[int32]int64{}
+	for _, c := range cliques {
+		for _, u := range c {
+			local[u]++
+		}
+	}
+	type entry struct {
+		idx   int
+		score int64
+	}
+	entries := make([]entry, len(cliques))
+	for i, c := range cliques {
+		var s int64
+		for _, u := range c {
+			s += local[u]
+		}
+		entries[i] = entry{idx: i, score: s}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].score != entries[j].score {
+			return entries[i].score < entries[j].score
+		}
+		return entries[i].idx < entries[j].idx
+	})
+	used := map[int32]bool{}
+	var out [][]int32
+	for _, en := range entries {
+		c := cliques[en.idx]
+		ok := true
+		for _, u := range c {
+			if used[u] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, u := range c {
+			used[u] = true
+		}
+		out = append(out, append([]int32(nil), c...))
+	}
+	return out
+}
+
+// trySwap is Algorithm 4: pop cliques from the FIFO queue; for each, find a
+// disjoint set S_dis among its candidates; when |S_dis| > 1 exchange the
+// clique for S_dis (a strict gain), refresh the candidate sets the freed
+// and consumed nodes affect, and enqueue any clique whose candidate set
+// gained new members.
+func (e *Engine) trySwap(q []int32) {
+	if e.noSwaps {
+		return
+	}
+	for len(q) > 0 {
+		cid := q[0]
+		q = q[1:]
+		if _, ok := e.cliques[cid]; !ok {
+			continue // removed by an earlier swap
+		}
+		ids := e.candidateIDsOfOwner(cid)
+		if len(ids) < 2 {
+			continue // |S_dis| > 1 is impossible
+		}
+		lists := make([][]int32, len(ids))
+		for i, id := range ids {
+			lists[i] = e.cands[id].nodes
+		}
+		sdis := greedyDisjoint(lists)
+		if len(sdis) <= 1 {
+			continue
+		}
+		q = append(q, e.executeSwap(cid, sdis)...)
+		e.stats.Swaps++
+	}
+}
+
+// executeSwap removes the clique and installs the replacement set, then
+// refreshes affected candidate owners. It returns the clique ids to enqueue
+// for further swapping.
+func (e *Engine) executeSwap(cid int32, sdis [][]int32) []int32 {
+	members := e.removeCliqueFromS(cid)
+	// Install every replacement before indexing any: a candidate rebuild
+	// that runs against a half-applied S could "repair" an all-free clique
+	// that overlaps a replacement not yet installed.
+	newIDs := make([]int32, 0, len(sdis))
+	consumed := map[int32]bool{}
+	for _, c := range sdis {
+		newIDs = append(newIDs, e.installClique(c))
+		for _, u := range c {
+			consumed[u] = true
+		}
+	}
+	for _, id := range newIDs {
+		e.indexClique(id)
+	}
+	// Members of the removed clique that no replacement consumed are free
+	// now; owners adjacent to them may gain candidates.
+	var freed []int32
+	for _, u := range members {
+		if !consumed[u] {
+			freed = append(freed, u)
+		}
+	}
+	var push []int32
+	for _, owner := range e.ownersAdjacentTo(freed) {
+		if e.rebuildCandidates(owner) && len(e.candsByOwn[owner]) >= 2 {
+			push = append(push, owner)
+		}
+	}
+	for _, id := range newIDs {
+		if len(e.candsByOwn[id]) >= 2 {
+			push = append(push, id)
+		}
+	}
+	return push
+}

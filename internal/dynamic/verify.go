@@ -1,0 +1,173 @@
+package dynamic
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Verify checks every engine invariant against the current graph. It is
+// O(candidates + cliques + free-clique enumeration) and meant for tests;
+// it returns the first violation found.
+func (e *Engine) Verify() error {
+	// 1. S is a disjoint k-clique set and nodeClique is its exact inverse.
+	counted := 0
+	for id, members := range e.cliques {
+		if len(members) != e.k {
+			return fmt.Errorf("clique %d has %d members, want %d", id, len(members), e.k)
+		}
+		if !e.g.IsClique(members) {
+			return fmt.Errorf("clique %d (%v) is not a clique in the graph", id, members)
+		}
+		for _, u := range members {
+			if e.nodeClique[u] != id {
+				return fmt.Errorf("node %d in clique %d but nodeClique says %d", u, id, e.nodeClique[u])
+			}
+			counted++
+		}
+	}
+	mapped := 0
+	for u, id := range e.nodeClique {
+		if id == free {
+			continue
+		}
+		mapped++
+		members, ok := e.cliques[id]
+		if !ok {
+			return fmt.Errorf("node %d mapped to missing clique %d", u, id)
+		}
+		found := false
+		for _, w := range members {
+			if w == int32(u) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("node %d mapped to clique %d that does not list it", u, id)
+		}
+	}
+	if counted != mapped {
+		return fmt.Errorf("clique membership count %d != mapped nodes %d", counted, mapped)
+	}
+
+	// 2. Maximality: no k-clique among free nodes.
+	var freeNodes []int32
+	for u, id := range e.nodeClique {
+		if id == free {
+			freeNodes = append(freeNodes, int32(u))
+		}
+	}
+	violated := false
+	var witness []int32
+	e.forEachCliqueAmong(freeNodes, func(c []int32) bool {
+		violated = true
+		witness = append([]int32(nil), c...)
+		return false
+	})
+	if violated {
+		return fmt.Errorf("S not maximal: all-free clique %v exists", witness)
+	}
+
+	// 3. Every indexed candidate is a genuine candidate clique.
+	for id, c := range e.cands {
+		if len(c.nodes) != e.k {
+			return fmt.Errorf("candidate %d has %d nodes", id, len(c.nodes))
+		}
+		if !e.g.IsClique(c.nodes) {
+			return fmt.Errorf("candidate %d (%v) is not a clique", id, c.nodes)
+		}
+		if _, ok := e.cliques[c.owner]; !ok {
+			return fmt.Errorf("candidate %d owned by missing clique %d", id, c.owner)
+		}
+		nFree := 0
+		for _, u := range c.nodes {
+			switch e.nodeClique[u] {
+			case free:
+				nFree++
+			case c.owner:
+			default:
+				return fmt.Errorf("candidate %d node %d belongs to clique %d, not owner %d",
+					id, u, e.nodeClique[u], c.owner)
+			}
+		}
+		if nFree == 0 || nFree == e.k {
+			return fmt.Errorf("candidate %d has %d free nodes of %d", id, nFree, e.k)
+		}
+		// Index cross-references.
+		if e.candKey[key(c.nodes)] != id {
+			return fmt.Errorf("candidate %d missing from key map", id)
+		}
+		if !e.candsByOwn[c.owner][id] {
+			return fmt.Errorf("candidate %d missing from owner index", id)
+		}
+		for _, u := range c.nodes {
+			if !e.candsByNode[u][id] {
+				return fmt.Errorf("candidate %d missing from node index of %d", id, u)
+			}
+		}
+	}
+	// Reverse direction: no dangling index entries.
+	for owner, set := range e.candsByOwn {
+		for id := range set {
+			if c, ok := e.cands[id]; !ok || c.owner != owner {
+				return fmt.Errorf("owner index of %d holds stale candidate %d", owner, id)
+			}
+		}
+	}
+	for u, set := range e.candsByNode {
+		for id := range set {
+			c, ok := e.cands[id]
+			if !ok {
+				return fmt.Errorf("node index of %d holds stale candidate %d", u, id)
+			}
+			found := false
+			for _, w := range c.nodes {
+				if w == int32(u) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("node index of %d holds candidate %d that lacks the node", u, id)
+			}
+		}
+	}
+	if len(e.candKey) != len(e.cands) {
+		return fmt.Errorf("key map size %d != candidate count %d", len(e.candKey), len(e.cands))
+	}
+
+	// 4. Completeness: the index holds exactly the candidates Algorithm 5
+	// would build from scratch.
+	want := map[string]int32{}
+	for id, members := range e.cliques {
+		B := e.freeNeighborhood(members)
+		e.forEachCliqueAmong(B, func(c []int32) bool {
+			cc := append([]int32(nil), c...)
+			sort.Slice(cc, func(i, j int) bool { return cc[i] < cc[j] })
+			nFree := 0
+			for _, u := range cc {
+				if e.nodeClique[u] == free {
+					nFree++
+				}
+			}
+			if nFree > 0 && nFree < e.k {
+				// Non-free members necessarily lie in this clique.
+				want[key(cc)] = id
+			}
+			return true
+		})
+	}
+	if len(want) != len(e.cands) {
+		return fmt.Errorf("index has %d candidates, from-scratch build has %d", len(e.cands), len(want))
+	}
+	for _, c := range e.cands {
+		owner, ok := want[key(c.nodes)]
+		if !ok {
+			return fmt.Errorf("indexed candidate %v not produced by from-scratch build", c.nodes)
+		}
+		if owner != c.owner {
+			return fmt.Errorf("candidate %v owner %d, from-scratch says %d", c.nodes, c.owner, owner)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyConfig keeps every runner under a second.
+func tinyConfig(out *strings.Builder) Config {
+	return Config{
+		Ks:               []int{3, 4},
+		Datasets:         []string{"FTB"},
+		SmallDatasets:    []string{"Swallow", "Tortoise"},
+		Budget:           10 * time.Second,
+		OPTBudget:        2 * time.Second,
+		MaxStoredCliques: 500_000,
+		UpdateCount:      100,
+		WSNodes:          2000,
+		WSDegrees:        []int{8},
+		Out:              out,
+	}
+}
+
+func TestAllRunnersProduceTables(t *testing.T) {
+	runners := []struct {
+		name string
+		run  func(Config) error
+		want []string
+	}{
+		{"Table1", Table1, []string{"Table I", "FTB", "k=3"}},
+		{"Fig6", Fig6, []string{"Figure 6", "HG", "LP", "OPT"}},
+		{"Table2", Table2, []string{"Table II", "GC(Δ)", "LP(Δ)"}},
+		{"Table3", Table3, []string{"Table III", "OPT", "LP"}},
+		{"Table4", Table4, []string{"Table IV", "Swallow", "ER"}},
+		{"Table5", Table5, []string{"Table V", "Degree"}},
+		{"Table6", Table6, []string{"Table VI", "Degree"}},
+		{"Table7", Table7, []string{"Table VII", "FTB"}},
+		{"Fig7", Fig7, []string{"Figure 7", "Deletion", "Insertion", "Mixed"}},
+		{"Table8", Table8, []string{"Table VIII", "AfterDel"}},
+		{"AblationPruning", AblationPruning, []string{"pruning", "speedup"}},
+		{"AblationOrdering", AblationOrdering, []string{"ordering", "deg-asc"}},
+		{"AblationParallel", AblationParallel, []string{"parallel", "serial"}},
+		{"AblationLeafCount", AblationLeafCount, []string{"leaf", "naive"}},
+		{"AblationBitset", AblationBitset, []string{"bitset", "merge"}},
+		{"AblationSwap", AblationSwap, []string{"TrySwap", "swaps-on"}},
+	}
+	for _, r := range runners {
+		t.Run(r.name, func(t *testing.T) {
+			var out strings.Builder
+			cfg := tinyConfig(&out)
+			if err := r.run(cfg); err != nil {
+				t.Fatalf("%s: %v", r.name, err)
+			}
+			text := out.String()
+			for _, frag := range r.want {
+				if !strings.Contains(text, frag) {
+					t.Errorf("%s output missing %q:\n%s", r.name, frag, text)
+				}
+			}
+			// No runner may leave an ERR cell on the tiny config.
+			if strings.Contains(text, "ERR") {
+				t.Errorf("%s output contains ERR cells:\n%s", r.name, text)
+			}
+		})
+	}
+}
+
+func TestVerifyShapes(t *testing.T) {
+	var out strings.Builder
+	cfg := tinyConfig(&out)
+	cfg.Datasets = []string{"FTB", "HST"}
+	rep, err := VerifyShapes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Checks) < 7 {
+		t.Fatalf("only %d checks ran", len(rep.Checks))
+	}
+	for _, c := range rep.Failed() {
+		t.Errorf("shape check failed: %s — %s", c.Name, c.Detail)
+	}
+	if err := PrintShapes(cfg); err != nil {
+		t.Fatalf("PrintShapes: %v", err)
+	}
+	if !strings.Contains(out.String(), "HG fastest") {
+		t.Error("report missing checks")
+	}
+}
+
+func TestQuickAndFullConfigsSane(t *testing.T) {
+	var out strings.Builder
+	q := Quick(&out)
+	f := Full(&out)
+	if len(q.Ks) == 0 || len(q.Datasets) == 0 || q.Budget <= 0 {
+		t.Error("Quick config incomplete")
+	}
+	if len(f.Datasets) != 10 || len(f.SmallDatasets) != 6 {
+		t.Errorf("Full config should cover all datasets, got %d/%d", len(f.Datasets), len(f.SmallDatasets))
+	}
+	if f.UpdateCount != 10000 {
+		t.Error("Full config should use the paper's 10K updates")
+	}
+}

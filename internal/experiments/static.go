@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/gen"
+	"repro/internal/kclique"
+)
+
+// Table1 prints dataset statistics: n, m and the number of k-cliques per k
+// (the paper's Table I).
+func Table1(cfg Config) error {
+	graphs, err := loadAll(cfg.Datasets)
+	if err != nil {
+		return err
+	}
+	tw := newTab(cfg.Out)
+	fmt.Fprintln(cfg.Out, "Table I: dataset statistics (stand-in graphs)")
+	fmt.Fprint(tw, "Name\tn\tm")
+	for _, k := range cfg.Ks {
+		fmt.Fprintf(tw, "\tk=%d", k)
+	}
+	fmt.Fprintln(tw)
+	for _, name := range cfg.Datasets {
+		g := graphs[name]
+		fmt.Fprintf(tw, "%s\t%d\t%d", name, g.N(), g.M())
+		for _, k := range cfg.Ks {
+			total, _ := kclique.ScoreGraph(g, k, cfg.Workers)
+			fmt.Fprintf(tw, "\t%d", total)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// fig6Algorithms is the paper's competitor list in its plotting order.
+var fig6Algorithms = []core.Algorithm{core.HG, core.LP, core.L, core.GC, core.OPT}
+
+// Fig6 prints the average running time of every algorithm per dataset and
+// k (the paper's Figure 6, as a table of milliseconds).
+func Fig6(cfg Config) error {
+	graphs, err := loadAll(cfg.Datasets)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(cfg.Out, "Figure 6: running time (ms) with varying k")
+	tw := newTab(cfg.Out)
+	for _, name := range cfg.Datasets {
+		g := graphs[name]
+		fmt.Fprintf(tw, "[%s]\talg", name)
+		for _, k := range cfg.Ks {
+			fmt.Fprintf(tw, "\tk=%d", k)
+		}
+		fmt.Fprintln(tw)
+		for _, alg := range fig6Algorithms {
+			fmt.Fprintf(tw, "\t%s", alg)
+			for _, k := range cfg.Ks {
+				out := runAlg(g, k, alg, &cfg)
+				fmt.Fprintf(tw, "\t%s", out.cellTime())
+			}
+			fmt.Fprintln(tw)
+		}
+	}
+	return tw.Flush()
+}
+
+// Table2 prints the size of S per algorithm: absolute for OPT and HG,
+// Δ versus HG for GC and LP (the paper's Table II convention).
+func Table2(cfg Config) error {
+	graphs, err := loadAll(cfg.Datasets)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(cfg.Out, "Table II: size of S (Δ columns relative to HG)")
+	tw := newTab(cfg.Out)
+	fmt.Fprint(tw, "Name\tk\tOPT\tHG\tGC(Δ)\tLP(Δ)")
+	fmt.Fprintln(tw)
+	for _, name := range cfg.Datasets {
+		g := graphs[name]
+		for _, k := range cfg.Ks {
+			hg := runAlg(g, k, core.HG, &cfg)
+			gc := runAlg(g, k, core.GC, &cfg)
+			lp := runAlg(g, k, core.LP, &cfg)
+			opt := runAlg(g, k, core.OPT, &cfg)
+			base := 0
+			if hg.status == "" {
+				base = hg.res.Size()
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\n",
+				name, k, opt.cellSize(), hg.cellSize(), gc.cellDelta(base), lp.cellDelta(base))
+		}
+	}
+	return tw.Flush()
+}
+
+// Table3 prints per-algorithm peak live-heap consumption in MB (the
+// paper's Table III).
+func Table3(cfg Config) error {
+	graphs, err := loadAll(cfg.Datasets)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(cfg.Out, "Table III: space consumption (MB, peak live heap)")
+	tw := newTab(cfg.Out)
+	fmt.Fprint(tw, "Name\tk\tOPT\tHG\tGC\tLP")
+	fmt.Fprintln(tw)
+	for _, name := range cfg.Datasets {
+		g := graphs[name]
+		for _, k := range cfg.Ks {
+			opt := runAlg(g, k, core.OPT, &cfg)
+			hg := runAlg(g, k, core.HG, &cfg)
+			gc := runAlg(g, k, core.GC, &cfg)
+			lp := runAlg(g, k, core.LP, &cfg)
+			fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\n",
+				name, k, opt.cellMem(), hg.cellMem(), gc.cellMem(), lp.cellMem())
+		}
+	}
+	return tw.Flush()
+}
+
+// Table4 compares LP against the exact solution on the small datasets and
+// reports the error ratio (the paper's Table IV). The XC column is this
+// repository's second exact method (branch and bound directly over the
+// clique set); where both exact methods finish they must agree, which the
+// runner enforces.
+func Table4(cfg Config) error {
+	fmt.Fprintln(cfg.Out, "Table IV: comparison with exact solution (ER = error ratio, XC = cross-check)")
+	tw := newTab(cfg.Out)
+	fmt.Fprint(tw, "Dataset\tn\tm")
+	for _, k := range cfg.Ks {
+		fmt.Fprintf(tw, "\tk=%d LP\tOPT\tXC\tER", k)
+	}
+	fmt.Fprintln(tw)
+	for _, name := range cfg.SmallDatasets {
+		g, err := dataset.Load(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d", name, g.N(), g.M())
+		for _, k := range cfg.Ks {
+			lp := runAlg(g, k, core.LP, &cfg)
+			opt := runAlg(g, k, core.OPT, &cfg)
+			xcCell := "OOT"
+			xc, xcErr := core.ExactDirect(g, core.Options{K: k, Budget: cfg.OPTBudget, Workers: cfg.Workers})
+			if xcErr == nil {
+				xcCell = fmt.Sprintf("%d", xc.Size())
+				if opt.status == "" && opt.res.Size() != xc.Size() {
+					return fmt.Errorf("table IV: exact methods disagree on %s k=%d: OPT=%d XC=%d",
+						name, k, opt.res.Size(), xc.Size())
+				}
+			}
+			// Use whichever exact method finished for the error ratio.
+			exact := -1
+			switch {
+			case opt.status == "":
+				exact = opt.res.Size()
+			case xcErr == nil:
+				exact = xc.Size()
+			}
+			er := "-"
+			if lp.status == "" && exact >= 0 {
+				if exact > 0 {
+					er = fmt.Sprintf("%.1f%%", 100*float64(exact-lp.res.Size())/float64(exact))
+				} else {
+					er = "0%"
+				}
+			}
+			fmt.Fprintf(tw, "\t%s\t%s\t%s\t%s", lp.cellSize(), opt.cellSize(), xcCell, er)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// Table5 prints running time on the Watts–Strogatz sweep (the paper's
+// Table V) and Table6 the corresponding sizes of S (Table VI). They share
+// one sweep to avoid regenerating graphs.
+func Table5(cfg Config) error { return wsSweep(cfg, true) }
+
+// Table6 prints |S| on the Watts–Strogatz sweep (the paper's Table VI).
+func Table6(cfg Config) error { return wsSweep(cfg, false) }
+
+func wsSweep(cfg Config, times bool) error {
+	if times {
+		fmt.Fprintln(cfg.Out, "Table V: running time on synthetic Watts-Strogatz graphs")
+	} else {
+		fmt.Fprintln(cfg.Out, "Table VI: size of S on synthetic Watts-Strogatz graphs (Δ vs HG)")
+	}
+	tw := newTab(cfg.Out)
+	fmt.Fprint(tw, "Degree\tk\tHG\tGC\tLP")
+	fmt.Fprintln(tw)
+	for _, deg := range cfg.WSDegrees {
+		g := gen.WattsStrogatz(cfg.WSNodes, deg, 0.1, int64(1000+deg))
+		for _, k := range cfg.Ks {
+			hg := runAlg(g, k, core.HG, &cfg)
+			gc := runAlg(g, k, core.GC, &cfg)
+			lp := runAlg(g, k, core.LP, &cfg)
+			if times {
+				fmt.Fprintf(tw, "%d\t%d\t%s\t%s\t%s\n", deg, k, hg.cellTime(), gc.cellTime(), lp.cellTime())
+			} else {
+				base := 0
+				if hg.status == "" {
+					base = hg.res.Size()
+				}
+				fmt.Fprintf(tw, "%d\t%d\t%s\t%s\t%s\n", deg, k, hg.cellSize(), gc.cellDelta(base), lp.cellDelta(base))
+			}
+		}
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,310 @@
+// Package gen provides deterministic synthetic graph generators: the
+// Watts–Strogatz model the paper's §VI-D scalability study uses, plus
+// Erdős–Rényi, Barabási–Albert, a relaxed caveman (community) model and a
+// planted disjoint-clique model. The latter two are the clique-rich
+// stand-ins for the paper's real social networks (see DESIGN.md §4) and the
+// known-optimum instances used by correctness tests.
+//
+// All generators are fully determined by their seed.
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// WattsStrogatz generates the small-world model of [43]: a ring lattice
+// where every node connects to its k nearest neighbours (k even, k >= 2),
+// with each edge rewired to a uniform random target with probability beta.
+// The paper's §VI-D uses this model with n = 1M and average degree 8-64.
+func WattsStrogatz(n, k int, beta float64, seed int64) *graph.Graph {
+	if n <= 0 {
+		return graph.NewBuilder(0).MustBuild()
+	}
+	if k >= n {
+		k = n - 1
+	}
+	if k%2 == 1 {
+		k--
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Edge set as a map for O(1) duplicate checks during rewiring.
+	type edge struct{ u, v int32 }
+	norm := func(u, v int32) edge {
+		if u > v {
+			u, v = v, u
+		}
+		return edge{u, v}
+	}
+	edges := make(map[edge]bool, n*k/2)
+	var order []edge
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k/2; j++ {
+			v := (u + j) % n
+			e := norm(int32(u), int32(v))
+			if !edges[e] {
+				edges[e] = true
+				order = append(order, e)
+			}
+		}
+	}
+	// Rewire each lattice edge's far endpoint with probability beta.
+	for i, e := range order {
+		if rng.Float64() >= beta {
+			continue
+		}
+		u := e.u
+		// Try a handful of random targets; keep the original on failure.
+		for attempt := 0; attempt < 8; attempt++ {
+			w := int32(rng.Intn(n))
+			if w == u || w == e.v {
+				continue
+			}
+			ne := norm(u, w)
+			if edges[ne] {
+				continue
+			}
+			delete(edges, e)
+			edges[ne] = true
+			order[i] = ne
+			break
+		}
+	}
+	b := graph.NewBuilder(n)
+	for e := range edges {
+		b.AddEdge(e.u, e.v)
+	}
+	return b.MustBuild()
+}
+
+// ErdosRenyiGNM generates a uniform random graph with n nodes and exactly
+// m distinct edges (m capped at n*(n-1)/2).
+func ErdosRenyiGNM(n, m int, seed int64) *graph.Graph {
+	if n <= 1 {
+		return graph.NewBuilder(n).MustBuild()
+	}
+	max := n * (n - 1) / 2
+	if m > max {
+		m = max
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type edge struct{ u, v int32 }
+	seen := make(map[edge]bool, m)
+	b := graph.NewBuilder(n)
+	for len(seen) < m {
+		u := int32(rng.Intn(n))
+		v := int32(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		e := edge{u, v}
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		b.AddEdge(u, v)
+	}
+	return b.MustBuild()
+}
+
+// BarabasiAlbert generates a preferential-attachment graph: nodes arrive
+// one at a time and attach m edges to existing nodes with probability
+// proportional to degree. Produces the heavy-tailed degree distribution of
+// real social networks.
+func BarabasiAlbert(n, m int, seed int64) *graph.Graph {
+	if n <= 0 {
+		return graph.NewBuilder(0).MustBuild()
+	}
+	if m < 1 {
+		m = 1
+	}
+	if m >= n {
+		m = n - 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	// repeated holds every edge endpoint once per incidence, so uniform
+	// sampling from it is degree-proportional sampling.
+	repeated := make([]int32, 0, 2*n*m)
+	// Seed with a star on the first m+1 nodes.
+	for v := 1; v <= m && v < n; v++ {
+		b.AddEdge(0, int32(v))
+		repeated = append(repeated, 0, int32(v))
+	}
+	for u := m + 1; u < n; u++ {
+		chosen := map[int32]bool{}
+		// Track insertion order so the repeated list (and with it the rest
+		// of the random stream) stays deterministic for a given seed.
+		picks := make([]int32, 0, m)
+		for len(picks) < m {
+			var t int32
+			if rng.Float64() < 0.1 || len(repeated) == 0 {
+				t = int32(rng.Intn(u)) // uniform mixing keeps it connected-ish
+			} else {
+				t = repeated[rng.Intn(len(repeated))]
+			}
+			if int(t) == u || chosen[t] {
+				continue
+			}
+			chosen[t] = true
+			picks = append(picks, t)
+		}
+		for _, t := range picks {
+			b.AddEdge(int32(u), t)
+			repeated = append(repeated, int32(u), t)
+		}
+	}
+	return b.MustBuild()
+}
+
+// RelaxedCaveman generates nc cliques of size cs connected in a ring, then
+// rewires each edge with probability p to a random node — a standard model
+// of clique-dense community structure. It is the workhorse stand-in for
+// the paper's social-network datasets: k-clique-rich with strong local
+// clustering.
+func RelaxedCaveman(nc, cs int, p float64, seed int64) *graph.Graph {
+	n := nc * cs
+	if n == 0 {
+		return graph.NewBuilder(0).MustBuild()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type edge struct{ u, v int32 }
+	norm := func(u, v int32) edge {
+		if u > v {
+			u, v = v, u
+		}
+		return edge{u, v}
+	}
+	edges := make(map[edge]bool)
+	var order []edge
+	add := func(u, v int32) {
+		e := norm(u, v)
+		if u != v && !edges[e] {
+			edges[e] = true
+			order = append(order, e)
+		}
+	}
+	for c := 0; c < nc; c++ {
+		base := int32(c * cs)
+		for i := 0; i < cs; i++ {
+			for j := i + 1; j < cs; j++ {
+				add(base+int32(i), base+int32(j))
+			}
+		}
+		// Ring link to the next cave.
+		next := int32(((c + 1) % nc) * cs)
+		add(base, next)
+	}
+	for i, e := range order {
+		if rng.Float64() >= p {
+			continue
+		}
+		for attempt := 0; attempt < 8; attempt++ {
+			w := int32(rng.Intn(n))
+			if w == e.u || w == e.v {
+				continue
+			}
+			ne := norm(e.u, w)
+			if edges[ne] {
+				continue
+			}
+			delete(edges, e)
+			edges[ne] = true
+			order[i] = ne
+			break
+		}
+	}
+	b := graph.NewBuilder(n)
+	for e := range edges {
+		b.AddEdge(e.u, e.v)
+	}
+	return b.MustBuild()
+}
+
+// Planted generates c node-disjoint k-cliques plus extra uniform noise
+// edges that never join two planted cliques completely. The maximum
+// disjoint k-clique set has size >= c, and exactly c when noise is 0.
+func Planted(c, k, noise int, seed int64) *graph.Graph {
+	n := c * k
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < c; i++ {
+		base := int32(i * k)
+		for a := 0; a < k; a++ {
+			for bb := a + 1; bb < k; bb++ {
+				b.AddEdge(base+int32(a), base+int32(bb))
+			}
+		}
+	}
+	for e := 0; e < noise; e++ {
+		u := int32(rng.Intn(n))
+		v := int32(rng.Intn(n))
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.MustBuild()
+}
+
+// StochasticBlock generates a stochastic block model graph: nodes split
+// into equal blocks, intra-block edges with probability pIn and
+// inter-block edges with probability pOut. With pIn >> pOut it produces
+// the assortative community structure typical of social networks.
+func StochasticBlock(blocks, blockSize int, pIn, pOut float64, seed int64) *graph.Graph {
+	n := blocks * blockSize
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := pOut
+			if u/blockSize == v/blockSize {
+				p = pIn
+			}
+			if rng.Float64() < p {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// CommunitySocial generates a social-network stand-in used by the dataset
+// registry: a relaxed caveman core (dense overlapping-community structure)
+// overlaid with a Barabási–Albert hub layer for degree skew. nodes is
+// approximate (rounded to community boundaries).
+func CommunitySocial(nodes, community int, rewire float64, hubEdges int, seed int64) *graph.Graph {
+	if community < 3 {
+		community = 3
+	}
+	nc := nodes / community
+	if nc < 1 {
+		nc = 1
+	}
+	base := RelaxedCaveman(nc, community, rewire, seed)
+	n := base.N()
+	rng := rand.New(rand.NewSource(seed + 1))
+	b := graph.NewBuilder(n)
+	base.Edges(func(u, v int32) bool {
+		b.AddEdge(u, v)
+		return true
+	})
+	// Hub layer: preferential endpoints sampled from a repeated list.
+	repeated := make([]int32, 0, 2*hubEdges+2*base.M())
+	base.Edges(func(u, v int32) bool {
+		repeated = append(repeated, u, v)
+		return true
+	})
+	for e := 0; e < hubEdges; e++ {
+		u := repeated[rng.Intn(len(repeated))]
+		v := int32(rng.Intn(n))
+		if u != v {
+			b.AddEdge(u, v)
+			repeated = append(repeated, u, v)
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,198 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/kclique"
+)
+
+func TestWattsStrogatzShape(t *testing.T) {
+	n, k := 500, 8
+	g := WattsStrogatz(n, k, 0.1, 1)
+	if g.N() != n {
+		t.Fatalf("N = %d, want %d", g.N(), n)
+	}
+	// Rewiring preserves edge count (lattice has n*k/2 edges); allow a few
+	// lost to failed rewire attempts.
+	want := n * k / 2
+	if g.M() < want*95/100 || g.M() > want {
+		t.Fatalf("M = %d, want ≈ %d", g.M(), want)
+	}
+	// beta=0 must be the pure ring lattice: every node has degree exactly k.
+	lat := WattsStrogatz(n, k, 0, 2)
+	for u := 0; u < n; u++ {
+		if lat.Degree(int32(u)) != k {
+			t.Fatalf("lattice degree(%d) = %d, want %d", u, lat.Degree(int32(u)), k)
+		}
+	}
+}
+
+func TestWattsStrogatzDeterministic(t *testing.T) {
+	a := WattsStrogatz(200, 6, 0.3, 42)
+	b := WattsStrogatz(200, 6, 0.3, 42)
+	if a.M() != b.M() {
+		t.Fatal("same seed produced different graphs")
+	}
+	a.Edges(func(u, v int32) bool {
+		if !b.HasEdge(u, v) {
+			t.Fatalf("edge (%d,%d) differs across same-seed runs", u, v)
+		}
+		return true
+	})
+	c := WattsStrogatz(200, 6, 0.3, 43)
+	same := true
+	a.Edges(func(u, v int32) bool {
+		if !c.HasEdge(u, v) {
+			same = false
+			return false
+		}
+		return true
+	})
+	if same && a.M() == c.M() {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestWattsStrogatzOddKAndTiny(t *testing.T) {
+	g := WattsStrogatz(10, 5, 0.2, 3) // odd k rounds down to 4
+	for u := 0; u < 10; u++ {
+		if d := g.Degree(int32(u)); d > 9 {
+			t.Fatalf("degree %d impossible", d)
+		}
+	}
+	if WattsStrogatz(0, 4, 0.1, 4).N() != 0 {
+		t.Fatal("n=0 should give empty graph")
+	}
+	small := WattsStrogatz(3, 10, 0, 5) // k >= n clamps
+	if small.N() != 3 {
+		t.Fatal("clamped graph wrong size")
+	}
+}
+
+func TestErdosRenyiGNM(t *testing.T) {
+	g := ErdosRenyiGNM(100, 400, 10)
+	if g.N() != 100 || g.M() != 400 {
+		t.Fatalf("got n=%d m=%d, want 100/400", g.N(), g.M())
+	}
+	// Excess m clamps to the complete graph.
+	k5 := ErdosRenyiGNM(5, 100, 11)
+	if k5.M() != 10 {
+		t.Fatalf("clamped M = %d, want 10", k5.M())
+	}
+	if ErdosRenyiGNM(1, 5, 12).M() != 0 {
+		t.Fatal("single node cannot have edges")
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g := BarabasiAlbert(300, 3, 20)
+	if g.N() != 300 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Roughly m edges per arriving node.
+	if g.M() < 250*3/2 || g.M() > 300*3 {
+		t.Fatalf("M = %d out of plausible range", g.M())
+	}
+	// Degree skew: max degree should far exceed the median.
+	maxD := g.MaxDegree()
+	if maxD < 3*3 {
+		t.Fatalf("max degree %d shows no hubs", maxD)
+	}
+	deterministicCheck(t, BarabasiAlbert(100, 2, 7), BarabasiAlbert(100, 2, 7))
+}
+
+func TestRelaxedCaveman(t *testing.T) {
+	g := RelaxedCaveman(20, 5, 0, 30)
+	if g.N() != 100 {
+		t.Fatalf("N = %d, want 100", g.N())
+	}
+	// With no rewiring each cave is a K5: 5-clique count = 20.
+	total, _ := kclique.ScoreGraph(g, 5, 1)
+	if total != 20 {
+		t.Fatalf("5-clique count = %d, want 20", total)
+	}
+	// Rewired version keeps node count, loses some cave completeness.
+	g2 := RelaxedCaveman(20, 5, 0.3, 31)
+	if g2.N() != 100 {
+		t.Fatal("rewired size wrong")
+	}
+	total2, _ := kclique.ScoreGraph(g2, 5, 1)
+	if total2 >= total+5 {
+		t.Fatalf("rewiring should not create many 5-cliques: %d vs %d", total2, total)
+	}
+}
+
+func TestPlanted(t *testing.T) {
+	g := Planted(7, 4, 0, 40)
+	if g.N() != 28 {
+		t.Fatalf("N = %d, want 28", g.N())
+	}
+	if g.M() != 7*6 {
+		t.Fatalf("M = %d, want 42", g.M())
+	}
+	total, _ := kclique.ScoreGraph(g, 4, 1)
+	if total != 7 {
+		t.Fatalf("4-clique count = %d, want 7", total)
+	}
+	noisy := Planted(7, 4, 30, 41)
+	if noisy.M() <= g.M() {
+		t.Fatal("noise edges missing")
+	}
+}
+
+func TestStochasticBlock(t *testing.T) {
+	g := StochasticBlock(8, 12, 0.8, 0.01, 42)
+	if g.N() != 96 {
+		t.Fatalf("N = %d, want 96", g.N())
+	}
+	// Intra-block density must dwarf inter-block density.
+	intra, inter := 0, 0
+	g.Edges(func(u, v int32) bool {
+		if u/12 == v/12 {
+			intra++
+		} else {
+			inter++
+		}
+		return true
+	})
+	maxIntra := 8 * 12 * 11 / 2
+	if float64(intra)/float64(maxIntra) < 0.6 {
+		t.Fatalf("intra density too low: %d/%d", intra, maxIntra)
+	}
+	if inter > intra {
+		t.Fatalf("inter %d exceeds intra %d with pIn >> pOut", inter, intra)
+	}
+	// Dense blocks must carry k-cliques.
+	tri, _ := kclique.ScoreGraph(g, 4, 1)
+	if tri == 0 {
+		t.Fatal("SBM blocks should contain 4-cliques")
+	}
+	deterministicCheck(t, StochasticBlock(4, 8, 0.7, 0.05, 9), StochasticBlock(4, 8, 0.7, 0.05, 9))
+}
+
+func TestCommunitySocial(t *testing.T) {
+	g := CommunitySocial(1000, 8, 0.3, 2000, 50)
+	if g.N() < 900 || g.N() > 1100 {
+		t.Fatalf("N = %d, want ≈1000", g.N())
+	}
+	// Social stand-ins must be triangle-rich.
+	tri, _ := kclique.ScoreGraph(g, 3, 0)
+	if tri < uint64(g.N()) {
+		t.Fatalf("only %d triangles on %d nodes — not clique-rich", tri, g.N())
+	}
+	deterministicCheck(t, CommunitySocial(500, 6, 0.3, 500, 51), CommunitySocial(500, 6, 0.3, 500, 51))
+}
+
+func deterministicCheck(t *testing.T, a, b *graph.Graph) {
+	t.Helper()
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatal("same seed produced different sizes")
+	}
+	a.Edges(func(u, v int32) bool {
+		if !b.HasEdge(u, v) {
+			t.Fatalf("same-seed graphs differ at (%d,%d)", u, v)
+		}
+		return true
+	})
+}

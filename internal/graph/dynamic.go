@@ -1,0 +1,143 @@
+package graph
+
+import "sort"
+
+// Dynamic is a mutable undirected graph with O(1) expected-time edge
+// insertion, deletion and lookup. It shares the dense int32 node-id space
+// with Graph; the dynamic engine in internal/dynamic builds one from the
+// static graph it starts from.
+type Dynamic struct {
+	adj []map[int32]struct{}
+	m   int
+}
+
+// NewDynamic returns an empty dynamic graph with n nodes.
+func NewDynamic(n int) *Dynamic {
+	return &Dynamic{adj: make([]map[int32]struct{}, n)}
+}
+
+// DynamicFrom copies a static graph into a dynamic one.
+func DynamicFrom(g *Graph) *Dynamic {
+	d := NewDynamic(g.N())
+	for u := int32(0); int(u) < g.N(); u++ {
+		nb := g.Neighbors(u)
+		if len(nb) == 0 {
+			continue
+		}
+		m := make(map[int32]struct{}, len(nb))
+		for _, v := range nb {
+			m[v] = struct{}{}
+		}
+		d.adj[u] = m
+	}
+	d.m = g.M()
+	return d
+}
+
+// N returns the number of nodes.
+func (d *Dynamic) N() int { return len(d.adj) }
+
+// AddNode appends an isolated node and returns its id.
+func (d *Dynamic) AddNode() int32 {
+	d.adj = append(d.adj, nil)
+	return int32(len(d.adj) - 1)
+}
+
+// IsolateNode removes every edge incident to u, leaving the node in place
+// (ids are stable). It returns the removed neighbours.
+func (d *Dynamic) IsolateNode(u int32) []int32 {
+	nb := d.NeighborsSorted(u)
+	for _, v := range nb {
+		d.DeleteEdge(u, v)
+	}
+	return nb
+}
+
+// M returns the current number of undirected edges.
+func (d *Dynamic) M() int { return d.m }
+
+// Degree returns the current degree of u.
+func (d *Dynamic) Degree(u int32) int { return len(d.adj[u]) }
+
+// HasEdge reports whether (u, v) currently exists.
+func (d *Dynamic) HasEdge(u, v int32) bool {
+	if u == v || d.adj[u] == nil {
+		return false
+	}
+	_, ok := d.adj[u][v]
+	return ok
+}
+
+// InsertEdge adds the undirected edge (u, v). It reports whether the edge
+// was new. Self-loops are rejected (returns false).
+func (d *Dynamic) InsertEdge(u, v int32) bool {
+	if u == v || d.HasEdge(u, v) {
+		return false
+	}
+	if d.adj[u] == nil {
+		d.adj[u] = make(map[int32]struct{}, 4)
+	}
+	if d.adj[v] == nil {
+		d.adj[v] = make(map[int32]struct{}, 4)
+	}
+	d.adj[u][v] = struct{}{}
+	d.adj[v][u] = struct{}{}
+	d.m++
+	return true
+}
+
+// DeleteEdge removes the undirected edge (u, v). It reports whether the
+// edge existed.
+func (d *Dynamic) DeleteEdge(u, v int32) bool {
+	if !d.HasEdge(u, v) {
+		return false
+	}
+	delete(d.adj[u], v)
+	delete(d.adj[v], u)
+	d.m--
+	return true
+}
+
+// ForEachNeighbor calls fn for every current neighbour of u. Iteration
+// order is unspecified. The graph must not be mutated during iteration.
+func (d *Dynamic) ForEachNeighbor(u int32, fn func(v int32)) {
+	for v := range d.adj[u] {
+		fn(v)
+	}
+}
+
+// NeighborsSorted returns a freshly allocated sorted neighbour slice of u.
+func (d *Dynamic) NeighborsSorted(u int32) []int32 {
+	out := make([]int32, 0, len(d.adj[u]))
+	for v := range d.adj[u] {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Snapshot converts the current state back to an immutable CSR graph.
+func (d *Dynamic) Snapshot() *Graph {
+	b := NewBuilder(d.N())
+	for u := int32(0); int(u) < d.N(); u++ {
+		for v := range d.adj[u] {
+			if v > u {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// IsClique reports whether every pair of the given nodes is connected in
+// the current graph. Duplicate nodes make it false.
+func (d *Dynamic) IsClique(nodes []int32) bool {
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			if nodes[i] == nodes[j] || !d.HasEdge(nodes[i], nodes[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}

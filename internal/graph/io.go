@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a whitespace-separated edge list. Lines starting with
+// '#' or '%' (KONECT style) are comments; blank lines are skipped; any
+// columns past the first two are ignored (weights, timestamps). Node ids may
+// start at 0 or 1 — ids are compacted to a dense [0, N) range preserving
+// their numeric order. Duplicate edges and self-loops are dropped.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var raw [][2]int64
+	maxID := int64(-1)
+	minID := int64(1) << 62
+	line := 0
+	for sc.Scan() {
+		line++
+		txt := strings.TrimSpace(sc.Text())
+		if txt == "" || txt[0] == '#' || txt[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(txt)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: need at least two columns, got %q", line, txt)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad node id %q: %v", line, fields[0], err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad node id %q: %v", line, fields[1], err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative node id", line)
+		}
+		raw = append(raw, [2]int64{u, v})
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+		if u < minID {
+			minID = u
+		}
+		if v < minID {
+			minID = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read: %v", err)
+	}
+	if len(raw) == 0 {
+		return NewBuilder(0).Build()
+	}
+	// Compact ids. Common cases (0- or 1-based dense) avoid the map.
+	if maxID-minID < int64(4*len(raw))+16 {
+		base := minID
+		b := NewBuilder(int(maxID - base + 1))
+		for _, e := range raw {
+			b.AddEdge(int32(e[0]-base), int32(e[1]-base))
+		}
+		return b.Build()
+	}
+	remap := make(map[int64]int32)
+	next := int32(0)
+	id := func(x int64) int32 {
+		if v, ok := remap[x]; ok {
+			return v
+		}
+		remap[x] = next
+		next++
+		return next - 1
+	}
+	b := NewGrowingBuilder()
+	for _, e := range raw {
+		b.AddEdge(id(e[0]), id(e[1]))
+	}
+	return b.Build()
+}
+
+// WriteEdgeList writes the graph as "u v" lines with u < v, 0-based ids,
+// preceded by a comment header.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# nodes=%d edges=%d\n", g.N(), g.M())
+	var werr error
+	g.Edges(func(u, v int32) bool {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+			werr = err
+			return false
+		}
+		return true
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}

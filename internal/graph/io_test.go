@@ -1,0 +1,93 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeListBasic(t *testing.T) {
+	in := `# comment
+% konect comment
+0 1
+1 2 17.5
+2 0
+
+3 0
+`
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	if g.N() != 4 {
+		t.Errorf("N = %d, want 4", g.N())
+	}
+	if g.M() != 4 {
+		t.Errorf("M = %d, want 4", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) || !g.HasEdge(0, 2) || !g.HasEdge(0, 3) {
+		t.Error("missing edges")
+	}
+}
+
+func TestReadEdgeListOneBased(t *testing.T) {
+	in := "1 2\n2 3\n3 1\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("got n=%d m=%d, want triangle 3/3", g.N(), g.M())
+	}
+}
+
+func TestReadEdgeListSparseIDs(t *testing.T) {
+	// IDs far apart force the remap path.
+	in := "1000000 2000000\n2000000 3000000\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("got n=%d m=%d, want 3/2", g.N(), g.M())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for _, bad := range []string{"0\n", "a b\n", "0 x\n", "-1 2\n"} {
+		if _, err := ReadEdgeList(strings.NewReader(bad)); err == nil {
+			t.Errorf("input %q: expected error", bad)
+		}
+	}
+}
+
+func TestReadEdgeListEmpty(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("# nothing\n"))
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	if g.N() != 0 || g.M() != 0 {
+		t.Fatal("expected empty graph")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := randomGraph(35, 0.2, 21)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatalf("WriteEdgeList: %v", err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	if g2.M() != g.M() {
+		t.Fatalf("round trip M = %d, want %d", g2.M(), g.M())
+	}
+	g.Edges(func(u, v int32) bool {
+		if !g2.HasEdge(u, v) {
+			t.Fatalf("edge (%d,%d) lost", u, v)
+		}
+		return true
+	})
+}

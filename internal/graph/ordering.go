@@ -1,0 +1,193 @@
+package graph
+
+import "sort"
+
+// An Ordering assigns each node a distinct rank η in [0, N). Algorithms in
+// this repository follow the paper's convention (Algorithm 1 line 3): the
+// DAG edge u -> v exists iff η(u) > η(v), so the out-neighbours of u are its
+// neighbours with smaller rank, and each k-clique is enumerated exactly once
+// from its maximum-rank member.
+type Ordering struct {
+	// Rank[u] is η(u).
+	Rank []int32
+	// ByRank[r] is the node with rank r (the inverse permutation).
+	ByRank []int32
+}
+
+// orderBy builds an Ordering from a comparison key: nodes are ranked
+// ascending by (key, tiebreak-degree, id). Distinct ranks are guaranteed.
+func orderBy(g *Graph, key func(u int32) int64) Ordering {
+	n := g.N()
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.SliceStable(perm, func(i, j int) bool {
+		a, b := perm[i], perm[j]
+		ka, kb := key(a), key(b)
+		if ka != kb {
+			return ka < kb
+		}
+		da, db := g.Degree(a), g.Degree(b)
+		if da != db {
+			return da < db
+		}
+		return a < b
+	})
+	rank := make([]int32, n)
+	for r, u := range perm {
+		rank[u] = int32(r)
+	}
+	return Ordering{Rank: rank, ByRank: perm}
+}
+
+// DegreeOrdering ranks nodes ascending by degree: a node with a larger
+// degree has a larger rank (paper §IV-A). Ties broken by id.
+func DegreeOrdering(g *Graph) Ordering {
+	return orderBy(g, func(u int32) int64 { return int64(g.Degree(u)) })
+}
+
+// ScoreOrdering ranks nodes ascending by the given per-node score (the
+// node scores s_n of Algorithm 3 line 3). Ties broken by (degree, id).
+func ScoreOrdering(g *Graph, score []int64) Ordering {
+	return orderBy(g, func(u int32) int64 { return score[u] })
+}
+
+// DegeneracyOrdering computes the standard core (degeneracy) ordering by
+// repeatedly removing a minimum-degree node. The first removed node gets
+// rank 0. It returns the ordering and the graph degeneracy.
+func DegeneracyOrdering(g *Graph) (Ordering, int) {
+	n := g.N()
+	deg := make([]int32, n)
+	maxDeg := 0
+	for u := 0; u < n; u++ {
+		deg[u] = int32(g.Degree(int32(u)))
+		if int(deg[u]) > maxDeg {
+			maxDeg = int(deg[u])
+		}
+	}
+	// Bucket queue over degrees.
+	binStart := make([]int32, maxDeg+2)
+	for u := 0; u < n; u++ {
+		binStart[deg[u]+1]++
+	}
+	for d := 1; d <= maxDeg+1; d++ {
+		binStart[d] += binStart[d-1]
+	}
+	pos := make([]int32, n)  // position of node in vert
+	vert := make([]int32, n) // nodes sorted by current degree
+	fill := append([]int32(nil), binStart[:maxDeg+1]...)
+	for u := 0; u < n; u++ {
+		d := deg[u]
+		pos[u] = fill[d]
+		vert[fill[d]] = int32(u)
+		fill[d]++
+	}
+	rank := make([]int32, n)
+	byRank := make([]int32, n)
+	removed := make([]bool, n)
+	degeneracy := 0
+	for i := 0; i < n; i++ {
+		u := vert[i]
+		if int(deg[u]) > degeneracy {
+			degeneracy = int(deg[u])
+		}
+		rank[u] = int32(i)
+		byRank[i] = u
+		removed[u] = true
+		for _, v := range g.Neighbors(u) {
+			// Only nodes in strictly higher buckets move; nodes with
+			// deg <= deg[u] are at the current peel level already and their
+			// stored degree no longer matters (standard Batagelj–Zaveršnik
+			// guard, which also keeps bucket fronts past position i).
+			if removed[v] || deg[v] <= deg[u] {
+				continue
+			}
+			dv := deg[v]
+			// Swap v with the first node of its bucket, then shrink the
+			// bucket: v lands in bucket dv-1 at the vacated front slot.
+			pw := binStart[dv]
+			w := vert[pw]
+			if w != v {
+				vert[pw], vert[pos[v]] = v, w
+				pos[w] = pos[v]
+				pos[v] = pw
+			}
+			binStart[dv]++
+			deg[v]--
+		}
+	}
+	return Ordering{Rank: rank, ByRank: byRank}, degeneracy
+}
+
+// Reverse returns the ordering with all ranks flipped: the node that was
+// ranked first becomes last. Useful to turn the degeneracy ordering (small
+// rank = peeled early) into the clique-listing orientation where
+// out-neighbourhoods (smaller rank under this package's convention) are
+// bounded by the degeneracy.
+func (o Ordering) Reverse() Ordering {
+	n := int32(len(o.Rank))
+	rev := Ordering{Rank: make([]int32, n), ByRank: make([]int32, n)}
+	for u, r := range o.Rank {
+		rev.Rank[u] = n - 1 - r
+	}
+	for r, u := range o.ByRank {
+		rev.ByRank[n-1-int32(r)] = u
+	}
+	return rev
+}
+
+// ListingOrdering returns the ordering used for k-clique listing: reversed
+// degeneracy order, so each node's out-neighbourhood has size at most the
+// graph degeneracy.
+func ListingOrdering(g *Graph) Ordering {
+	ord, _ := DegeneracyOrdering(g)
+	return ord.Reverse()
+}
+
+// DAG is the oriented version of a Graph under an Ordering: the
+// out-neighbours of u are its neighbours with smaller rank, sorted by rank
+// descending is not required — they are kept sorted by node id, matching the
+// parent graph's adjacency order.
+type DAG struct {
+	G   *Graph
+	Ord Ordering
+	out [][]int32
+}
+
+// Orient builds the DAG of g under ord.
+func Orient(g *Graph, ord Ordering) *DAG {
+	n := g.N()
+	counts := make([]int32, n)
+	for u := int32(0); int(u) < n; u++ {
+		for _, v := range g.Neighbors(u) {
+			if ord.Rank[v] < ord.Rank[u] {
+				counts[u]++
+			}
+		}
+	}
+	out := make([][]int32, n)
+	for u := int32(0); int(u) < n; u++ {
+		if counts[u] == 0 {
+			continue
+		}
+		lst := make([]int32, 0, counts[u])
+		for _, v := range g.Neighbors(u) {
+			if ord.Rank[v] < ord.Rank[u] {
+				lst = append(lst, v)
+			}
+		}
+		out[u] = lst
+	}
+	return &DAG{G: g, Ord: ord, out: out}
+}
+
+// Out returns the out-neighbours of u (neighbours with smaller rank),
+// sorted by node id. The slice aliases internal storage.
+func (d *DAG) Out(u int32) []int32 { return d.out[u] }
+
+// OutDegree returns |N+(u)|.
+func (d *DAG) OutDegree(u int32) int { return len(d.out[u]) }
+
+// N returns the number of nodes.
+func (d *DAG) N() int { return d.G.N() }

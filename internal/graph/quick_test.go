@@ -1,0 +1,200 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickOrientCoversEachEdgeOnce: for an arbitrary score vector, the
+// induced orientation assigns every edge to exactly one endpoint's
+// out-list, and out-neighbours always have strictly smaller rank.
+func TestQuickOrientCoversEachEdgeOnce(t *testing.T) {
+	f := func(seed int64, rawScores []int16) bool {
+		g := randomGraph(30, 0.25, seed)
+		scores := make([]int64, g.N())
+		for i := range scores {
+			if len(rawScores) > 0 {
+				scores[i] = int64(rawScores[i%len(rawScores)])
+			}
+		}
+		ord := ScoreOrdering(g, scores)
+		d := Orient(g, ord)
+		total := 0
+		for u := int32(0); int(u) < g.N(); u++ {
+			for _, v := range d.Out(u) {
+				if ord.Rank[v] >= ord.Rank[u] {
+					return false
+				}
+				if !g.HasEdge(u, v) {
+					return false
+				}
+			}
+			total += d.OutDegree(u)
+		}
+		return total == g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickInducedIsSubgraph: induced subgraphs preserve adjacency exactly
+// on the kept nodes for arbitrary subsets.
+func TestQuickInducedIsSubgraph(t *testing.T) {
+	g := randomGraph(40, 0.2, 99)
+	f := func(mask []bool) bool {
+		var nodes []int32
+		for u := 0; u < g.N(); u++ {
+			if len(mask) > 0 && mask[u%len(mask)] {
+				nodes = append(nodes, int32(u))
+			}
+		}
+		sub, ids := g.Induced(nodes)
+		for i := range ids {
+			for j := i + 1; j < len(ids); j++ {
+				if sub.HasEdge(int32(i), int32(j)) != g.HasEdge(ids[i], ids[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDegeneracyBounds: degeneracy is at most the maximum degree and
+// at least (average degree)/2 on every random graph.
+func TestQuickDegeneracyBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(35, 0.3, seed)
+		_, d := DegeneracyOrdering(g)
+		if d > g.MaxDegree() {
+			return false
+		}
+		if g.N() > 0 {
+			avg := float64(2*g.M()) / float64(g.N())
+			if float64(d) < avg/2-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReverseOrderingIsInvolution(t *testing.T) {
+	g := randomGraph(25, 0.3, 7)
+	ord := DegreeOrdering(g)
+	rev := ord.Reverse()
+	back := rev.Reverse()
+	for u := range ord.Rank {
+		if back.Rank[u] != ord.Rank[u] {
+			t.Fatal("Reverse twice must be the identity")
+		}
+		if rev.Rank[u] != int32(g.N())-1-ord.Rank[u] {
+			t.Fatal("Reverse rank arithmetic wrong")
+		}
+	}
+	for r := range ord.ByRank {
+		if back.ByRank[r] != ord.ByRank[r] {
+			t.Fatal("ByRank not restored")
+		}
+	}
+}
+
+func TestDynamicIsolateNode(t *testing.T) {
+	d := NewDynamic(5)
+	d.InsertEdge(0, 1)
+	d.InsertEdge(0, 2)
+	d.InsertEdge(0, 3)
+	d.InsertEdge(1, 2)
+	removed := d.IsolateNode(0)
+	if len(removed) != 3 {
+		t.Fatalf("removed %v, want 3 neighbours", removed)
+	}
+	if d.Degree(0) != 0 || d.M() != 1 || !d.HasEdge(1, 2) {
+		t.Fatal("isolation broke unrelated edges")
+	}
+	if got := d.IsolateNode(0); len(got) != 0 {
+		t.Fatal("double isolation should be empty")
+	}
+}
+
+func TestDynamicAddNode(t *testing.T) {
+	d := NewDynamic(2)
+	id := d.AddNode()
+	if id != 2 || d.N() != 3 {
+		t.Fatalf("AddNode id=%d n=%d", id, d.N())
+	}
+	if !d.InsertEdge(id, 0) {
+		t.Fatal("edge to new node failed")
+	}
+	if d.Degree(id) != 1 {
+		t.Fatal("degree wrong")
+	}
+}
+
+// TestQuickSnapshotRoundTrip: dynamic edit sequences survive
+// Snapshot/DynamicFrom round trips.
+func TestQuickSnapshotRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewDynamic(15)
+		for i := 0; i < 60; i++ {
+			u := int32(rng.Intn(15))
+			v := int32(rng.Intn(15))
+			if u == v {
+				continue
+			}
+			if rng.Float64() < 0.7 {
+				d.InsertEdge(u, v)
+			} else {
+				d.DeleteEdge(u, v)
+			}
+		}
+		s := d.Snapshot()
+		d2 := DynamicFrom(s)
+		if d2.M() != d.M() {
+			return false
+		}
+		ok := true
+		s.Edges(func(u, v int32) bool {
+			if !d.HasEdge(u, v) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdgesEarlyStop(t *testing.T) {
+	g := randomGraph(20, 0.5, 3)
+	count := 0
+	g.Edges(func(u, v int32) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d edges", count)
+	}
+}
+
+func TestDegreesMatches(t *testing.T) {
+	g := randomGraph(30, 0.3, 4)
+	deg := g.Degrees()
+	for u := 0; u < g.N(); u++ {
+		if int(deg[u]) != g.Degree(int32(u)) {
+			t.Fatalf("Degrees()[%d] mismatch", u)
+		}
+	}
+}

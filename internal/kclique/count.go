@@ -1,0 +1,193 @@
+package kclique
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// ErrDeadline is returned by CountWithDeadline when the deadline elapses.
+var ErrDeadline = errors.New("kclique: deadline exceeded")
+
+// Count computes the total number of k-cliques in the DAG and the per-node
+// counts s_n(u) (Definition 5: the number of k-cliques containing u),
+// without storing any clique. workers <= 0 means GOMAXPROCS.
+//
+// It uses the leaf-level optimisation described in DESIGN.md: at the last
+// recursion level every remaining candidate completes one clique with the
+// current stack, so counts are accumulated in bulk instead of per clique.
+func Count(d *graph.DAG, k int, workers int) (uint64, []int64) {
+	total, scores, _ := CountWithDeadline(d, k, workers, time.Time{})
+	return total, scores
+}
+
+// CountWithDeadline is Count with a wall-clock budget: if deadline is
+// non-zero and elapses mid-count it returns ErrDeadline (counts are then
+// partial and must not be used).
+func CountWithDeadline(d *graph.DAG, k int, workers int, deadline time.Time) (uint64, []int64, error) {
+	n := d.N()
+	scores := make([]int64, n)
+	if k < 2 || n == 0 {
+		return 0, scores, nil
+	}
+	if !deadline.IsZero() && time.Now().After(deadline) {
+		return 0, scores, ErrDeadline
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var total atomic.Uint64
+	var next atomic.Int64
+	var expired atomic.Bool
+	var wg sync.WaitGroup
+	maxOut := d.G.MaxDegree()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := NewScratch(k, maxOut)
+			cc := countCtx{d: d, scores: scores, sc: sc}
+			ticks := 0
+			for {
+				u := int32(next.Add(1) - 1)
+				if int(u) >= n || expired.Load() {
+					break
+				}
+				if !deadline.IsZero() {
+					ticks++
+					if ticks&63 == 0 && time.Now().After(deadline) {
+						expired.Store(true)
+						break
+					}
+				}
+				if d.OutDegree(u) < k-1 {
+					continue
+				}
+				sc.stack = append(sc.stack[:0], u)
+				cand := append(sc.level(k-1), d.Out(u)...)
+				cc.rec(k-1, cand)
+			}
+			total.Add(cc.total)
+		}()
+	}
+	wg.Wait()
+	if expired.Load() {
+		return total.Load(), scores, ErrDeadline
+	}
+	return total.Load(), scores, nil
+}
+
+type countCtx struct {
+	d      *graph.DAG
+	scores []int64
+	sc     *Scratch
+	total  uint64
+}
+
+func (c *countCtx) rec(l int, cand []int32) {
+	sc := c.sc
+	if l == 1 {
+		cnt := int64(len(cand))
+		if cnt == 0 {
+			return
+		}
+		c.total += uint64(cnt)
+		for _, v := range cand {
+			atomic.AddInt64(&c.scores[v], 1)
+		}
+		for _, s := range sc.stack {
+			atomic.AddInt64(&c.scores[s], cnt)
+		}
+		return
+	}
+	for _, v := range cand {
+		if c.d.OutDegree(v) < l-1 {
+			continue
+		}
+		next := intersect(sc.level(l-1), cand, c.d.Out(v))
+		if len(next) < l-1 {
+			continue
+		}
+		sc.stack = append(sc.stack, v)
+		c.rec(l-1, next)
+		sc.stack = sc.stack[:len(sc.stack)-1]
+	}
+}
+
+// CountSerial is Count restricted to a single goroutine without atomics,
+// used by the ablation bench and as a reference in tests.
+func CountSerial(d *graph.DAG, k int) (uint64, []int64) {
+	n := d.N()
+	scores := make([]int64, n)
+	if k < 2 || n == 0 {
+		return 0, scores
+	}
+	sc := NewScratch(k, d.G.MaxDegree())
+	var total uint64
+	var rec func(l int, cand []int32)
+	rec = func(l int, cand []int32) {
+		if l == 1 {
+			cnt := int64(len(cand))
+			total += uint64(cnt)
+			for _, v := range cand {
+				scores[v]++
+			}
+			for _, s := range sc.stack {
+				scores[s] += cnt
+			}
+			return
+		}
+		for _, v := range cand {
+			if d.OutDegree(v) < l-1 {
+				continue
+			}
+			next := intersect(sc.level(l-1), cand, d.Out(v))
+			if len(next) < l-1 {
+				continue
+			}
+			sc.stack = append(sc.stack, v)
+			rec(l-1, next)
+			sc.stack = sc.stack[:len(sc.stack)-1]
+		}
+	}
+	for u := int32(0); int(u) < n; u++ {
+		if d.OutDegree(u) < k-1 {
+			continue
+		}
+		sc.stack = append(sc.stack[:0], u)
+		cand := append(sc.level(k-1), d.Out(u)...)
+		rec(k-1, cand)
+	}
+	return total, scores
+}
+
+// CountNaive counts by full enumeration, incrementing each member per
+// clique (no leaf optimisation). Reference implementation for tests and the
+// leaf-count ablation bench.
+func CountNaive(d *graph.DAG, k int) (uint64, []int64) {
+	scores := make([]int64, d.N())
+	var total uint64
+	ForEach(d, k, func(c []int32) bool {
+		total++
+		for _, u := range c {
+			scores[u]++
+		}
+		return true
+	})
+	return total, scores
+}
+
+// ScoreGraph computes node scores for a plain graph: it builds a degeneracy
+// DAG internally (orientation does not change counts) and returns the total
+// k-clique count and per-node scores.
+func ScoreGraph(g *graph.Graph, k, workers int) (uint64, []int64) {
+	d := graph.Orient(g, graph.ListingOrdering(g))
+	return Count(d, k, workers)
+}

@@ -1,0 +1,166 @@
+package kclique
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+)
+
+// CountBitset computes the same totals and node scores as Count using a
+// word-parallel dense kernel: for every root, the out-neighbourhood is
+// relabelled to local ids and its adjacency stored as upper-triangular bit
+// sets, so the candidate-set intersections of the recursion become a few
+// AND instructions per 64 nodes. This is the classic dense-subgraph
+// optimisation of kClist implementations; the merge-scan Count wins on
+// very sparse roots, this kernel on clique-dense ones (see the bitset
+// ablation bench).
+func CountBitset(d *graph.DAG, k int, workers int) (uint64, []int64) {
+	n := d.N()
+	scores := make([]int64, n)
+	if k < 2 || n == 0 {
+		return 0, scores
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	maxOut := 0
+	for u := int32(0); int(u) < n; u++ {
+		if d.OutDegree(u) > maxOut {
+			maxOut = d.OutDegree(u)
+		}
+	}
+	var total atomic.Uint64
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			kern := newDenseKernel(k, maxOut)
+			var local uint64
+			for {
+				u := int32(next.Add(1) - 1)
+				if int(u) >= n {
+					break
+				}
+				if d.OutDegree(u) < k-1 {
+					continue
+				}
+				local += kern.countRoot(d, u, scores)
+			}
+			total.Add(local)
+		}()
+	}
+	wg.Wait()
+	return total.Load(), scores
+}
+
+// denseKernel holds the per-worker scratch of the bitset recursion.
+type denseKernel struct {
+	k      int
+	ids    []int32       // local id -> graph node
+	adjUp  []*bitset.Set // upper-triangular local adjacency
+	cand   []*bitset.Set // candidate set per recursion level
+	stack  []int         // local ids of the current partial clique
+	scores []int64       // local score accumulator (flushed per root)
+}
+
+func newDenseKernel(k, maxOut int) *denseKernel {
+	kern := &denseKernel{
+		k:      k,
+		ids:    make([]int32, 0, maxOut),
+		adjUp:  make([]*bitset.Set, maxOut),
+		cand:   make([]*bitset.Set, k+1),
+		stack:  make([]int, 0, k),
+		scores: make([]int64, maxOut),
+	}
+	for i := range kern.adjUp {
+		kern.adjUp[i] = bitset.New(maxOut)
+	}
+	for i := range kern.cand {
+		kern.cand[i] = bitset.New(maxOut)
+	}
+	return kern
+}
+
+// countRoot counts k-cliques rooted at u, accumulating per-node scores
+// into the shared array with atomics. Returns the number of cliques.
+func (kern *denseKernel) countRoot(d *graph.DAG, u int32, shared []int64) uint64 {
+	out := d.Out(u)
+	nl := len(out)
+	kern.ids = append(kern.ids[:0], out...)
+	// Build upper-triangular adjacency among out-neighbours: bit j in
+	// adjUp[i] iff i < j and (out[i], out[j]) is a graph edge. out is
+	// sorted by node id, so a merge against each neighbour list works.
+	for i := 0; i < nl; i++ {
+		kern.adjUp[i].Clear()
+		nb := d.G.Neighbors(out[i])
+		a, b := i+1, 0
+		for a < nl && b < len(nb) {
+			switch {
+			case out[a] < nb[b]:
+				a++
+			case out[a] > nb[b]:
+				b++
+			default:
+				kern.adjUp[i].Add(a)
+				a++
+				b++
+			}
+		}
+	}
+	// Initial candidates: every local node.
+	kern.cand[kern.k-1].Clear()
+	for i := 0; i < nl; i++ {
+		kern.cand[kern.k-1].Add(i)
+		kern.scores[i] = 0
+	}
+	kern.stack = kern.stack[:0]
+	cliques := kern.rec(kern.k-1, kern.cand[kern.k-1])
+	if cliques > 0 {
+		atomic.AddInt64(&shared[u], int64(cliques))
+		for i := 0; i < nl; i++ {
+			if kern.scores[i] != 0 {
+				atomic.AddInt64(&shared[out[i]], kern.scores[i])
+			}
+		}
+	}
+	return cliques
+}
+
+// rec counts completions of the current stack by l more local nodes from
+// cand, accumulating local per-node scores.
+func (kern *denseKernel) rec(l int, cand *bitset.Set) uint64 {
+	if l == 1 {
+		cnt := uint64(cand.Count())
+		if cnt == 0 {
+			return 0
+		}
+		cand.ForEach(func(i int) bool {
+			kern.scores[i]++
+			return true
+		})
+		for _, s := range kern.stack {
+			kern.scores[s] += int64(cnt)
+		}
+		return cnt
+	}
+	var cliques uint64
+	next := kern.cand[l-1]
+	cand.ForEach(func(i int) bool {
+		if bitset.IntersectInto(next, cand, kern.adjUp[i]) < l-1 {
+			return true
+		}
+		kern.stack = append(kern.stack, i)
+		cliques += kern.rec(l-1, next)
+		kern.stack = kern.stack[:len(kern.stack)-1]
+		return true
+	})
+	return cliques
+}

@@ -1,0 +1,77 @@
+package kclique
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestCountBitsetMatchesCount(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := randomGraph(45, 0.3, 700+seed)
+		d := listingDAG(g)
+		for k := 2; k <= 6; k++ {
+			wantTotal, wantScores := Count(d, k, 1)
+			for _, workers := range []int{1, 4} {
+				total, scores := CountBitset(d, k, workers)
+				if total != wantTotal {
+					t.Fatalf("seed=%d k=%d workers=%d: total %d, want %d", seed, k, workers, total, wantTotal)
+				}
+				for u := range scores {
+					if scores[u] != wantScores[u] {
+						t.Fatalf("seed=%d k=%d: score[%d]=%d want %d", seed, k, u, scores[u], wantScores[u])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCountBitsetDenseGraph(t *testing.T) {
+	// Clique-dense community graph: the kernel's target case.
+	g := gen.RelaxedCaveman(12, 8, 0.1, 7)
+	d := listingDAG(g)
+	for k := 3; k <= 6; k++ {
+		wantTotal, wantScores := Count(d, k, 0)
+		total, scores := CountBitset(d, k, 0)
+		if total != wantTotal {
+			t.Fatalf("k=%d: total %d, want %d", k, total, wantTotal)
+		}
+		for u := range scores {
+			if scores[u] != wantScores[u] {
+				t.Fatalf("k=%d: score[%d] mismatch", k, u)
+			}
+		}
+	}
+}
+
+func TestCountBitsetKnownValues(t *testing.T) {
+	// K10 binomials again through the dense path.
+	b := graph.NewBuilder(10)
+	for u := 0; u < 10; u++ {
+		for v := u + 1; v < 10; v++ {
+			b.AddEdge(int32(u), int32(v))
+		}
+	}
+	d := listingDAG(b.MustBuild())
+	for k, want := range map[int]uint64{3: 120, 4: 210, 5: 252} {
+		total, _ := CountBitset(d, k, 0)
+		if total != want {
+			t.Fatalf("K10 k=%d: %d, want %d", k, total, want)
+		}
+	}
+}
+
+func TestCountBitsetEmptyAndTiny(t *testing.T) {
+	empty := graph.NewBuilder(0).MustBuild()
+	total, scores := CountBitset(graph.Orient(empty, graph.ListingOrdering(empty)), 3, 0)
+	if total != 0 || len(scores) != 0 {
+		t.Fatal("empty graph must count zero")
+	}
+	tri, _ := graph.FromEdges(3, [][2]int32{{0, 1}, {1, 2}, {0, 2}})
+	total, scores = CountBitset(graph.Orient(tri, graph.ListingOrdering(tri)), 3, 0)
+	if total != 1 || scores[0] != 1 || scores[1] != 1 || scores[2] != 1 {
+		t.Fatalf("triangle: total=%d scores=%v", total, scores)
+	}
+}

@@ -1,0 +1,311 @@
+// Package kclique implements the k-clique machinery the paper's algorithms
+// are built on: kClist-style enumeration over an oriented DAG (Danisch,
+// Balalau, Sozio, WWW'18 — reference [13] of the paper), per-node k-clique
+// counting without storing cliques (the node scores s_n of Definition 5),
+// FindOne (the inner procedure of Algorithm 1), and FindMin with the
+// score-driven pruning strategy (the inner procedure of Algorithm 3).
+//
+// All routines work on a graph.DAG oriented so that the out-neighbours of a
+// node have strictly smaller rank; every k-clique is then visited exactly
+// once, rooted at its maximum-rank member.
+package kclique
+
+import (
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Scratch holds reusable per-worker buffers for the recursive routines.
+// A Scratch may be reused across calls but not shared between goroutines.
+type Scratch struct {
+	cand  [][]int32 // candidate sets per recursion level
+	stack []int32   // current partial clique
+	best  []int32   // best clique found by FindMin
+}
+
+// NewScratch returns scratch space for searches up to depth k in a graph
+// whose maximum out-degree is at most maxOut.
+func NewScratch(k, maxOut int) *Scratch {
+	s := &Scratch{
+		cand:  make([][]int32, k+1),
+		stack: make([]int32, 0, k),
+		best:  make([]int32, 0, k),
+	}
+	for i := range s.cand {
+		s.cand[i] = make([]int32, 0, maxOut)
+	}
+	return s
+}
+
+func (s *Scratch) level(l int) []int32 {
+	if l >= len(s.cand) {
+		grown := make([][]int32, l+1)
+		copy(grown, s.cand)
+		s.cand = grown
+	}
+	return s.cand[l][:0]
+}
+
+// intersect writes cand ∩ out into dst (both inputs sorted ascending by
+// node id) and returns the filled slice. dst must not alias the inputs.
+func intersect(dst, cand, out []int32) []int32 {
+	i, j := 0, 0
+	for i < len(cand) && j < len(out) {
+		a, b := cand[i], out[j]
+		switch {
+		case a < b:
+			i++
+		case a > b:
+			j++
+		default:
+			dst = append(dst, a)
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+// filterValid writes the valid members of src into dst and returns it.
+func filterValid(dst, src []int32, valid []bool) []int32 {
+	for _, v := range src {
+		if valid[v] {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// ForEach calls fn once for every k-clique of the DAG. The clique slice is
+// reused between calls; fn must copy it to retain it. fn returning false
+// stops the enumeration. k must be >= 2.
+func ForEach(d *graph.DAG, k int, fn func(clique []int32) bool) {
+	if k < 2 {
+		return
+	}
+	sc := NewScratch(k, d.G.MaxDegree())
+	n := d.N()
+	for u := int32(0); int(u) < n; u++ {
+		if d.OutDegree(u) < k-1 {
+			continue
+		}
+		sc.stack = append(sc.stack[:0], u)
+		cand := append(sc.level(k-1), d.Out(u)...)
+		if !forEachRec(d, k-1, cand, sc, fn) {
+			return
+		}
+	}
+}
+
+// forEachRec enumerates l more nodes from cand. Returns false to abort.
+func forEachRec(d *graph.DAG, l int, cand []int32, sc *Scratch, fn func([]int32) bool) bool {
+	if l == 1 {
+		for _, v := range cand {
+			sc.stack = append(sc.stack, v)
+			ok := fn(sc.stack)
+			sc.stack = sc.stack[:len(sc.stack)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	for i, v := range cand {
+		// Only nodes after v in cand can still be picked? No — cand is
+		// sorted by id, not rank; the DAG intersection below enforces the
+		// rank decrease, so each sub-clique is still produced once.
+		_ = i
+		if d.OutDegree(v) < l-1 {
+			continue
+		}
+		next := intersect(sc.level(l-1), cand, d.Out(v))
+		if len(next) < l-1 {
+			continue
+		}
+		sc.stack = append(sc.stack, v)
+		if !forEachRec(d, l-1, next, sc, fn) {
+			return false
+		}
+		sc.stack = sc.stack[:len(sc.stack)-1]
+	}
+	return true
+}
+
+// FindOne searches for a k-clique containing root using only root's valid
+// out-neighbours, returning the first one encountered (Algorithm 1's
+// FindOne). The result includes root and is freshly allocated. valid may be
+// nil, meaning all nodes are valid.
+func FindOne(d *graph.DAG, k int, root int32, valid []bool, sc *Scratch) ([]int32, bool) {
+	if k < 2 {
+		return nil, false
+	}
+	if sc == nil {
+		sc = NewScratch(k, d.G.MaxDegree())
+	}
+	var cand []int32
+	if valid == nil {
+		cand = append(sc.level(k-1), d.Out(root)...)
+	} else {
+		cand = filterValid(sc.level(k-1), d.Out(root), valid)
+	}
+	if len(cand) < k-1 {
+		return nil, false
+	}
+	sc.stack = append(sc.stack[:0], root)
+	if findOneRec(d, k-1, cand, sc) {
+		out := make([]int32, k)
+		copy(out, sc.stack)
+		return out, true
+	}
+	return nil, false
+}
+
+func findOneRec(d *graph.DAG, l int, cand []int32, sc *Scratch) bool {
+	if l == 1 {
+		if len(cand) == 0 {
+			return false
+		}
+		sc.stack = append(sc.stack, cand[0])
+		return true
+	}
+	for _, v := range cand {
+		if d.OutDegree(v) < l-1 {
+			continue
+		}
+		next := intersect(sc.level(l-1), cand, d.Out(v))
+		if len(next) < l-1 {
+			continue
+		}
+		sc.stack = append(sc.stack, v)
+		if findOneRec(d, l-1, next, sc) {
+			return true
+		}
+		sc.stack = sc.stack[:len(sc.stack)-1]
+	}
+	return false
+}
+
+// FindMin searches the valid out-neighbourhood of root for the k-clique
+// (containing root) with minimum clique score s_c = Σ s_n (Algorithm 3's
+// FindMin). With prune set, branches whose partial score already reaches
+// the best known clique score are cut (the paper's score-driven pruning);
+// with prune unset this is the plain exhaustive local search used by the L
+// variant. Returns the best clique (freshly allocated), its clique score,
+// and whether any clique was found.
+func FindMin(d *graph.DAG, k int, root int32, score []int64, valid []bool, prune bool, sc *Scratch) ([]int32, int64, bool) {
+	return findMin(d, k, root, score, valid, prune, false, sc)
+}
+
+// FindMinStrict is FindMin under the fixed total clique ordering of
+// Theorem 4: score ties are broken by comparing the sorted member lists, so
+// the returned clique is unique for a given graph and score vector. Safe to
+// combine with pruning because equal-score ties can only materialise at the
+// final level (see the prune comment below).
+func FindMinStrict(d *graph.DAG, k int, root int32, score []int64, valid []bool, prune bool, sc *Scratch) ([]int32, int64, bool) {
+	return findMin(d, k, root, score, valid, prune, true, sc)
+}
+
+func findMin(d *graph.DAG, k int, root int32, score []int64, valid []bool, prune, strict bool, sc *Scratch) ([]int32, int64, bool) {
+	if k < 2 {
+		return nil, 0, false
+	}
+	if sc == nil {
+		sc = NewScratch(k, d.G.MaxDegree())
+	}
+	var cand []int32
+	if valid == nil {
+		cand = append(sc.level(k-1), d.Out(root)...)
+	} else {
+		cand = filterValid(sc.level(k-1), d.Out(root), valid)
+	}
+	if len(cand) < k-1 {
+		return nil, 0, false
+	}
+	sc.stack = append(sc.stack[:0], root)
+	sc.best = sc.best[:0]
+	st := findMinState{d: d, score: score, prune: prune, strict: strict, bestScore: math.MaxInt64, sc: sc}
+	st.rec(k-1, cand, score[root])
+	if len(sc.best) == 0 {
+		return nil, 0, false
+	}
+	out := make([]int32, len(sc.best))
+	copy(out, sc.best)
+	return out, st.bestScore, true
+}
+
+type findMinState struct {
+	d         *graph.DAG
+	score     []int64
+	prune     bool
+	strict    bool
+	bestScore int64
+	sc        *Scratch
+}
+
+// cliqueLexLess compares cliques by their sorted member lists.
+func cliqueLexLess(a, b []int32) bool {
+	sa := append([]int32(nil), a...)
+	sb := append([]int32(nil), b...)
+	sortInt32(sa)
+	sortInt32(sb)
+	for i := 0; i < len(sa) && i < len(sb); i++ {
+		if sa[i] != sb[i] {
+			return sa[i] < sb[i]
+		}
+	}
+	return len(sa) < len(sb)
+}
+
+func sortInt32(s []int32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// rec extends the partial clique on sc.stack (current score sCur) by l more
+// nodes drawn from cand, tracking the minimum-score completion.
+func (st *findMinState) rec(l int, cand []int32, sCur int64) {
+	sc := st.sc
+	if l == 1 {
+		for _, v := range cand {
+			s := sCur + st.score[v]
+			better := s < st.bestScore
+			if !better && st.strict && s == st.bestScore && len(sc.best) > 0 {
+				// Fixed total clique ordering: break the score tie by the
+				// sorted member lists (Theorem 4).
+				candidate := append(append([]int32(nil), sc.stack...), v)
+				better = cliqueLexLess(candidate, sc.best)
+			}
+			if better {
+				st.bestScore = s
+				sc.best = append(sc.best[:0], sc.stack...)
+				sc.best = append(sc.best, v)
+			}
+		}
+		return
+	}
+	for _, v := range cand {
+		if st.d.OutDegree(v) < l-1 {
+			continue
+		}
+		if st.prune && sCur+st.score[v] >= st.bestScore {
+			// Scores are non-negative, so no completion through v can beat
+			// the incumbent (Algorithm 3 lines 19-20 and 27-28). Equal-score
+			// ties cannot be lost here even in strict mode: a completion
+			// still needs l-1 >= 1 more members, each of which lies in some
+			// k-clique and so has score >= 1, pushing the total strictly
+			// past the incumbent.
+			continue
+		}
+		next := intersect(sc.level(l-1), cand, st.d.Out(v))
+		if len(next) < l-1 {
+			continue
+		}
+		sc.stack = append(sc.stack, v)
+		st.rec(l-1, next, sCur+st.score[v])
+		sc.stack = sc.stack[:len(sc.stack)-1]
+	}
+}

@@ -1,0 +1,207 @@
+// Package matching implements maximum cardinality matching in general
+// undirected graphs — the k = 2 special case of the disjoint k-clique
+// problem, which the paper's §III singles out: a 2-clique is an edge, and a
+// maximum set of disjoint 2-cliques is exactly a maximum matching, solvable
+// in polynomial time by Edmonds' blossom algorithm [6].
+//
+// The package provides the exact O(V³) blossom algorithm and the linear
+// greedy maximal matching (a 2-approximation), mirroring the exact/greedy
+// split of the k >= 3 machinery.
+package matching
+
+import "repro/internal/graph"
+
+// unmatched marks a node with no partner.
+const unmatched int32 = -1
+
+// Matching is a set of node-disjoint edges represented by the partner
+// array: Mate[u] == v && Mate[v] == u for matched pairs, -1 otherwise.
+type Matching struct {
+	Mate []int32
+}
+
+// Size returns the number of matched edges.
+func (m *Matching) Size() int {
+	c := 0
+	for u, v := range m.Mate {
+		if v != unmatched && int32(u) < v {
+			c++
+		}
+	}
+	return c
+}
+
+// Edges returns the matched pairs with u < v, in node order.
+func (m *Matching) Edges() [][2]int32 {
+	out := make([][2]int32, 0, m.Size())
+	for u, v := range m.Mate {
+		if v != unmatched && int32(u) < v {
+			out = append(out, [2]int32{int32(u), v})
+		}
+	}
+	return out
+}
+
+// Greedy computes a maximal matching in O(n + m): scan edges, take any
+// whose endpoints are both unmatched. Maximal matchings are at least half
+// the maximum size.
+func Greedy(g *graph.Graph) *Matching {
+	mate := make([]int32, g.N())
+	for i := range mate {
+		mate[i] = unmatched
+	}
+	g.Edges(func(u, v int32) bool {
+		if mate[u] == unmatched && mate[v] == unmatched {
+			mate[u] = v
+			mate[v] = u
+		}
+		return true
+	})
+	return &Matching{Mate: mate}
+}
+
+// Maximum computes a maximum cardinality matching with Edmonds' blossom
+// algorithm (O(V³)): repeatedly grow an alternating BFS forest from each
+// exposed node, contracting odd cycles (blossoms) into their base until an
+// augmenting path is found.
+func Maximum(g *graph.Graph) *Matching {
+	n := g.N()
+	b := &blossom{
+		g:     g,
+		mate:  make([]int32, n),
+		p:     make([]int32, n),
+		base:  make([]int32, n),
+		used:  make([]bool, n),
+		inBl:  make([]bool, n),
+		queue: make([]int32, 0, n),
+	}
+	for i := range b.mate {
+		b.mate[i] = unmatched
+	}
+	// Greedy warm start halves the number of augmentation phases.
+	g.Edges(func(u, v int32) bool {
+		if b.mate[u] == unmatched && b.mate[v] == unmatched {
+			b.mate[u] = v
+			b.mate[v] = u
+		}
+		return true
+	})
+	for u := int32(0); int(u) < n; u++ {
+		if b.mate[u] == unmatched {
+			if v := b.findPath(u); v != unmatched {
+				b.augment(v)
+			}
+		}
+	}
+	return &Matching{Mate: b.mate}
+}
+
+// blossom carries the per-phase state of the search forest.
+type blossom struct {
+	g     *graph.Graph
+	mate  []int32
+	p     []int32 // BFS parent (on even nodes), through their matched edge
+	base  []int32 // base node of the blossom containing each node
+	used  []bool  // node is in the forest (even level)
+	inBl  []bool  // scratch: node is inside the blossom being contracted
+	queue []int32
+}
+
+// findPath runs an alternating BFS from the exposed root; it returns an
+// exposed node whose parent chain encodes an augmenting path, or -1.
+func (b *blossom) findPath(root int32) int32 {
+	n := b.g.N()
+	for i := 0; i < n; i++ {
+		b.used[i] = false
+		b.p[i] = unmatched
+		b.base[i] = int32(i)
+	}
+	b.used[root] = true
+	b.queue = append(b.queue[:0], root)
+	for qi := 0; qi < len(b.queue); qi++ {
+		u := b.queue[qi]
+		for _, v := range b.g.Neighbors(u) {
+			if b.base[u] == b.base[v] || b.mate[u] == v {
+				continue // intra-blossom or matched edge: nothing to grow
+			}
+			if v == b.queue[0] || (b.mate[v] != unmatched && b.p[b.mate[v]] != unmatched) {
+				// v is already an even node: the edge (u,v) closes an odd
+				// cycle — contract the blossom.
+				b.contract(u, v)
+			} else if b.p[v] == unmatched {
+				b.p[v] = u
+				if b.mate[v] == unmatched {
+					return v // augmenting path found
+				}
+				// v is matched: its mate joins the forest at even level.
+				b.used[b.mate[v]] = true
+				b.queue = append(b.queue, b.mate[v])
+			}
+		}
+	}
+	return unmatched
+}
+
+// lowestCommonAncestor walks the alternating tree from both ends of the
+// blossom edge to find the first common base.
+func (b *blossom) lowestCommonAncestor(u, v int32) int32 {
+	seen := make(map[int32]bool)
+	for {
+		u = b.base[u]
+		seen[u] = true
+		if b.mate[u] == unmatched {
+			break
+		}
+		u = b.p[b.mate[u]]
+	}
+	for {
+		v = b.base[v]
+		if seen[v] {
+			return v
+		}
+		v = b.p[b.mate[v]]
+	}
+}
+
+// markPath flags blossom members from u up to the base, re-rooting their
+// parents toward the blossom edge endpoint child.
+func (b *blossom) markPath(u, base, child int32) {
+	for b.base[u] != base {
+		b.inBl[b.base[u]] = true
+		b.inBl[b.base[b.mate[u]]] = true
+		b.p[u] = child
+		child = b.mate[u]
+		u = b.p[b.mate[u]]
+	}
+}
+
+// contract collapses the odd cycle closed by edge (u, v) into its base.
+func (b *blossom) contract(u, v int32) {
+	for i := range b.inBl {
+		b.inBl[i] = false
+	}
+	base := b.lowestCommonAncestor(u, v)
+	b.markPath(u, base, v)
+	b.markPath(v, base, u)
+	for i := int32(0); int(i) < b.g.N(); i++ {
+		if b.inBl[b.base[i]] {
+			b.base[i] = base
+			if !b.used[i] {
+				b.used[i] = true
+				b.queue = append(b.queue, i)
+			}
+		}
+	}
+}
+
+// augment flips matched/unmatched edges along the parent chain ending at
+// the exposed node v.
+func (b *blossom) augment(v int32) {
+	for v != unmatched {
+		pv := b.p[v]
+		ppv := b.mate[pv]
+		b.mate[v] = pv
+		b.mate[pv] = v
+		v = ppv
+	}
+}

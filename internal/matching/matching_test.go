@@ -1,0 +1,202 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func randomGraph(n int, p float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// validMatching checks partner symmetry and that every pair is an edge.
+func validMatching(t *testing.T, g *graph.Graph, m *Matching) {
+	t.Helper()
+	for u, v := range m.Mate {
+		if v == -1 {
+			continue
+		}
+		if m.Mate[v] != int32(u) {
+			t.Fatalf("asymmetric mate: %d->%d but %d->%d", u, v, v, m.Mate[v])
+		}
+		if !g.HasEdge(int32(u), v) {
+			t.Fatalf("matched non-edge (%d,%d)", u, v)
+		}
+	}
+}
+
+// bruteMatching computes the maximum matching size by edge-subset DP over
+// node bitmasks (n <= ~16).
+func bruteMatching(g *graph.Graph) int {
+	n := g.N()
+	edges := g.EdgeList()
+	memo := make(map[uint32]int)
+	var rec func(used uint32) int
+	rec = func(used uint32) int {
+		if v, ok := memo[used]; ok {
+			return v
+		}
+		best := 0
+		for _, e := range edges {
+			bu := uint32(1) << uint(e[0])
+			bv := uint32(1) << uint(e[1])
+			if used&bu == 0 && used&bv == 0 {
+				if r := 1 + rec(used|bu|bv); r > best {
+					best = r
+				}
+			}
+		}
+		memo[used] = best
+		return best
+	}
+	_ = n
+	return rec(0)
+}
+
+func TestMaximumMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		for _, p := range []float64{0.15, 0.3, 0.6} {
+			g := randomGraph(12, p, seed)
+			m := Maximum(g)
+			validMatching(t, g, m)
+			if want := bruteMatching(g); m.Size() != want {
+				t.Fatalf("seed=%d p=%v: size %d, want %d", seed, p, m.Size(), want)
+			}
+		}
+	}
+}
+
+func TestMaximumKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name  string
+		edges [][2]int32
+		n     int
+		want  int
+	}{
+		{"P4 path", [][2]int32{{0, 1}, {1, 2}, {2, 3}}, 4, 2},
+		{"C5 cycle", [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}, 5, 2},
+		{"C6 cycle", [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}}, 6, 3},
+		{"star K1,4", [][2]int32{{0, 1}, {0, 2}, {0, 3}, {0, 4}}, 5, 1},
+		{"two triangles", [][2]int32{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}}, 6, 2},
+		{"empty", nil, 6, 0},
+		// The classic blossom case: odd cycle with a tail. Greedy choices
+		// inside the cycle force an augmenting path through the blossom.
+		{"triangle+tail", [][2]int32{{0, 1}, {1, 2}, {2, 0}, {2, 3}}, 4, 2},
+		// Petersen graph: perfect matching of size 5.
+		{"petersen", [][2]int32{
+			{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0},
+			{5, 7}, {7, 9}, {9, 6}, {6, 8}, {8, 5},
+			{0, 5}, {1, 6}, {2, 7}, {3, 8}, {4, 9},
+		}, 10, 5},
+	}
+	for _, tc := range cases {
+		g, err := graph.FromEdges(tc.n, tc.edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := Maximum(g)
+		validMatching(t, g, m)
+		if m.Size() != tc.want {
+			t.Errorf("%s: size %d, want %d", tc.name, m.Size(), tc.want)
+		}
+	}
+}
+
+func TestMaximumCompleteGraphs(t *testing.T) {
+	for n := 2; n <= 12; n++ {
+		b := graph.NewBuilder(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+		g := b.MustBuild()
+		m := Maximum(g)
+		validMatching(t, g, m)
+		if m.Size() != n/2 {
+			t.Errorf("K%d: size %d, want %d", n, m.Size(), n/2)
+		}
+	}
+}
+
+func TestMaximumBipartite(t *testing.T) {
+	// Complete bipartite K_{4,7}: matching size 4.
+	b := graph.NewBuilder(11)
+	for u := 0; u < 4; u++ {
+		for v := 4; v < 11; v++ {
+			b.AddEdge(int32(u), int32(v))
+		}
+	}
+	g := b.MustBuild()
+	m := Maximum(g)
+	validMatching(t, g, m)
+	if m.Size() != 4 {
+		t.Errorf("K4,7: size %d, want 4", m.Size())
+	}
+}
+
+func TestGreedyMaximalAndHalfBound(t *testing.T) {
+	for seed := int64(20); seed < 30; seed++ {
+		g := randomGraph(40, 0.15, seed)
+		gr := Greedy(g)
+		validMatching(t, g, gr)
+		// Maximality: no edge with both endpoints unmatched.
+		g.Edges(func(u, v int32) bool {
+			if gr.Mate[u] == -1 && gr.Mate[v] == -1 {
+				t.Fatalf("greedy not maximal: edge (%d,%d) addable", u, v)
+			}
+			return true
+		})
+		// 2-approximation versus blossom.
+		mx := Maximum(g)
+		validMatching(t, g, mx)
+		if 2*gr.Size() < mx.Size() {
+			t.Fatalf("greedy %d below half of maximum %d", gr.Size(), mx.Size())
+		}
+		if gr.Size() > mx.Size() {
+			t.Fatalf("greedy %d exceeds maximum %d", gr.Size(), mx.Size())
+		}
+	}
+}
+
+func TestMatchingAccessors(t *testing.T) {
+	g, _ := graph.FromEdges(4, [][2]int32{{0, 1}, {2, 3}})
+	m := Maximum(g)
+	if m.Size() != 2 {
+		t.Fatalf("size %d", m.Size())
+	}
+	edges := m.Edges()
+	if len(edges) != 2 {
+		t.Fatalf("edges %v", edges)
+	}
+	for _, e := range edges {
+		if e[0] >= e[1] {
+			t.Fatalf("edge %v not normalised", e)
+		}
+	}
+}
+
+func TestMaximumLargeRandomAgainstUpperBound(t *testing.T) {
+	// On larger graphs, check size is a valid matching no larger than n/2
+	// and at least the greedy size.
+	g := randomGraph(200, 0.05, 99)
+	mx := Maximum(g)
+	validMatching(t, g, mx)
+	if mx.Size() > g.N()/2 {
+		t.Fatal("matching larger than n/2")
+	}
+	if mx.Size() < Greedy(g).Size() {
+		t.Fatal("maximum below greedy")
+	}
+}

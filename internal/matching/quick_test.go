@@ -1,0 +1,81 @@
+package matching
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickBlossomInvariants: on arbitrary random graphs the blossom
+// matching is a valid matching, at least as large as greedy, and no larger
+// than n/2 or M.
+func TestQuickBlossomInvariants(t *testing.T) {
+	f := func(seed int64, pRaw uint8) bool {
+		p := 0.05 + float64(pRaw%60)/100
+		g := randomGraph(25, p, seed)
+		mx := Maximum(g)
+		for u, v := range mx.Mate {
+			if v == -1 {
+				continue
+			}
+			if mx.Mate[v] != int32(u) || !g.HasEdge(int32(u), v) {
+				return false
+			}
+		}
+		gr := Greedy(g)
+		if gr.Size() > mx.Size() || 2*gr.Size() < mx.Size() {
+			return false
+		}
+		return mx.Size() <= g.N()/2 && mx.Size() <= g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAugmentingPathAbsence: a maximum matching admits no augmenting
+// path of length one or three (cheap necessary conditions we can check
+// directly; full optimality is covered by the brute-force test).
+func TestQuickAugmentingPathAbsence(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(20, 0.25, seed)
+		m := Maximum(g)
+		exposed := func(u int32) bool { return m.Mate[u] == -1 }
+		// Length-1: an edge with both endpoints exposed.
+		ok := true
+		g.Edges(func(u, v int32) bool {
+			if exposed(u) && exposed(v) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		if !ok {
+			return false
+		}
+		// Length-3: exposed u - matched (v,w) - exposed x.
+		for u := int32(0); int(u) < g.N() && ok; u++ {
+			if !exposed(u) {
+				continue
+			}
+			for _, v := range g.Neighbors(u) {
+				w := m.Mate[v]
+				if w == -1 {
+					continue
+				}
+				for _, x := range g.Neighbors(w) {
+					if x != u && x != v && exposed(x) {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					break
+				}
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

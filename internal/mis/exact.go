@@ -1,0 +1,282 @@
+package mis
+
+import (
+	"time"
+
+	"repro/internal/graph"
+)
+
+// solver is a branch-and-reduce exact MIS solver over a shared mutable
+// node state (alive/deg) with an undo trail, solved one connected component
+// at a time.
+type solver struct {
+	g        *graph.Graph
+	deadline time.Time
+
+	alive []bool
+	deg   []int32
+	trail []int32 // removal log, unwound on backtrack
+
+	comp     []int32 // nodes of the component being solved
+	inComp   []bool
+	cur      []int32 // currently included nodes
+	best     []int32 // best set found for this component
+	ticks    int     // deadline check counter
+	deadhit  bool
+	coverBuf [][]int32 // scratch for the clique-cover bound
+}
+
+func newSolver(g *graph.Graph, deadline time.Time) *solver {
+	n := g.N()
+	s := &solver{g: g, deadline: deadline}
+	s.alive = make([]bool, n)
+	s.deg = make([]int32, n)
+	s.inComp = make([]bool, n)
+	for u := 0; u < n; u++ {
+		s.alive[u] = true
+		s.deg[u] = int32(g.Degree(int32(u)))
+	}
+	return s
+}
+
+// removeNode marks u dead and decrements live neighbour degrees, logging
+// the removal.
+func (s *solver) removeNode(u int32) {
+	s.alive[u] = false
+	s.trail = append(s.trail, u)
+	for _, v := range s.g.Neighbors(u) {
+		if s.alive[v] {
+			s.deg[v]--
+		}
+	}
+}
+
+// mark returns the current trail position for later restore.
+func (s *solver) mark() int { return len(s.trail) }
+
+// restore unwinds removals back to the given mark.
+func (s *solver) restore(mark int) {
+	for len(s.trail) > mark {
+		u := s.trail[len(s.trail)-1]
+		s.trail = s.trail[:len(s.trail)-1]
+		s.alive[u] = true
+		for _, v := range s.g.Neighbors(u) {
+			if s.alive[v] {
+				s.deg[v]++
+			}
+		}
+	}
+}
+
+// take includes u in the current set and removes its closed neighbourhood.
+func (s *solver) take(u int32) {
+	s.cur = append(s.cur, u)
+	// Remove neighbours first so deg bookkeeping on u's removal is cheap.
+	for _, v := range s.g.Neighbors(u) {
+		if s.alive[v] {
+			s.removeNode(v)
+		}
+	}
+	s.removeNode(u)
+}
+
+func (s *solver) untake(mark, curMark int) {
+	s.restore(mark)
+	s.cur = s.cur[:curMark]
+}
+
+// solveComponent runs the exact search restricted to nodes (a connected
+// component). All component nodes must currently be alive.
+func (s *solver) solveComponent(nodes []int32) ([]int32, error) {
+	s.comp = nodes
+	for _, u := range nodes {
+		s.inComp[u] = true
+	}
+	defer func() {
+		for _, u := range nodes {
+			s.inComp[u] = false
+		}
+	}()
+	s.cur = s.cur[:0]
+	s.best = s.best[:0]
+	s.deadhit = false
+
+	// Seed the incumbent with a greedy solution so the bound bites early.
+	s.greedySeed()
+
+	s.search()
+	if s.deadhit {
+		return nil, ErrDeadline
+	}
+	// The search unwinds its trail completely, so component nodes are alive
+	// again here; disjoint components never interact either way.
+	return append([]int32(nil), s.best...), nil
+}
+
+// greedySeed computes a greedy min-degree independent set of the component
+// and installs it as the incumbent.
+func (s *solver) greedySeed() {
+	mark := s.mark()
+	for {
+		var pick int32 = -1
+		bd := int32(1 << 30)
+		for _, u := range s.comp {
+			if s.alive[u] && s.deg[u] < bd {
+				pick, bd = u, s.deg[u]
+			}
+		}
+		if pick < 0 {
+			break
+		}
+		s.take(pick)
+	}
+	s.best = append(s.best[:0], s.cur...)
+	s.untake(mark, 0)
+}
+
+func (s *solver) expired() bool {
+	if s.deadhit {
+		return true
+	}
+	if s.deadline.IsZero() {
+		return false
+	}
+	s.ticks++
+	if s.ticks&255 == 0 && time.Now().After(s.deadline) {
+		s.deadhit = true
+	}
+	return s.deadhit
+}
+
+// search is the recursive branch-and-reduce.
+func (s *solver) search() {
+	if s.expired() {
+		return
+	}
+	mark := s.mark()
+	curMark := len(s.cur)
+
+	// Reductions, applied to a fixed point: degree-0 and degree-1 nodes
+	// are always safe to take, and so is a degree-2 node whose two
+	// neighbours are adjacent (the triangle rule: at most one of the
+	// neighbours can be in any independent set, and swapping it for the
+	// degree-2 node never hurts).
+	for {
+		applied := false
+		for _, u := range s.comp {
+			if !s.alive[u] {
+				continue
+			}
+			switch s.deg[u] {
+			case 0, 1:
+				s.take(u)
+				applied = true
+			case 2:
+				var x, y int32 = -1, -1
+				for _, v := range s.g.Neighbors(u) {
+					if s.alive[v] {
+						if x < 0 {
+							x = v
+						} else {
+							y = v
+						}
+					}
+				}
+				if y >= 0 && s.g.HasEdge(x, y) {
+					s.take(u)
+					applied = true
+				}
+			}
+		}
+		if !applied {
+			break
+		}
+	}
+
+	// Collect the active residue.
+	active := activeNodes(s)
+	if len(active) == 0 {
+		if len(s.cur) > len(s.best) {
+			s.best = append(s.best[:0], s.cur...)
+		}
+		s.untake(mark, curMark)
+		return
+	}
+
+	// Bound: |cur| + cliqueCoverBound(active) must beat the incumbent.
+	if len(s.cur)+s.cliqueCoverBound(active) <= len(s.best) {
+		s.untake(mark, curMark)
+		return
+	}
+
+	// Branch on a maximum-degree node v: include it or exclude it.
+	var v int32 = -1
+	bd := int32(-1)
+	for _, u := range active {
+		if s.deg[u] > bd {
+			v, bd = u, s.deg[u]
+		}
+	}
+
+	// Branch 1: include v.
+	m2 := s.mark()
+	c2 := len(s.cur)
+	s.take(v)
+	s.search()
+	s.untake(m2, c2)
+
+	// Branch 2: exclude v.
+	if !s.deadhit {
+		s.removeNode(v)
+		s.search()
+		s.restore(m2)
+	}
+
+	s.untake(mark, curMark)
+}
+
+func activeNodes(s *solver) []int32 {
+	var out []int32
+	for _, u := range s.comp {
+		if s.alive[u] {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// cliqueCoverBound greedily partitions the active nodes into cliques and
+// returns the number of cliques — an upper bound on the MIS size of the
+// residue, since an independent set takes at most one node per clique.
+func (s *solver) cliqueCoverBound(active []int32) int {
+	cover := s.coverBuf[:0]
+	for _, u := range active {
+		placed := false
+		for i := range cover {
+			// u joins clique i if adjacent to every member.
+			all := true
+			for _, w := range cover[i] {
+				if !s.g.HasEdge(u, w) {
+					all = false
+					break
+				}
+			}
+			if all {
+				cover[i] = append(cover[i], u)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			if len(cover) < cap(cover) {
+				cover = cover[:len(cover)+1]
+				cover[len(cover)-1] = cover[len(cover)-1][:0]
+			} else {
+				cover = append(cover, make([]int32, 0, 8))
+			}
+			cover[len(cover)-1] = append(cover[len(cover)-1], u)
+		}
+	}
+	s.coverBuf = cover
+	return len(cover)
+}

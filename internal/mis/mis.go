@@ -1,0 +1,121 @@
+// Package mis provides maximum-independent-set solvers for the OPT baseline
+// of the paper (§I straightforward approach, §VI competitor "OPT"): an
+// exact branch-and-reduce solver standing in for the Akiba–Iwata VCSolver
+// the paper uses [42], and the greedy min-degree heuristic the paper's §IV-B
+// discussion refers to.
+package mis
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// ErrDeadline is returned by Exact when the optional deadline elapses — the
+// analogue of the paper's OOT outcome.
+var ErrDeadline = errors.New("mis: deadline exceeded")
+
+// Exact computes a maximum independent set of g by branch and reduce. If
+// deadline is non-zero and passes before the search completes, it returns
+// ErrDeadline. The returned node ids are sorted.
+func Exact(g *graph.Graph, deadline time.Time) ([]int32, error) {
+	s := newSolver(g, deadline)
+	// Solve each connected component independently: MIS is additive over
+	// components, and the bound gets much tighter on small pieces.
+	comp := components(g)
+	var result []int32
+	for _, nodes := range comp {
+		picked, err := s.solveComponent(nodes)
+		if err != nil {
+			return nil, err
+		}
+		result = append(result, picked...)
+	}
+	sort.Slice(result, func(i, j int) bool { return result[i] < result[j] })
+	return result, nil
+}
+
+// Greedy computes a maximal independent set by repeatedly taking a
+// minimum-degree node and deleting its closed neighbourhood — the heuristic
+// the paper's §IV-B ordering argument is modelled on. Returned ids sorted.
+func Greedy(g *graph.Graph) []int32 {
+	n := g.N()
+	alive := make([]bool, n)
+	deg := make([]int32, n)
+	for u := 0; u < n; u++ {
+		alive[u] = true
+		deg[u] = int32(g.Degree(int32(u)))
+	}
+	// Bucket queue keyed by current degree; lazily re-validated.
+	maxD := g.MaxDegree()
+	buckets := make([][]int32, maxD+1)
+	for u := 0; u < n; u++ {
+		buckets[deg[u]] = append(buckets[deg[u]], int32(u))
+	}
+	var out []int32
+	remaining := n
+	for d := 0; d <= maxD && remaining > 0; {
+		if len(buckets[d]) == 0 {
+			d++
+			continue
+		}
+		u := buckets[d][len(buckets[d])-1]
+		buckets[d] = buckets[d][:len(buckets[d])-1]
+		if !alive[u] || deg[u] != int32(d) {
+			continue // stale entry
+		}
+		// Take u; remove closed neighbourhood.
+		out = append(out, u)
+		alive[u] = false
+		remaining--
+		for _, v := range g.Neighbors(u) {
+			if !alive[v] {
+				continue
+			}
+			alive[v] = false
+			remaining--
+			for _, w := range g.Neighbors(v) {
+				if alive[w] {
+					deg[w]--
+					buckets[deg[w]] = append(buckets[deg[w]], w)
+				}
+			}
+		}
+		if d > 0 {
+			d = 0 // degrees may have dropped below the cursor
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// components returns the connected components of g as node lists.
+func components(g *graph.Graph) [][]int32 {
+	n := g.N()
+	seen := make([]bool, n)
+	var out [][]int32
+	var stack []int32
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		stack = append(stack[:0], int32(s))
+		var comp []int32
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, u)
+			for _, v := range g.Neighbors(u) {
+				if !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		out = append(out, comp)
+	}
+	return out
+}

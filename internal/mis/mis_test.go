@@ -1,0 +1,229 @@
+package mis
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+func randomGraph(n int, p float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func isIndependent(g *graph.Graph, set []int32) bool {
+	for i := range set {
+		for j := i + 1; j < len(set); j++ {
+			if g.HasEdge(set[i], set[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// bruteMIS finds the maximum independent set size by subset enumeration
+// (n <= ~22).
+func bruteMIS(g *graph.Graph) int {
+	n := g.N()
+	adj := make([]uint32, n)
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(int32(u)) {
+			adj[u] |= 1 << uint(v)
+		}
+	}
+	best := 0
+	for mask := uint32(0); mask < 1<<uint(n); mask++ {
+		ok := true
+		m := mask
+		for m != 0 {
+			u := trailingZeros(m)
+			if adj[u]&mask != 0 {
+				ok = false
+				break
+			}
+			m &= m - 1
+		}
+		if ok {
+			if c := popcount(mask); c > best {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+func trailingZeros(x uint32) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+func popcount(x uint32) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func TestExactMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		for _, p := range []float64{0.1, 0.3, 0.6} {
+			g := randomGraph(14, p, seed)
+			want := bruteMIS(g)
+			got, err := Exact(g, time.Time{})
+			if err != nil {
+				t.Fatalf("Exact: %v", err)
+			}
+			if !isIndependent(g, got) {
+				t.Fatalf("seed=%d p=%v: Exact returned dependent set", seed, p)
+			}
+			if len(got) != want {
+				t.Fatalf("seed=%d p=%v: |MIS| = %d, want %d", seed, p, len(got), want)
+			}
+		}
+	}
+}
+
+func TestExactKnownGraphs(t *testing.T) {
+	// Path P5: MIS = 3 (alternate).
+	p5, _ := graph.FromEdges(5, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	got, err := Exact(p5, time.Time{})
+	if err != nil || len(got) != 3 {
+		t.Errorf("P5 MIS = %d (err %v), want 3", len(got), err)
+	}
+	// Cycle C5: MIS = 2.
+	c5, _ := graph.FromEdges(5, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}})
+	got, err = Exact(c5, time.Time{})
+	if err != nil || len(got) != 2 {
+		t.Errorf("C5 MIS = %d (err %v), want 2", len(got), err)
+	}
+	// K6: MIS = 1.
+	b := graph.NewBuilder(6)
+	for u := 0; u < 6; u++ {
+		for v := u + 1; v < 6; v++ {
+			b.AddEdge(int32(u), int32(v))
+		}
+	}
+	got, err = Exact(b.MustBuild(), time.Time{})
+	if err != nil || len(got) != 1 {
+		t.Errorf("K6 MIS = %d (err %v), want 1", len(got), err)
+	}
+	// Empty graph on 7 nodes: MIS = 7.
+	empty, _ := graph.FromEdges(7, nil)
+	got, err = Exact(empty, time.Time{})
+	if err != nil || len(got) != 7 {
+		t.Errorf("empty MIS = %d (err %v), want 7", len(got), err)
+	}
+	// Star K1,5: MIS = 5 leaves.
+	star, _ := graph.FromEdges(6, [][2]int32{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}})
+	got, err = Exact(star, time.Time{})
+	if err != nil || len(got) != 5 {
+		t.Errorf("star MIS = %d (err %v), want 5", len(got), err)
+	}
+}
+
+func TestExactDisconnected(t *testing.T) {
+	// Two triangles + isolated node: MIS = 1 + 1 + 1.
+	g, _ := graph.FromEdges(7, [][2]int32{
+		{0, 1}, {1, 2}, {0, 2},
+		{3, 4}, {4, 5}, {3, 5},
+	})
+	got, err := Exact(g, time.Time{})
+	if err != nil {
+		t.Fatalf("Exact: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("MIS = %d, want 3", len(got))
+	}
+	if !isIndependent(g, got) {
+		t.Fatal("dependent set")
+	}
+}
+
+func TestExactDeadline(t *testing.T) {
+	// A moderately hard dense instance with an immediate deadline.
+	g := randomGraph(120, 0.5, 99)
+	_, err := Exact(g, time.Now().Add(-time.Second))
+	if err != ErrDeadline {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+}
+
+func TestExactMediumRandom(t *testing.T) {
+	// Exact should comfortably solve mid-size sparse instances and always
+	// dominate the greedy solution.
+	for seed := int64(20); seed < 23; seed++ {
+		g := randomGraph(60, 0.08, seed)
+		exact, err := Exact(g, time.Now().Add(30*time.Second))
+		if err != nil {
+			t.Fatalf("Exact: %v", err)
+		}
+		if !isIndependent(g, exact) {
+			t.Fatal("dependent exact set")
+		}
+		greedy := Greedy(g)
+		if !isIndependent(g, greedy) {
+			t.Fatal("dependent greedy set")
+		}
+		if len(greedy) > len(exact) {
+			t.Fatalf("greedy %d beats exact %d", len(greedy), len(exact))
+		}
+	}
+}
+
+func TestGreedyMaximal(t *testing.T) {
+	for seed := int64(30); seed < 36; seed++ {
+		g := randomGraph(50, 0.2, seed)
+		set := Greedy(g)
+		if !isIndependent(g, set) {
+			t.Fatal("greedy returned dependent set")
+		}
+		// Maximality: every node outside the set has a neighbour inside.
+		inSet := make([]bool, g.N())
+		for _, u := range set {
+			inSet[u] = true
+		}
+		for u := int32(0); int(u) < g.N(); u++ {
+			if inSet[u] {
+				continue
+			}
+			ok := false
+			for _, v := range g.Neighbors(u) {
+				if inSet[v] {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("node %d could be added: set not maximal", u)
+			}
+		}
+	}
+}
+
+func TestGreedyEmptyAndSingleton(t *testing.T) {
+	empty, _ := graph.FromEdges(0, nil)
+	if got := Greedy(empty); len(got) != 0 {
+		t.Error("empty graph greedy should be empty")
+	}
+	one, _ := graph.FromEdges(1, nil)
+	if got := Greedy(one); len(got) != 1 {
+		t.Error("singleton greedy should pick the node")
+	}
+}

@@ -1,0 +1,126 @@
+package mis
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/graph"
+)
+
+func TestExactPetersen(t *testing.T) {
+	// The Petersen graph has independence number 4.
+	g, _ := graph.FromEdges(10, [][2]int32{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0},
+		{5, 7}, {7, 9}, {9, 6}, {6, 8}, {8, 5},
+		{0, 5}, {1, 6}, {2, 7}, {3, 8}, {4, 9},
+	})
+	set, err := Exact(g, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 4 {
+		t.Fatalf("Petersen MIS = %d, want 4", len(set))
+	}
+}
+
+func TestExactBipartiteKoenig(t *testing.T) {
+	// K_{a,b}: MIS = max(a, b).
+	for _, tc := range [][2]int{{3, 5}, {4, 4}, {1, 7}} {
+		a, bN := tc[0], tc[1]
+		b := graph.NewBuilder(a + bN)
+		for u := 0; u < a; u++ {
+			for v := a; v < a+bN; v++ {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+		set, err := Exact(b.MustBuild(), time.Time{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := a
+		if bN > a {
+			want = bN
+		}
+		if len(set) != want {
+			t.Fatalf("K%d,%d MIS = %d, want %d", a, bN, len(set), want)
+		}
+	}
+}
+
+func TestExactOddCycles(t *testing.T) {
+	// C_{2k+1}: MIS = k.
+	for _, n := range []int{5, 7, 9, 11} {
+		b := graph.NewBuilder(n)
+		for i := 0; i < n; i++ {
+			b.AddEdge(int32(i), int32((i+1)%n))
+		}
+		set, err := Exact(b.MustBuild(), time.Time{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(set) != n/2 {
+			t.Fatalf("C%d MIS = %d, want %d", n, len(set), n/2)
+		}
+	}
+}
+
+// TestQuickExactDominatesGreedy: exact is never smaller and both are
+// independent.
+func TestQuickExactDominatesGreedy(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(18, 0.3, seed)
+		exact, err := Exact(g, time.Time{})
+		if err != nil {
+			return false
+		}
+		greedy := Greedy(g)
+		return isIndependent(g, exact) && isIndependent(g, greedy) &&
+			len(greedy) <= len(exact)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyOnCliqueChain(t *testing.T) {
+	// Chain of K4s sharing a node: greedy min-degree should still find a
+	// large independent set (one per clique interior).
+	b := graph.NewBuilder(13) // 4 cliques of 4 sharing endpoints: 0..3,3..6,6..9,9..12
+	for c := 0; c < 4; c++ {
+		base := int32(c * 3)
+		for i := int32(0); i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				b.AddEdge(base+i, base+j)
+			}
+		}
+	}
+	g := b.MustBuild()
+	set := Greedy(g)
+	if !isIndependent(g, set) {
+		t.Fatal("dependent set")
+	}
+	if len(set) < 4 {
+		t.Fatalf("greedy = %d, want >= 4", len(set))
+	}
+	exact, err := Exact(g, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact) != 4 {
+		t.Fatalf("exact = %d, want 4", len(exact))
+	}
+}
+
+func TestExactResultSorted(t *testing.T) {
+	g := randomGraph(20, 0.25, 77)
+	set, err := Exact(g, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(set); i++ {
+		if set[i] <= set[i-1] {
+			t.Fatal("result not sorted")
+		}
+	}
+}

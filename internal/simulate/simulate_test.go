@@ -1,0 +1,118 @@
+package simulate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestTeamRateMonotonic(t *testing.T) {
+	m := DefaultModel(1)
+	prev := -1.0
+	for e := 0; e <= 6; e++ {
+		r := m.TeamRate(e)
+		if r <= prev {
+			t.Fatalf("rate not strictly increasing at %d edges", e)
+		}
+		if r < 0 || r > 1 {
+			t.Fatalf("rate %f out of range", r)
+		}
+		prev = r
+	}
+	// The Fig. 1(b) calibration: 6-edge teams ~25.6% above 5-edge teams.
+	lift := m.TeamRate(6)/m.TeamRate(5) - 1
+	if math.Abs(lift-0.256) > 1e-9 {
+		t.Fatalf("6-vs-5 edge lift = %f, want 0.256", lift)
+	}
+	// Cap at 1.
+	big := EventModel{BaseRate: 0.9, EdgeLift: 1.0}
+	if big.TeamRate(10) != 1 {
+		t.Fatal("rate must cap at 1")
+	}
+}
+
+func TestRunAccounting(t *testing.T) {
+	g, _ := graph.FromEdges(8, [][2]int32{
+		{0, 1}, {1, 2}, {0, 2}, // triangle team
+		{3, 4}, // one edge of team {3,4,5}
+	})
+	m := DefaultModel(7)
+	out, err := m.Run(g, [][]int32{{0, 1, 2}, {3, 4, 5}, {6, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Players != 8 {
+		t.Fatalf("players = %d", out.Players)
+	}
+	if out.Buckets[3].Teams != 1 || out.Buckets[3].Players != 3 {
+		t.Fatalf("triangle bucket wrong: %+v", out.Buckets[3])
+	}
+	if out.Buckets[1].Teams != 1 {
+		t.Fatalf("one-edge bucket wrong: %+v", out.Buckets[1])
+	}
+	if out.Buckets[0].Teams != 1 {
+		t.Fatalf("zero-edge bucket wrong: %+v", out.Buckets[0])
+	}
+	if out.Converted < 0 || out.Converted > out.Players {
+		t.Fatal("conversion count out of range")
+	}
+	if r := out.Rate(); r < 0 || r > 1 {
+		t.Fatalf("rate %f", r)
+	}
+}
+
+func TestRunRejectsBadTeams(t *testing.T) {
+	g, _ := graph.FromEdges(4, [][2]int32{{0, 1}})
+	m := DefaultModel(1)
+	if _, err := m.Run(g, [][]int32{{}}); err == nil {
+		t.Fatal("empty team accepted")
+	}
+	if _, err := m.Run(g, [][]int32{{0, 1}, {1, 2}}); err == nil {
+		t.Fatal("overlapping teams accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	g := gen.CommunitySocial(200, 5, 0.3, 200, 3)
+	teams := [][]int32{}
+	for u := int32(0); u+3 < int32(g.N()); u += 4 {
+		teams = append(teams, []int32{u, u + 1, u + 2, u + 3})
+	}
+	m := DefaultModel(42)
+	a, err := m.Run(g, teams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Run(g, teams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Converted != b.Converted {
+		t.Fatal("same seed produced different outcomes")
+	}
+}
+
+// TestLPBeatsHGOnConversion is the end-to-end motivation check: the better
+// clique packing must convert better under the Fig. 1 model.
+func TestLPBeatsHGOnConversion(t *testing.T) {
+	g := gen.CommunitySocial(3000, 8, 0.35, 6000, 99)
+	k := 4
+	rates := map[core.Algorithm]float64{}
+	for _, alg := range []core.Algorithm{core.HG, core.LP} {
+		p, err := core.Partition(g, core.Options{K: k, Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := DefaultModel(7).Run(g, p.Teams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rates[alg] = out.Rate()
+	}
+	if rates[core.LP] <= rates[core.HG] {
+		t.Fatalf("LP conversion %.4f not above HG %.4f", rates[core.LP], rates[core.HG])
+	}
+}

@@ -1,0 +1,88 @@
+// Package workload builds the update streams of the paper's §VI-E dynamic
+// evaluation: a batch of uniformly sampled edge deletions, the matching
+// re-insertions, and a mixed stream that removes a batch up front and then
+// interleaves its re-insertion with deletions of other random edges.
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Op is a single graph update.
+type Op struct {
+	// Insert selects insertion (true) or deletion (false).
+	Insert bool
+	U, V   int32
+}
+
+// Deletions samples count distinct edges of g uniformly; applying them in
+// order is the paper's deletion workload. count is capped at M.
+func Deletions(g *graph.Graph, count int, seed int64) []Op {
+	edges := sample(g, count, seed)
+	out := make([]Op, len(edges))
+	for i, e := range edges {
+		out[i] = Op{Insert: false, U: e[0], V: e[1]}
+	}
+	return out
+}
+
+// Insertions returns the re-insertion stream matching Deletions with the
+// same seed: the paper deletes 10K random edges, then adds them back to
+// measure insertion cost.
+func Insertions(g *graph.Graph, count int, seed int64) []Op {
+	edges := sample(g, count, seed)
+	out := make([]Op, len(edges))
+	for i, e := range edges {
+		out[i] = Op{Insert: true, U: e[0], V: e[1]}
+	}
+	return out
+}
+
+// Mixed builds the 2×count mixed workload: count edges are deleted from g
+// up front (the caller applies Prepare to its engine or graph), then the
+// stream interleaves their re-insertion with deletions of count other
+// random edges, shuffled.
+type MixedWorkload struct {
+	// Prepare holds the up-front deletions that produce G' from G.
+	Prepare []Op
+	// Stream holds the 2×count measured updates applied to G'.
+	Stream []Op
+}
+
+// Mixed samples 2*count distinct edges: the first count are deleted up
+// front and re-inserted during the stream, the second count are deleted
+// during the stream.
+func Mixed(g *graph.Graph, count int, seed int64) MixedWorkload {
+	edges := sample(g, 2*count, seed)
+	half := len(edges) / 2
+	pre := edges[:half]
+	del := edges[half:]
+	var w MixedWorkload
+	for _, e := range pre {
+		w.Prepare = append(w.Prepare, Op{Insert: false, U: e[0], V: e[1]})
+	}
+	for _, e := range pre {
+		w.Stream = append(w.Stream, Op{Insert: true, U: e[0], V: e[1]})
+	}
+	for _, e := range del {
+		w.Stream = append(w.Stream, Op{Insert: false, U: e[0], V: e[1]})
+	}
+	rng := rand.New(rand.NewSource(seed + 7))
+	rng.Shuffle(len(w.Stream), func(i, j int) {
+		w.Stream[i], w.Stream[j] = w.Stream[j], w.Stream[i]
+	})
+	return w
+}
+
+// sample draws count distinct edges uniformly at random.
+func sample(g *graph.Graph, count int, seed int64) [][2]int32 {
+	edges := g.EdgeList()
+	if count > len(edges) {
+		count = len(edges)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	return edges[:count]
+}

@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func testGraph(seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(50)
+	for u := 0; u < 50; u++ {
+		for v := u + 1; v < 50; v++ {
+			if rng.Float64() < 0.2 {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestDeletionsSampleRealEdges(t *testing.T) {
+	g := testGraph(1)
+	ops := Deletions(g, 30, 2)
+	if len(ops) != 30 {
+		t.Fatalf("got %d ops, want 30", len(ops))
+	}
+	seen := map[[2]int32]bool{}
+	for _, op := range ops {
+		if op.Insert {
+			t.Fatal("deletion stream contains insert")
+		}
+		if !g.HasEdge(op.U, op.V) {
+			t.Fatalf("sampled non-edge (%d,%d)", op.U, op.V)
+		}
+		k := [2]int32{op.U, op.V}
+		if k[0] > k[1] {
+			k[0], k[1] = k[1], k[0]
+		}
+		if seen[k] {
+			t.Fatal("duplicate edge in sample")
+		}
+		seen[k] = true
+	}
+}
+
+func TestInsertionsMatchDeletions(t *testing.T) {
+	g := testGraph(3)
+	del := Deletions(g, 20, 4)
+	ins := Insertions(g, 20, 4)
+	if len(del) != len(ins) {
+		t.Fatal("streams differ in length")
+	}
+	for i := range del {
+		if del[i].U != ins[i].U || del[i].V != ins[i].V {
+			t.Fatal("same seed must sample the same edges")
+		}
+		if !ins[i].Insert || del[i].Insert {
+			t.Fatal("op kinds wrong")
+		}
+	}
+}
+
+func TestDeletionsCapAtM(t *testing.T) {
+	g := testGraph(5)
+	ops := Deletions(g, g.M()*10, 6)
+	if len(ops) != g.M() {
+		t.Fatalf("got %d ops, want M=%d", len(ops), g.M())
+	}
+}
+
+func TestMixedWorkloadShape(t *testing.T) {
+	g := testGraph(7)
+	w := Mixed(g, 10, 8)
+	if len(w.Prepare) != 10 {
+		t.Fatalf("prepare = %d, want 10", len(w.Prepare))
+	}
+	if len(w.Stream) != 20 {
+		t.Fatalf("stream = %d, want 20", len(w.Stream))
+	}
+	ins, del := 0, 0
+	for _, op := range w.Stream {
+		if op.Insert {
+			ins++
+		} else {
+			del++
+		}
+	}
+	if ins != 10 || del != 10 {
+		t.Fatalf("stream has %d inserts / %d deletes, want 10/10", ins, del)
+	}
+	// Every re-inserted edge appears in Prepare; prepared and
+	// stream-deleted edges are disjoint samples.
+	prep := map[[2]int32]bool{}
+	for _, op := range w.Prepare {
+		if op.Insert {
+			t.Fatal("prepare must be deletions")
+		}
+		prep[norm(op.U, op.V)] = true
+	}
+	for _, op := range w.Stream {
+		if op.Insert && !prep[norm(op.U, op.V)] {
+			t.Fatal("stream insert not prepared")
+		}
+		if !op.Insert && prep[norm(op.U, op.V)] {
+			t.Fatal("stream delete overlaps prepared batch")
+		}
+	}
+}
+
+func norm(u, v int32) [2]int32 {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int32{u, v}
+}
+
+func TestMixedApplies(t *testing.T) {
+	// Applying Prepare then Stream to a dynamic copy must leave edge count
+	// at M - count (count prepared edges return, count others leave).
+	g := testGraph(9)
+	w := Mixed(g, 8, 10)
+	d := graph.DynamicFrom(g)
+	for _, op := range w.Prepare {
+		if !d.DeleteEdge(op.U, op.V) {
+			t.Fatal("prepare delete failed")
+		}
+	}
+	for _, op := range w.Stream {
+		if op.Insert {
+			if !d.InsertEdge(op.U, op.V) {
+				t.Fatal("stream insert failed")
+			}
+		} else {
+			if !d.DeleteEdge(op.U, op.V) {
+				t.Fatal("stream delete failed")
+			}
+		}
+	}
+	if d.M() != g.M()-8 {
+		t.Fatalf("final M = %d, want %d", d.M(), g.M()-8)
+	}
+}
