@@ -1,14 +1,17 @@
 package dkclique
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/dynamic"
 	"repro/internal/experiments"
+	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/kclique"
 	"repro/internal/workload"
@@ -116,6 +119,23 @@ func BenchmarkCliqueCounting(b *testing.B) {
 	})
 }
 
+// BenchmarkFind sweeps the worker-pool size for the recommended method —
+// the headline parallel-vs-serial comparison. Workers=1 is the fully
+// serial baseline; the NumCPU row shows the speedup the root-partitioned
+// pool extracts from score counting plus heap initialisation.
+func BenchmarkFind(b *testing.B) {
+	g := gen.CommunitySocial(30000, 16, 0.15, 60000, 11)
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("LP/workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Find(g, core.Options{K: 4, Algorithm: core.LP, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkDynamicUpdate reports the paper's Fig. 7 unit: nanoseconds per
 // single update on a maintained engine.
 func BenchmarkDynamicUpdate(b *testing.B) {
@@ -148,18 +168,71 @@ func BenchmarkDynamicUpdate(b *testing.B) {
 }
 
 // BenchmarkIndexBuild times Algorithm 5 (Construction), Table VII's
-// indexing-time column.
+// indexing-time column, serial versus the full worker pool.
 func BenchmarkIndexBuild(b *testing.B) {
-	g := benchGraph(b, "FBP")
+	g := gen.CommunitySocial(30000, 16, 0.15, 60000, 11)
 	k := 4
 	res, err := core.Find(g, core.Options{K: k, Algorithm: core.LP})
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := dynamic.New(g, k, res.Cliques); err != nil {
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dynamic.NewWorkers(g, k, res.Cliques, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkApplyBatch compares draining an update queue one op at a time
+// against the batched path, which coalesces candidate rebuilds and runs
+// them on the worker pool. Each iteration processes the full 2000-op mixed
+// stream (ns/op is per batch, not per update; divide by len(w.Stream) to
+// compare with BenchmarkDynamicUpdate).
+func BenchmarkApplyBatch(b *testing.B) {
+	g := gen.CommunitySocial(20000, 14, 0.15, 40000, 13)
+	k := 4
+	res, err := core.Find(g, core.Options{K: k, Algorithm: core.LP})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := workload.Mixed(g, 1000, 3)
+	ops := w.Stream
+	build := func() *dynamic.Engine {
+		e, err := dynamic.New(g, k, res.Cliques)
+		if err != nil {
 			b.Fatal(err)
 		}
+		// Apply the up-front deletions so the stream's re-insertions hit
+		// a graph they are actually absent from.
+		for _, op := range w.Prepare {
+			e.DeleteEdge(op.U, op.V)
+		}
+		return e
 	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			e := build()
+			b.StartTimer()
+			for _, op := range ops {
+				if op.Insert {
+					e.InsertEdge(op.U, op.V)
+				} else {
+					e.DeleteEdge(op.U, op.V)
+				}
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			e := build()
+			b.StartTimer()
+			e.ApplyBatch(ops)
+		}
+	})
 }

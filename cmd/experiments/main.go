@@ -25,6 +25,7 @@ func main() {
 		all      = flag.Bool("all", false, "run every table, figure and ablation")
 		full     = flag.Bool("full", false, "full sweep (all datasets, k=3..6) instead of the quick subset")
 		shapes   = flag.Bool("shapes", false, "verify the paper's qualitative claims (exits non-zero on failure)")
+		workers  = flag.Int("workers", 0, "worker-pool size for every parallel phase (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -32,6 +33,7 @@ func main() {
 	if *full {
 		cfg = experiments.Full(os.Stdout)
 	}
+	cfg.Workers = *workers
 
 	type job struct {
 		name string

@@ -14,12 +14,23 @@
 //
 // For graphs that change over time, NewDynamic maintains the result set
 // under edge insertions and deletions in microseconds per update (Section V
-// of the paper):
+// of the paper). Single updates apply with InsertEdge / DeleteEdge; a queue
+// of accumulated updates drains fastest through ApplyBatch, which coalesces
+// the index maintenance they share and rebuilds the affected cliques
+// concurrently:
 //
 //	dyn, _ := dkclique.NewDynamic(g, 4, res.Cliques)
 //	dyn.InsertEdge(17, 42)
-//	dyn.DeleteEdge(3, 9)
+//	dyn.ApplyBatch([]dkclique.Update{
+//		{Insert: true, U: 3, V: 9},
+//		{Insert: false, U: 12, V: 70},
+//	})
 //	fmt.Println(dyn.Size())
+//
+// Every parallel path — Find's score counting and heap initialisation,
+// index construction, batched updates — honours Options.Workers (or the
+// NewDynamicWorkers bound) and produces worker-count-independent results:
+// identical sets under Options.StrictTies, identical sizes otherwise.
 package dkclique
 
 import (

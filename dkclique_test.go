@@ -195,6 +195,62 @@ func TestPublicDynamic(t *testing.T) {
 	_ = dyn.NumCandidates()
 }
 
+func TestPublicApplyBatch(t *testing.T) {
+	g, err := Generate(CommunitySocial(600, 6, 0.3, 600, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Find(g, Options{K: 3, Algorithm: LP, StrictTies: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a mixed batch: delete 40 existing edges, then re-insert half.
+	var ops []Update
+	g.Edges(func(u, v int32) bool {
+		ops = append(ops, Update{Insert: false, U: u, V: v})
+		return len(ops) < 40
+	})
+	for _, op := range ops[:20] {
+		ops = append(ops, Update{Insert: true, U: op.U, V: op.V})
+	}
+
+	// Worker-count invariance end-to-end through the public API.
+	var want [][]int32
+	for _, workers := range []int{1, 4} {
+		dyn, err := NewDynamicWorkers(g, 3, res.Cliques, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := dyn.ApplyBatch(ops); got != len(ops) {
+			t.Fatalf("workers=%d: applied %d of %d ops", workers, got, len(ops))
+		}
+		if err := Verify(dyn.Snapshot(), 3, dyn.Result()); err != nil {
+			t.Fatal(err)
+		}
+		if !IsMaximal(dyn.Snapshot(), 3, dyn.Result()) {
+			t.Fatalf("workers=%d: batched result not maximal", workers)
+		}
+		if st := dyn.Stats(); st.Batches != 1 || st.BatchedOps != len(ops) {
+			t.Fatalf("workers=%d: stats %+v", workers, st)
+		}
+		if want == nil {
+			want = dyn.Result()
+			continue
+		}
+		got := dyn.Result()
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: |S| = %d, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			for j := range got[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("workers=%d: result diverges at clique %d", workers, i)
+				}
+			}
+		}
+	}
+}
+
 func TestDynamicValidation(t *testing.T) {
 	g, _ := FromEdges(4, [][2]int32{{0, 1}})
 	if _, err := NewDynamic(g, 2, nil); err == nil {

@@ -4,7 +4,12 @@ import (
 	"io"
 
 	"repro/internal/dynamic"
+	"repro/internal/workload"
 )
+
+// Update is a single edge update for ApplyBatch: an insertion when Insert
+// is set, a deletion otherwise.
+type Update = workload.Op
 
 // Dynamic maintains a near-optimal maximal disjoint k-clique set while the
 // graph receives edge insertions and deletions (the paper's Section V). It
@@ -23,7 +28,16 @@ type DynamicStats = dynamic.Stats
 // Find result. A nil or non-maximal initial set is completed greedily
 // before the index is built.
 func NewDynamic(g *Graph, k int, initial [][]int32) (*Dynamic, error) {
-	e, err := dynamic.New(g.g, k, initial)
+	return NewDynamicWorkers(g, k, initial, 0)
+}
+
+// NewDynamicWorkers is NewDynamic with an explicit parallelism bound for
+// the index construction (Algorithm 5) and later ApplyBatch rebuilds;
+// workers <= 0 means GOMAXPROCS. The maintainer built — and every result
+// it later produces — is identical for any worker count; workers only
+// changes how fast the enumeration-heavy phases run.
+func NewDynamicWorkers(g *Graph, k int, initial [][]int32, workers int) (*Dynamic, error) {
+	e, err := dynamic.NewWorkers(g.g, k, initial, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -38,6 +52,15 @@ func (d *Dynamic) InsertEdge(u, v int32) bool { return d.e.InsertEdge(u, v) }
 // DeleteEdge applies an edge deletion (Algorithm 7) and reports whether
 // the edge existed.
 func (d *Dynamic) DeleteEdge(u, v int32) bool { return d.e.DeleteEdge(u, v) }
+
+// ApplyBatch applies a stream of edge updates as one unit and returns how
+// many changed the graph. Semantically it matches calling InsertEdge /
+// DeleteEdge in order, but the expensive candidate-set re-enumerations are
+// coalesced — each affected clique is rebuilt once per batch, not once per
+// update — and run concurrently on the worker pool, so draining a queue of
+// accumulated updates is much faster than replaying it one by one. The
+// result is identical for every worker count.
+func (d *Dynamic) ApplyBatch(ops []Update) int { return d.e.ApplyBatch(ops) }
 
 // Size returns the current |S|.
 func (d *Dynamic) Size() int { return d.e.Size() }

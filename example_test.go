@@ -42,6 +42,24 @@ func ExampleNewDynamic() {
 	// after re-insert: 2
 }
 
+func ExampleDynamic_ApplyBatch() {
+	// Drain a queue of accumulated updates in one call: the engine
+	// coalesces the index maintenance the updates share and rebuilds the
+	// affected cliques concurrently, instead of once per update.
+	g, _ := dkclique.FromEdges(6, [][2]int32{
+		{0, 1}, {1, 2}, {0, 2},
+		{3, 4}, {4, 5}, {3, 5},
+	})
+	dyn, _ := dkclique.NewDynamic(g, 3, nil)
+	applied := dyn.ApplyBatch([]dkclique.Update{
+		{Insert: false, U: 0, V: 1}, // break the first triangle
+		{Insert: false, U: 3, V: 4}, // break the second
+		{Insert: true, U: 0, V: 1},  // restore the first
+	})
+	fmt.Println(applied, "updates applied,", dyn.Size(), "triangle remains")
+	// Output: 3 updates applied, 1 triangle remains
+}
+
 func ExampleMaximumMatching() {
 	// k = 2 special case: a 6-cycle has a perfect matching.
 	g, _ := dkclique.FromEdges(6, [][2]int32{

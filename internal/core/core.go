@@ -83,8 +83,11 @@ type Options struct {
 	K int
 	// Algorithm selects the method; default HG.
 	Algorithm Algorithm
-	// Workers bounds parallelism for score counting and heap
-	// initialisation; <= 0 means GOMAXPROCS.
+	// Workers bounds parallelism end-to-end: the k-clique score counting
+	// pass (GC, L, LP) and Algorithm 3's heap initialisation both run on a
+	// root-partitioned worker pool of this size; <= 0 means GOMAXPROCS.
+	// Results are identical for every worker count — ties are resolved by
+	// deterministic per-root state, never by goroutine scheduling.
 	Workers int
 	// Budget, when positive, bounds the wall time; exceeding it returns
 	// ErrOOT (the paper's 24 h cutoff, scaled).
@@ -170,17 +173,22 @@ func Find(g *graph.Graph, opt Options) (*Result, error) {
 	}, nil
 }
 
-// cliqueLexLess compares two cliques by their sorted member lists — the
-// fixed total clique ordering used when Options.StrictTies is set.
+// sortClique sorts a clique's members ascending in place, establishing the
+// Result.Cliques contract (and cliqueLexLess's precondition) once at
+// creation time.
+func sortClique(c []int32) {
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+}
+
+// cliqueLexLess compares two cliques by their member lists — the fixed
+// total clique ordering used when Options.StrictTies is set. Both inputs
+// must already be sorted ascending (the Result.Cliques contract); callers
+// sort once at clique creation so this hot comparator allocates nothing.
 func cliqueLexLess(a, b []int32) bool {
-	sa := append([]int32(nil), a...)
-	sb := append([]int32(nil), b...)
-	sort.Slice(sa, func(i, j int) bool { return sa[i] < sa[j] })
-	sort.Slice(sb, func(i, j int) bool { return sb[i] < sb[j] })
-	for i := 0; i < len(sa) && i < len(sb); i++ {
-		if sa[i] != sb[i] {
-			return sa[i] < sb[i]
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
 		}
 	}
-	return len(sa) < len(sb)
+	return len(a) < len(b)
 }

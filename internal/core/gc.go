@@ -40,6 +40,7 @@ func runGC(g *graph.Graph, opt *Options) ([][]int32, uint64, error) {
 		}
 		cc := make([]int32, k)
 		copy(cc, c)
+		sortClique(cc) // establish cliqueLexLess's sorted precondition once
 		entries = append(entries, entry{clique: cc, score: s, seq: int64(len(entries))})
 		if !deadline.IsZero() && len(entries)&8191 == 0 && time.Now().After(deadline) {
 			oot = true

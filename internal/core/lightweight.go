@@ -2,9 +2,6 @@ package core
 
 import (
 	"container/heap"
-	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
@@ -13,8 +10,12 @@ import (
 
 // heapEntry is a clique held in the global min-heap of Algorithm 3: the
 // local-minimum-score clique found in some root's out-neighbourhood.
+// Members are kept sorted ascending so the strict tie-break comparator
+// needs no per-comparison sort or copy; the root (the maximum-ordering
+// member, needed for lazy recomputation) is carried separately.
 type heapEntry struct {
-	clique []int32 // clique[0] is the root (maximum-ordering member)
+	clique []int32 // sorted ascending
+	root   int32   // maximum-ordering member, Algorithm 3's heap key owner
 	score  int64
 	seq    int64 // discovery sequence, the default tie-break
 }
@@ -74,48 +75,29 @@ func runLightweight(g *graph.Graph, opt *Options, prune bool) ([][]int32, uint64
 		findMin = kclique.FindMinStrict
 	}
 
-	// HeapInit (lines 10-14): one local minimum per root, in parallel.
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = 1
-	}
+	// HeapInit (lines 10-14): one local minimum per root, root-parallel on
+	// the kclique worker pool. Results land in a per-root slot, so the heap
+	// seeded below is identical for every worker count: sequence numbers are
+	// assigned serially in root order afterwards.
 	maxDeg := g.MaxDegree()
 	type found struct {
 		clique []int32
 		score  int64
 	}
 	local := make([]found, n)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sc := kclique.NewScratch(k, maxDeg)
-			for {
-				u := int32(next.Add(1) - 1)
-				if int(u) >= n {
-					return
-				}
-				if d.OutDegree(u) < k-1 {
-					continue
-				}
-				if c, s, ok := findMin(d, k, u, scores, nil, prune, sc); ok {
-					local[u] = found{clique: c, score: s}
-				}
-			}
-		}()
-	}
-	wg.Wait()
+	kclique.ParallelRoots(d, k, opt.Workers, func(_ int, u int32, sc *kclique.Scratch) bool {
+		if c, s, ok := findMin(d, k, u, scores, nil, prune, sc); ok {
+			sortClique(c)
+			local[u] = found{clique: c, score: s}
+		}
+		return true
+	})
 
 	h := &cliqueHeap{strict: opt.StrictTies}
 	var seq int64
 	for u := int32(0); int(u) < n; u++ {
 		if local[u].clique != nil {
-			h.entries = append(h.entries, heapEntry{clique: local[u].clique, score: local[u].score, seq: seq})
+			h.entries = append(h.entries, heapEntry{clique: local[u].clique, root: u, score: local[u].score, seq: seq})
 			seq++
 		}
 	}
@@ -151,12 +133,13 @@ func runLightweight(g *graph.Graph, opt *Options, prune bool) ([][]int32, uint64
 		}
 		// Stale entry: if the root is still free, recompute its local
 		// minimum over the shrunken valid out-neighbourhood and re-push.
-		root := e.clique[0]
+		root := e.root
 		if !valid[root] || d.OutDegree(root) < k-1 {
 			continue
 		}
 		if c, s, found := findMin(d, k, root, scores, valid, prune, sc); found {
-			heap.Push(h, heapEntry{clique: c, score: s, seq: seq})
+			sortClique(c)
+			heap.Push(h, heapEntry{clique: c, root: root, score: s, seq: seq})
 			seq++
 		}
 	}

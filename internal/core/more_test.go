@@ -103,18 +103,24 @@ func TestStrictTiesDeterministicAcrossRuns(t *testing.T) {
 }
 
 func TestCliqueLexLessHelper(t *testing.T) {
-	if !cliqueLexLess([]int32{9, 1, 5}, []int32{9, 2, 5}) { // {1,5,9} < {2,5,9}
+	// Inputs must be pre-sorted ascending (the comparator no longer sorts
+	// or copies — members obey the Result.Cliques contract at creation).
+	if !cliqueLexLess([]int32{1, 5, 9}, []int32{2, 5, 9}) {
 		t.Error("lex compare wrong")
 	}
 	if cliqueLexLess([]int32{1, 2, 3}, []int32{1, 2, 3}) {
 		t.Error("equal lists are not less")
 	}
-	if !cliqueLexLess([]int32{1, 2}, []int32{1, 2, 0}) { // {1,2} < {0,1,2}? no!
-		// {0,1,2} sorted starts with 0 < 1, so {1,2} is NOT less.
-		t.Log("checking prefix ordering")
+	if !cliqueLexLess([]int32{1, 2}, []int32{1, 2, 3}) {
+		t.Error("proper prefix must precede its extension")
 	}
 	if cliqueLexLess([]int32{1, 2}, []int32{0, 1, 2}) {
 		t.Error("{1,2} must not precede {0,1,2}")
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		cliqueLexLess([]int32{1, 5, 9}, []int32{2, 5, 9})
+	}); n != 0 {
+		t.Errorf("cliqueLexLess allocates %.0f times per call, want 0", n)
 	}
 }
 

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// parallelTestGraph builds a community-social generator graph, the family
+// the paper's dynamic evaluation uses.
+func parallelTestGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	return gen.CommunitySocial(1500, 30, 0.15, 2500, 7)
+}
+
+// TestFindParallelDeterminism is the tentpole determinism guarantee: with
+// StrictTies set, every worker count must produce byte-for-byte the same
+// result as the serial run, for each algorithm that enumerates in parallel.
+func TestFindParallelDeterminism(t *testing.T) {
+	g := parallelTestGraph(t)
+	for _, alg := range []Algorithm{GC, L, LP} {
+		for _, k := range []int{3, 4} {
+			serial, err := Find(g, Options{K: k, Algorithm: alg, Workers: 1, StrictTies: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, runtime.GOMAXPROCS(0), 32} {
+				par, err := Find(g, Options{K: k, Algorithm: alg, Workers: workers, StrictTies: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(par.Cliques, serial.Cliques) {
+					t.Fatalf("%v k=%d workers=%d: parallel result diverges from serial (%d vs %d cliques)",
+						alg, k, workers, par.Size(), serial.Size())
+				}
+				if par.TotalKCliques != serial.TotalKCliques {
+					t.Fatalf("%v k=%d workers=%d: counted %d cliques, serial %d",
+						alg, k, workers, par.TotalKCliques, serial.TotalKCliques)
+				}
+			}
+		}
+	}
+}
+
+// TestFindParallelSizeInvariance: without StrictTies the sets may differ in
+// content on score ties, but never in size (the quality metric of §VI).
+func TestFindParallelSizeInvariance(t *testing.T) {
+	g := parallelTestGraph(t)
+	for _, alg := range []Algorithm{L, LP} {
+		serial, err := Find(g, Options{K: 4, Algorithm: alg, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, runtime.GOMAXPROCS(0)} {
+			par, err := Find(g, Options{K: 4, Algorithm: alg, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Size() != serial.Size() {
+				t.Fatalf("%v workers=%d: |S|=%d, serial |S|=%d", alg, workers, par.Size(), serial.Size())
+			}
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package dynamic
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/workload"
+)
+
+// batchTestSetup builds a community-social graph, runs static LP for the
+// initial set, and returns the graph plus a mixed update stream applied on
+// top of the prepared deletions (the paper's §VI-E workload shape).
+func batchTestSetup(t testing.TB, nodes, updates int, seed int64) (startEngine func(workers int) *Engine, stream []workload.Op) {
+	t.Helper()
+	g := gen.CommunitySocial(nodes, nodes/40, 0.15, nodes*2, seed)
+	res, err := core.Find(g, core.Options{K: 3, Algorithm: core.LP, StrictTies: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workload.Mixed(g, updates, seed+1)
+	startEngine = func(workers int) *Engine {
+		e, err := NewWorkers(g, 3, res.Cliques, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, op := range w.Prepare {
+			if op.Insert {
+				e.InsertEdge(op.U, op.V)
+			} else {
+				e.DeleteEdge(op.U, op.V)
+			}
+		}
+		return e
+	}
+	return startEngine, w.Stream
+}
+
+// TestApplyBatchInvariants: after a batched mixed workload every engine
+// invariant (disjointness, maximality, exact candidate index) must hold,
+// and the applied count must match serial application.
+func TestApplyBatchInvariants(t *testing.T) {
+	start, stream := batchTestSetup(t, 800, 300, 3)
+
+	serial := start(1)
+	wantApplied := 0
+	for _, op := range stream {
+		if serial.applyOne(op) {
+			wantApplied++
+		}
+	}
+	if err := serial.Verify(); err != nil {
+		t.Fatalf("serial engine invalid: %v", err)
+	}
+
+	batched := start(0)
+	if got := batched.ApplyBatch(stream); got != wantApplied {
+		t.Fatalf("ApplyBatch applied %d ops, serial applied %d", got, wantApplied)
+	}
+	if err := batched.Verify(); err != nil {
+		t.Fatalf("batched engine invalid: %v", err)
+	}
+	if st := batched.Stats(); st.Batches != 1 || st.BatchedOps != len(stream) {
+		t.Fatalf("stats = %+v, want 1 batch of %d ops", st, len(stream))
+	}
+
+	// Both engines hold maximal sets of the same final graph; the swap
+	// schedules differ, so the sets may differ slightly — but a batched
+	// run collapsing quality would be a bug.
+	bs, ss := batched.Size(), serial.Size()
+	if float64(bs) < 0.95*float64(ss) {
+		t.Fatalf("batched |S| = %d collapsed versus serial |S| = %d", bs, ss)
+	}
+}
+
+// TestApplyBatchWorkerInvariance: the tentpole determinism guarantee for
+// the dynamic layer — identical results byte-for-byte regardless of the
+// worker count used for construction and batch rebuilds.
+func TestApplyBatchWorkerInvariance(t *testing.T) {
+	start, stream := batchTestSetup(t, 600, 200, 9)
+	var wantResult [][]int32
+	var wantCands int
+	for _, workers := range []int{1, 2, 8} {
+		e := start(workers)
+		e.ApplyBatch(stream)
+		if err := e.Verify(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if wantResult == nil {
+			wantResult, wantCands = e.Result(), e.NumCandidates()
+			continue
+		}
+		if !reflect.DeepEqual(e.Result(), wantResult) {
+			t.Fatalf("workers=%d: result set diverges from workers=1", workers)
+		}
+		if e.NumCandidates() != wantCands {
+			t.Fatalf("workers=%d: %d candidates, want %d", workers, e.NumCandidates(), wantCands)
+		}
+	}
+}
+
+// TestApplyBatchChunked: chunked batches end in a valid state after every
+// chunk, mirroring how a stream consumer would drain a queue.
+func TestApplyBatchChunked(t *testing.T) {
+	start, stream := batchTestSetup(t, 500, 240, 17)
+	e := start(0)
+	const chunk = 40
+	for i := 0; i < len(stream); i += chunk {
+		end := i + chunk
+		if end > len(stream) {
+			end = len(stream)
+		}
+		e.ApplyBatch(stream[i:end])
+		if err := e.Verify(); err != nil {
+			t.Fatalf("after chunk ending at %d: %v", end, err)
+		}
+	}
+	if st := e.Stats(); st.Batches != (len(stream)+chunk-1)/chunk {
+		t.Fatalf("batches = %d, want %d", st.Batches, (len(stream)+chunk-1)/chunk)
+	}
+}
+
+// TestApplyBatchEmptyAndNoop: empty batches and no-op updates are cheap
+// and leave the engine untouched.
+func TestApplyBatchEmptyAndNoop(t *testing.T) {
+	start, _ := batchTestSetup(t, 300, 10, 23)
+	e := start(1)
+	before := e.Result()
+	if got := e.ApplyBatch(nil); got != 0 {
+		t.Fatalf("empty batch applied %d", got)
+	}
+	// Deleting absent edges and re-inserting existing ones changes nothing.
+	ops := []workload.Op{
+		{Insert: false, U: 0, V: 1},
+		{Insert: false, U: 0, V: 1},
+	}
+	if e.Graph().HasEdge(0, 1) {
+		ops = []workload.Op{{Insert: true, U: 0, V: 1}, {Insert: true, U: 0, V: 1}}
+	}
+	got := e.ApplyBatch(ops)
+	if got > 1 {
+		t.Fatalf("idempotent pair applied %d times", got)
+	}
+	if got == 0 && !reflect.DeepEqual(e.Result(), before) {
+		t.Fatal("no-op batch changed the result set")
+	}
+	if err := e.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNewWorkersDeterminism: index construction is identical for every
+// worker count (candidate ids included, since installation is serial in
+// ascending clique order).
+func TestNewWorkersDeterminism(t *testing.T) {
+	start, _ := batchTestSetup(t, 700, 10, 31)
+	base := start(1)
+	for _, workers := range []int{2, 4, 16} {
+		e := start(workers)
+		if e.NumCandidates() != base.NumCandidates() {
+			t.Fatalf("workers=%d: %d candidates, want %d", workers, e.NumCandidates(), base.NumCandidates())
+		}
+		if !reflect.DeepEqual(e.Result(), base.Result()) {
+			t.Fatalf("workers=%d: result diverges", workers)
+		}
+	}
+}

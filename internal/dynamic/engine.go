@@ -49,6 +49,10 @@ type Stats struct {
 	// Insertions / Deletions count processed updates.
 	Insertions int
 	Deletions  int
+	// Batches / BatchedOps count ApplyBatch calls and the ops they carried
+	// (each op also increments Insertions or Deletions as usual).
+	Batches    int
+	BatchedOps int
 }
 
 // Engine maintains the disjoint k-clique set and its candidate index.
@@ -56,15 +60,23 @@ type Engine struct {
 	g *graph.Dynamic
 	k int
 
+	// workers bounds parallelism for index construction and batch update
+	// rebuilds; <= 0 means GOMAXPROCS.
+	workers int
+
 	cliques    map[int32][]int32 // S: clique id -> sorted members
 	nodeClique []int32           // node -> owning clique id, or free
 	nextClique int32
 
 	cands       map[int32]*candidate
-	candKey     map[string]int32         // canonical member key -> candidate id
-	candsByOwn  map[int32]map[int32]bool // clique id -> candidate ids owned
-	candsByNode []map[int32]bool         // node -> candidate ids containing it
+	candDedup   *candDedup        // member digest -> candidate id
+	candsByOwn  map[int32]*idSet  // clique id -> candidate ids owned
+	candsByNode []idSet           // node -> candidate ids containing it
 	nextCand    int32
+
+	// batch, when non-nil, defers candidate rebuilds and swap processing so
+	// ApplyBatch can coalesce and parallelise them; see batch.go.
+	batch *batchState
 
 	stats Stats
 
@@ -79,8 +91,15 @@ func (e *Engine) DisableSwaps() { e.noSwaps = true }
 
 // New builds an engine from a static graph and an initial disjoint
 // k-clique set (typically the output of the static LP algorithm), then
-// constructs the candidate index with Algorithm 5.
+// constructs the candidate index with Algorithm 5 using every CPU.
 func New(g *graph.Graph, k int, initial [][]int32) (*Engine, error) {
+	return NewWorkers(g, k, initial, 0)
+}
+
+// NewWorkers is New with an explicit parallelism bound for the Algorithm-5
+// index construction and later ApplyBatch rebuilds; workers <= 0 means
+// GOMAXPROCS. The constructed engine is identical for every worker count.
+func NewWorkers(g *graph.Graph, k int, initial [][]int32, workers int) (*Engine, error) {
 	if k < 3 {
 		return nil, fmt.Errorf("dynamic: k must be >= 3, got %d", k)
 	}
@@ -88,13 +107,14 @@ func New(g *graph.Graph, k int, initial [][]int32) (*Engine, error) {
 	e := &Engine{
 		g:           graph.DynamicFrom(g),
 		k:           k,
+		workers:     workers,
 		cliques:     make(map[int32][]int32, len(initial)),
 		nodeClique:  make([]int32, n),
 		cands:       make(map[int32]*candidate),
-		candKey:     make(map[string]int32),
-		candsByOwn:  make(map[int32]map[int32]bool),
-		candsByNode: make([]map[int32]bool, n),
+		candsByOwn:  make(map[int32]*idSet),
+		candsByNode: make([]idSet, n),
 	}
+	e.candDedup = newCandDedup(e.cands)
 	for i := range e.nodeClique {
 		e.nodeClique[i] = free
 	}
@@ -201,36 +221,25 @@ func (e *Engine) Result() [][]int32 {
 // IsFree reports whether u belongs to no S-clique.
 func (e *Engine) IsFree(u int32) bool { return e.nodeClique[u] == free }
 
-// key canonicalises a sorted member list for the dedup map.
-func key(nodes []int32) string {
-	b := make([]byte, 0, len(nodes)*4)
-	for _, v := range nodes {
-		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-	}
-	return string(b)
-}
-
 // addCandidate indexes a candidate clique (members must be sorted) unless
 // an identical one exists. Reports whether it was new.
 func (e *Engine) addCandidate(nodes []int32, owner int32) bool {
-	k := key(nodes)
-	if _, ok := e.candKey[k]; ok {
+	if _, ok := e.candDedup.lookup(nodes); ok {
 		return false
 	}
 	id := e.nextCand
 	e.nextCand++
 	c := &candidate{id: id, nodes: append([]int32(nil), nodes...), owner: owner}
 	e.cands[id] = c
-	e.candKey[k] = id
-	if e.candsByOwn[owner] == nil {
-		e.candsByOwn[owner] = make(map[int32]bool)
+	e.candDedup.insert(c.nodes, id)
+	own := e.candsByOwn[owner]
+	if own == nil {
+		own = &idSet{}
+		e.candsByOwn[owner] = own
 	}
-	e.candsByOwn[owner][id] = true
+	own.add(id)
 	for _, u := range c.nodes {
-		if e.candsByNode[u] == nil {
-			e.candsByNode[u] = make(map[int32]bool)
-		}
-		e.candsByNode[u][id] = true
+		e.candsByNode[u].add(id)
 	}
 	e.stats.CandidatesCreated++
 	return true
@@ -243,47 +252,57 @@ func (e *Engine) dropCandidate(id int32) {
 		return
 	}
 	delete(e.cands, id)
-	delete(e.candKey, key(c.nodes))
+	e.candDedup.delete(c.nodes, id)
 	if own := e.candsByOwn[c.owner]; own != nil {
-		delete(own, id)
-		if len(own) == 0 {
+		own.remove(id)
+		if own.size() == 0 {
 			delete(e.candsByOwn, c.owner)
 		}
 	}
 	for _, u := range c.nodes {
-		if m := e.candsByNode[u]; m != nil {
-			delete(m, id)
-		}
+		e.candsByNode[u].remove(id)
 	}
 	e.stats.CandidatesDropped++
 }
 
+// numCandidatesOfOwner returns how many candidates the clique owns.
+func (e *Engine) numCandidatesOfOwner(owner int32) int {
+	if own := e.candsByOwn[owner]; own != nil {
+		return own.size()
+	}
+	return 0
+}
+
 // dropCandidatesOfOwner removes every candidate owned by the clique.
 func (e *Engine) dropCandidatesOfOwner(owner int32) {
-	for id := range e.candsByOwn[owner] {
-		e.dropCandidate(id)
+	if own := e.candsByOwn[owner]; own != nil {
+		for _, id := range append([]int32(nil), own.ids()...) {
+			e.dropCandidate(id)
+		}
 	}
 }
 
 // dropCandidatesWithNode removes every candidate containing u.
 func (e *Engine) dropCandidatesWithNode(u int32) {
-	for id := range e.candsByNode[u] {
-		e.dropCandidate(id)
+	if s := &e.candsByNode[u]; s.size() > 0 {
+		for _, id := range append([]int32(nil), s.ids()...) {
+			e.dropCandidate(id)
+		}
 	}
 }
 
 // dropCandidatesWithEdge removes every candidate containing both u and v.
 func (e *Engine) dropCandidatesWithEdge(u, v int32) {
-	mu, mv := e.candsByNode[u], e.candsByNode[v]
-	if mu == nil || mv == nil {
+	su, sv := &e.candsByNode[u], &e.candsByNode[v]
+	if su.size() == 0 || sv.size() == 0 {
 		return
 	}
-	if len(mu) > len(mv) {
-		mu, mv = mv, mu
+	if su.size() > sv.size() {
+		su, sv = sv, su
 	}
 	var hit []int32
-	for id := range mu {
-		if mv[id] {
+	for _, id := range su.ids() {
+		if sv.has(id) {
 			hit = append(hit, id)
 		}
 	}
@@ -293,13 +312,11 @@ func (e *Engine) dropCandidatesWithEdge(u, v int32) {
 }
 
 // candidateIDsOfOwner returns the ids of candidates owned by the clique,
-// sorted for determinism.
+// ascending (the idSet iterates sorted, so no re-sort is needed).
 func (e *Engine) candidateIDsOfOwner(owner int32) []int32 {
-	m := e.candsByOwn[owner]
-	out := make([]int32, 0, len(m))
-	for id := range m {
-		out = append(out, id)
+	own := e.candsByOwn[owner]
+	if own == nil {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return append([]int32(nil), own.ids()...)
 }

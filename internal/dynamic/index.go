@@ -1,10 +1,9 @@
 package dynamic
 
 import (
-	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
+
+	"repro/internal/kclique"
 )
 
 // forEachCliqueAmong enumerates every k-clique of the current graph whose
@@ -141,10 +140,12 @@ func (e *Engine) freeNeighborhood(members []int32) []int32 {
 // candidatesOf enumerates (read-only) the candidate cliques Algorithm 5
 // would assign to the given S-clique under the current graph and free
 // status: sorted member lists of k-cliques on B = C ∪ N_F(C), excluding C
-// and any all-free clique.
-func (e *Engine) candidatesOf(id int32) [][]int32 {
+// itself. It also reports any all-free cliques encountered — a non-empty
+// second result means S is not maximal and the caller must repair it.
+// Reads only the graph, S and the free status (never the candidate index),
+// so concurrent calls for different owners are safe.
+func (e *Engine) candidatesOf(id int32) (cands, allFree [][]int32) {
 	members := e.cliques[id]
-	var out [][]int32
 	e.forEachCliqueAmong(e.freeNeighborhood(members), func(c []int32) bool {
 		cc := append([]int32(nil), c...)
 		sort.Slice(cc, func(i, j int) bool { return cc[i] < cc[j] })
@@ -154,12 +155,29 @@ func (e *Engine) candidatesOf(id int32) [][]int32 {
 				nonFree++
 			}
 		}
-		if nonFree > 0 && nonFree < e.k {
-			out = append(out, cc)
+		switch {
+		case nonFree == e.k:
+			// Only C itself consists purely of non-free nodes inside B.
+		case nonFree == 0:
+			allFree = append(allFree, cc)
+		default:
+			cands = append(cands, cc)
 		}
 		return true
 	})
-	return out
+	return cands, allFree
+}
+
+// collectCandidates runs candidatesOf for the given owners on the worker
+// pool and returns the per-owner lists in input order. The computation is
+// read-only, so the result is identical for every worker count.
+func (e *Engine) collectCandidates(ids []int32) (cands, allFree [][][]int32) {
+	cands = make([][][]int32, len(ids))
+	allFree = make([][][]int32, len(ids))
+	kclique.ParallelIndex(len(ids), e.workers, func(_, i int) {
+		cands[i], allFree[i] = e.candidatesOf(ids[i])
+	})
+	return cands, allFree
 }
 
 // buildIndex constructs the whole candidate index from the current S —
@@ -173,33 +191,7 @@ func (e *Engine) buildIndex() {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	results := make([][][]int32, len(ids))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(ids) {
-		workers = len(ids)
-	}
-	if workers <= 1 {
-		for i, id := range ids {
-			results[i] = e.candidatesOf(id)
-		}
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1) - 1)
-					if i >= len(ids) {
-						return
-					}
-					results[i] = e.candidatesOf(ids[i])
-				}
-			}()
-		}
-		wg.Wait()
-	}
+	results, _ := e.collectCandidates(ids)
 	for i, id := range ids {
 		for _, c := range results[i] {
 			e.addCandidate(c, id)
@@ -218,9 +210,15 @@ func (e *Engine) rebuildCandidates(id int32) bool {
 	if !ok {
 		return false
 	}
-	old := make(map[string]bool, len(e.candsByOwn[id]))
-	for cid := range e.candsByOwn[id] {
-		old[key(e.cands[cid].nodes)] = true
+	// Previous candidate digests, to detect genuinely new candidates. A
+	// 64-bit digest collision could mask a gain (a skipped swap check, not
+	// a correctness issue) with negligible probability.
+	var old map[uint64]bool
+	if own := e.candsByOwn[id]; own != nil {
+		old = make(map[uint64]bool, own.size())
+		for _, cid := range own.ids() {
+			old[hashNodes(e.cands[cid].nodes)] = true
+		}
 	}
 	e.dropCandidatesOfOwner(id)
 	gained := false
@@ -245,7 +243,7 @@ func (e *Engine) rebuildCandidates(id int32) bool {
 			repair = append(repair, append([]int32(nil), buf...))
 			return true
 		default:
-			if e.addCandidate(buf, id) && !old[key(buf)] {
+			if e.addCandidate(buf, id) && !old[hashNodes(buf)] {
 				gained = true
 			}
 			return true
@@ -285,15 +283,29 @@ func (e *Engine) installClique(members []int32) int32 {
 	return id
 }
 
+// refreshOwner rebuilds the candidate set of an S-clique, reporting whether
+// it gained a candidate. In batch mode the (expensive) enumeration is
+// deferred instead: the owner is marked dirty and rebuilt once — in
+// parallel with the other dirty owners — when the batch finishes, no
+// matter how many updates touched it. Deferred refreshes report false;
+// ApplyBatch re-derives swap eligibility from the final rebuilt sets.
+func (e *Engine) refreshOwner(owner int32) bool {
+	if e.batch != nil {
+		e.batch.dirty[owner] = true
+		return false
+	}
+	return e.rebuildCandidates(owner)
+}
+
 // indexClique brings the candidate index up to date with a freshly
 // installed S-clique: candidates containing any of its nodes now span two
 // cliques (their old owner and this one) and are dropped, then the new
-// clique's own candidate set is built.
+// clique's own candidate set is built (deferred in batch mode).
 func (e *Engine) indexClique(id int32) {
 	for _, u := range e.cliques[id] {
 		e.dropCandidatesWithNode(u)
 	}
-	e.rebuildCandidates(id)
+	e.refreshOwner(id)
 }
 
 // addCliqueToS installs and indexes a single new S-clique. Members must
@@ -306,12 +318,20 @@ func (e *Engine) addCliqueToS(members []int32) int32 {
 
 // removeCliqueFromS dissolves an S-clique: frees its nodes and drops its
 // owned candidates. Neighbouring cliques' candidate sets are NOT refreshed
-// here; callers must rebuild owners adjacent to the freed nodes.
+// here; callers must rebuild owners adjacent to the freed nodes. In batch
+// mode the freed nodes are recorded so the end-of-batch maximality sweep
+// can catch all-free cliques a deferred rebuild would have repaired.
 func (e *Engine) removeCliqueFromS(id int32) []int32 {
 	members := e.cliques[id]
 	delete(e.cliques, id)
 	for _, u := range members {
 		e.nodeClique[u] = free
+	}
+	if e.batch != nil {
+		for _, u := range members {
+			e.batch.touched[u] = true
+		}
+		delete(e.batch.dirty, id)
 	}
 	e.dropCandidatesOfOwner(id)
 	return members

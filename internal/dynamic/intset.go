@@ -1,0 +1,134 @@
+package dynamic
+
+import "sort"
+
+// This file holds the compact integer-keyed containers behind the candidate
+// index. The original implementation deduplicated candidates through a
+// string key built from the member bytes and tracked the per-owner /
+// per-node memberships in map[int32]bool sets; both allocate on every
+// operation and the string keys alone dominated index-build profiles. The
+// batch update path hammers these structures from its rebuild fan-out, so
+// they are replaced by an open hash on a 64-bit member digest (collisions
+// resolved by comparing the actual members) and sorted id slices whose
+// in-order iteration is deterministic for free.
+
+// idSet is a small set of candidate ids kept as a sorted slice. Candidate
+// sets per owner and per node are small (tens at most on the paper's
+// workloads), so binary-search insertion beats hashing and the sorted order
+// replaces the sort-before-iterate the map version needed.
+type idSet struct {
+	items []int32
+}
+
+// add inserts id, reporting whether it was absent.
+func (s *idSet) add(id int32) bool {
+	i := sort.Search(len(s.items), func(i int) bool { return s.items[i] >= id })
+	if i < len(s.items) && s.items[i] == id {
+		return false
+	}
+	s.items = append(s.items, 0)
+	copy(s.items[i+1:], s.items[i:])
+	s.items[i] = id
+	return true
+}
+
+// remove deletes id, reporting whether it was present.
+func (s *idSet) remove(id int32) bool {
+	i := sort.Search(len(s.items), func(i int) bool { return s.items[i] >= id })
+	if i >= len(s.items) || s.items[i] != id {
+		return false
+	}
+	s.items = append(s.items[:i], s.items[i+1:]...)
+	return true
+}
+
+// has reports membership.
+func (s *idSet) has(id int32) bool {
+	i := sort.Search(len(s.items), func(i int) bool { return s.items[i] >= id })
+	return i < len(s.items) && s.items[i] == id
+}
+
+// size returns the number of ids.
+func (s *idSet) size() int { return len(s.items) }
+
+// ids returns the sorted id slice; callers must not modify it.
+func (s *idSet) ids() []int32 { return s.items }
+
+// hashNodes digests a sorted member list with FNV-1a over the 32-bit
+// values. Collisions are fine — candDedup buckets verify the members.
+func hashNodes(nodes []int32) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, v := range nodes {
+		h ^= uint64(uint32(v))
+		h *= prime
+	}
+	return h
+}
+
+// nodesEqual compares two sorted member lists.
+func nodesEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// candDedup maps sorted member lists to candidate ids without allocating a
+// key per lookup: buckets are keyed by the 64-bit digest and hold the ids
+// of candidates sharing it, verified against the stored members.
+type candDedup struct {
+	buckets map[uint64][]int32
+	cands   map[int32]*candidate // shared with the engine
+	n       int
+}
+
+func newCandDedup(cands map[int32]*candidate) *candDedup {
+	return &candDedup{buckets: make(map[uint64][]int32), cands: cands}
+}
+
+// lookup returns the id of the candidate with exactly these (sorted)
+// members, if indexed.
+func (d *candDedup) lookup(nodes []int32) (int32, bool) {
+	for _, id := range d.buckets[hashNodes(nodes)] {
+		if c, ok := d.cands[id]; ok && nodesEqual(c.nodes, nodes) {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// insert records the id under its members' digest. The caller guarantees no
+// equal-member candidate is present (checked via lookup first).
+func (d *candDedup) insert(nodes []int32, id int32) {
+	h := hashNodes(nodes)
+	d.buckets[h] = append(d.buckets[h], id)
+	d.n++
+}
+
+// delete removes the id from its members' bucket.
+func (d *candDedup) delete(nodes []int32, id int32) {
+	h := hashNodes(nodes)
+	bucket := d.buckets[h]
+	for i, got := range bucket {
+		if got == id {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			if len(bucket) == 0 {
+				delete(d.buckets, h)
+			} else {
+				d.buckets[h] = bucket
+			}
+			d.n--
+			return
+		}
+	}
+}
+
+// size returns the number of indexed candidates.
+func (d *candDedup) size() int { return d.n }

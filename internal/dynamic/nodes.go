@@ -9,7 +9,7 @@ package dynamic
 func (e *Engine) AddNode() int32 {
 	id := e.g.AddNode()
 	e.nodeClique = append(e.nodeClique, free)
-	e.candsByNode = append(e.candsByNode, nil)
+	e.candsByNode = append(e.candsByNode, idSet{})
 	return id
 }
 

@@ -67,6 +67,12 @@ func (e *Engine) trySwap(q []int32) {
 	if e.noSwaps {
 		return
 	}
+	if e.batch != nil {
+		// Batch mode: swap processing is deferred so it runs once, against
+		// the fully rebuilt candidate index, when the batch finishes.
+		e.batch.pending = append(e.batch.pending, q...)
+		return
+	}
 	for len(q) > 0 {
 		cid := q[0]
 		q = q[1:]
@@ -119,12 +125,12 @@ func (e *Engine) executeSwap(cid int32, sdis [][]int32) []int32 {
 	}
 	var push []int32
 	for _, owner := range e.ownersAdjacentTo(freed) {
-		if e.rebuildCandidates(owner) && len(e.candsByOwn[owner]) >= 2 {
+		if e.refreshOwner(owner) && e.numCandidatesOfOwner(owner) >= 2 {
 			push = append(push, owner)
 		}
 	}
 	for _, id := range newIDs {
-		if len(e.candsByOwn[id]) >= 2 {
+		if e.numCandidatesOfOwner(id) >= 2 {
 			push = append(push, id)
 		}
 	}

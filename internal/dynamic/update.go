@@ -173,12 +173,12 @@ func (e *Engine) dissolveAndRepack(cid int32) {
 	}
 	var q []int32
 	for _, owner := range e.ownersAdjacentTo(freed) {
-		if e.rebuildCandidates(owner) && len(e.candsByOwn[owner]) >= 2 {
+		if e.refreshOwner(owner) && e.numCandidatesOfOwner(owner) >= 2 {
 			q = append(q, owner)
 		}
 	}
 	for _, id := range newIDs {
-		if len(e.candsByOwn[id]) >= 2 {
+		if e.numCandidatesOfOwner(id) >= 2 {
 			q = append(q, id)
 		}
 	}

@@ -5,6 +5,17 @@ import (
 	"sort"
 )
 
+// key canonicalises a sorted member list into a comparable string. The hot
+// paths dedup through candDedup's integer digests instead; this helper
+// survives only for Verify's from-scratch comparison and the tests.
+func key(nodes []int32) string {
+	b := make([]byte, 0, len(nodes)*4)
+	for _, v := range nodes {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
 // Verify checks every engine invariant against the current graph. It is
 // O(candidates + cliques + free-clique enumeration) and meant for tests;
 // it returns the first violation found.
@@ -94,28 +105,28 @@ func (e *Engine) Verify() error {
 			return fmt.Errorf("candidate %d has %d free nodes of %d", id, nFree, e.k)
 		}
 		// Index cross-references.
-		if e.candKey[key(c.nodes)] != id {
-			return fmt.Errorf("candidate %d missing from key map", id)
+		if got, ok := e.candDedup.lookup(c.nodes); !ok || got != id {
+			return fmt.Errorf("candidate %d missing from dedup index", id)
 		}
-		if !e.candsByOwn[c.owner][id] {
+		if own := e.candsByOwn[c.owner]; own == nil || !own.has(id) {
 			return fmt.Errorf("candidate %d missing from owner index", id)
 		}
 		for _, u := range c.nodes {
-			if !e.candsByNode[u][id] {
+			if !e.candsByNode[u].has(id) {
 				return fmt.Errorf("candidate %d missing from node index of %d", id, u)
 			}
 		}
 	}
 	// Reverse direction: no dangling index entries.
 	for owner, set := range e.candsByOwn {
-		for id := range set {
+		for _, id := range set.ids() {
 			if c, ok := e.cands[id]; !ok || c.owner != owner {
 				return fmt.Errorf("owner index of %d holds stale candidate %d", owner, id)
 			}
 		}
 	}
-	for u, set := range e.candsByNode {
-		for id := range set {
+	for u := range e.candsByNode {
+		for _, id := range e.candsByNode[u].ids() {
 			c, ok := e.cands[id]
 			if !ok {
 				return fmt.Errorf("node index of %d holds stale candidate %d", u, id)
@@ -132,8 +143,8 @@ func (e *Engine) Verify() error {
 			}
 		}
 	}
-	if len(e.candKey) != len(e.cands) {
-		return fmt.Errorf("key map size %d != candidate count %d", len(e.candKey), len(e.cands))
+	if e.candDedup.size() != len(e.cands) {
+		return fmt.Errorf("dedup index size %d != candidate count %d", e.candDedup.size(), len(e.cands))
 	}
 
 	// 4. Completeness: the index holds exactly the candidates Algorithm 5

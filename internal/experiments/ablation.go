@@ -225,7 +225,7 @@ func mixedWithEngine(g *graph.Graph, k int, cfg *Config, disableSwaps bool) (int
 	if err != nil {
 		return 0, err
 	}
-	e, err := dynamic.New(d.Snapshot(), k, res.Cliques)
+	e, err := dynamic.NewWorkers(d.Snapshot(), k, res.Cliques, cfg.Workers)
 	if err != nil {
 		return 0, err
 	}

@@ -16,7 +16,7 @@ func seedEngine(g *graph.Graph, k int, cfg *Config) (*dynamic.Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return dynamic.New(g, k, res.Cliques)
+	return dynamic.NewWorkers(g, k, res.Cliques, cfg.Workers)
 }
 
 // Table7 prints indexing time and index size (#candidate cliques) per

@@ -101,7 +101,7 @@ func VerifyShapes(cfg Config) (*ShapeReport, error) {
 
 	// Claim 6 (Table VII): the candidate index is much smaller than the
 	// clique population.
-	e, err := dynamic.New(g, k, lp.res.Cliques)
+	e, err := dynamic.NewWorkers(g, k, lp.res.Cliques, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}

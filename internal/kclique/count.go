@@ -2,8 +2,6 @@ package kclique
 
 import (
 	"errors"
-	"runtime"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -21,13 +19,13 @@ var ErrDeadline = errors.New("kclique: deadline exceeded")
 // recursion level every remaining candidate completes one clique with the
 // current stack, so counts are accumulated in bulk instead of per clique.
 func Count(d *graph.DAG, k int, workers int) (uint64, []int64) {
-	total, scores, _ := CountWithDeadline(d, k, workers, time.Time{})
-	return total, scores
+	return ParallelCountPerNode(d, k, workers)
 }
 
 // CountWithDeadline is Count with a wall-clock budget: if deadline is
 // non-zero and elapses mid-count it returns ErrDeadline (counts are then
-// partial and must not be used).
+// partial and must not be used). Runs on the ParallelRoots worker pool with
+// one countCtx (and its Scratch) per worker.
 func CountWithDeadline(d *graph.DAG, k int, workers int, deadline time.Time) (uint64, []int64, error) {
 	n := d.N()
 	scores := make([]int64, n)
@@ -37,51 +35,31 @@ func CountWithDeadline(d *graph.DAG, k int, workers int, deadline time.Time) (ui
 	if !deadline.IsZero() && time.Now().After(deadline) {
 		return 0, scores, ErrDeadline
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	var total atomic.Uint64
-	var next atomic.Int64
-	var expired atomic.Bool
-	var wg sync.WaitGroup
-	maxOut := d.G.MaxDegree()
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sc := NewScratch(k, maxOut)
-			cc := countCtx{d: d, scores: scores, sc: sc}
-			ticks := 0
-			for {
-				u := int32(next.Add(1) - 1)
-				if int(u) >= n || expired.Load() {
-					break
-				}
-				if !deadline.IsZero() {
-					ticks++
-					if ticks&63 == 0 && time.Now().After(deadline) {
-						expired.Store(true)
-						break
-					}
-				}
-				if d.OutDegree(u) < k-1 {
-					continue
-				}
-				sc.stack = append(sc.stack[:0], u)
-				cand := append(sc.level(k-1), d.Out(u)...)
-				cc.rec(k-1, cand)
+	workers = Workers(workers, n)
+	ctxs := make([]countCtx, workers)
+	ticks := make([]int, workers)
+	done := ParallelRoots(d, k, workers, func(worker int, u int32, sc *Scratch) bool {
+		if !deadline.IsZero() {
+			ticks[worker]++
+			if ticks[worker]&63 == 0 && time.Now().After(deadline) {
+				return false
 			}
-			total.Add(cc.total)
-		}()
+		}
+		cc := &ctxs[worker]
+		cc.d, cc.scores, cc.sc = d, scores, sc
+		sc.stack = append(sc.stack[:0], u)
+		cand := append(sc.level(k-1), d.Out(u)...)
+		cc.rec(k-1, cand)
+		return true
+	})
+	var total uint64
+	for i := range ctxs {
+		total += ctxs[i].total
 	}
-	wg.Wait()
-	if expired.Load() {
-		return total.Load(), scores, ErrDeadline
+	if !done {
+		return total, scores, ErrDeadline
 	}
-	return total.Load(), scores, nil
+	return total, scores, nil
 }
 
 type countCtx struct {

@@ -1,8 +1,6 @@
 package kclique
 
 import (
-	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/bitset"
@@ -23,42 +21,32 @@ func CountBitset(d *graph.DAG, k int, workers int) (uint64, []int64) {
 	if k < 2 || n == 0 {
 		return 0, scores
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
+	workers = Workers(workers, n)
 	maxOut := 0
 	for u := int32(0); int(u) < n; u++ {
 		if d.OutDegree(u) > maxOut {
 			maxOut = d.OutDegree(u)
 		}
 	}
-	var total atomic.Uint64
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			kern := newDenseKernel(k, maxOut)
-			var local uint64
-			for {
-				u := int32(next.Add(1) - 1)
-				if int(u) >= n {
-					break
-				}
-				if d.OutDegree(u) < k-1 {
-					continue
-				}
-				local += kern.countRoot(d, u, scores)
-			}
-			total.Add(local)
-		}()
+	kerns := make([]*denseKernel, workers)
+	totals := make([]uint64, workers)
+	ParallelIndex(n, workers, func(worker, i int) {
+		u := int32(i)
+		if d.OutDegree(u) < k-1 {
+			return
+		}
+		kern := kerns[worker]
+		if kern == nil {
+			kern = newDenseKernel(k, maxOut)
+			kerns[worker] = kern
+		}
+		totals[worker] += kern.countRoot(d, u, scores)
+	})
+	var total uint64
+	for _, t := range totals {
+		total += t
 	}
-	wg.Wait()
-	return total.Load(), scores
+	return total, scores
 }
 
 // denseKernel holds the per-worker scratch of the bitset recursion.
