@@ -1,0 +1,266 @@
+// Command dkserver serves a continuously updated disjoint k-clique set
+// over HTTP: it loads (or generates) a graph, solves it with a static
+// algorithm, then keeps the result fresh behind a dkclique.Service — a
+// single writer draining queued updates into batched engine calls while
+// read requests answer from immutable snapshots, lock-free.
+//
+// Usage:
+//
+//	dkserver -k 4 -alg LP -input graph.txt -addr :8080
+//	dkserver -k 3 -dataset HST
+//	dkserver -k 3 -gen 10000,20000,1        # synthetic community graph
+//
+// Endpoints (JSON):
+//
+//	GET  /snapshot            point-in-time result set; ?cliques=0 omits members
+//	GET  /clique/{node}       the clique covering a node, if any
+//	GET  /stats               service + engine counters
+//	POST /update              {"ops":[{"insert":true,"u":1,"v":2},...],"flush":true}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	dkclique "repro"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		inputPath = flag.String("input", "", "edge-list file to read")
+		dsName    = flag.String("dataset", "", "built-in dataset name instead of -input")
+		genSpec   = flag.String("gen", "", "generate a community graph: NODES,EDGES,SEED")
+		k         = flag.Int("k", 3, "clique size (>= 3)")
+		algName   = flag.String("alg", "LP", "static algorithm for the initial set")
+		workers   = flag.Int("workers", 0, "engine worker goroutines (0 = GOMAXPROCS)")
+		queueCap  = flag.Int("queue", 0, "update queue capacity (0 = default)")
+		maxBatch  = flag.Int("batch", 0, "max ops coalesced per engine batch (0 = default)")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*inputPath, *dsName, *genSpec)
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("graph: n=%d m=%d", g.N(), g.M())
+
+	alg, err := dkclique.ParseAlgorithm(*algName)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	res, err := dkclique.Find(g, dkclique.Options{K: *k, Algorithm: alg, Workers: *workers})
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("initial solve: |S|=%d in %s", res.Size(), time.Since(start).Round(time.Millisecond))
+
+	svc, err := dkclique.NewService(g, *k, res.Cliques, dkclique.ServiceOptions{
+		Workers:       *workers,
+		QueueCapacity: *queueCap,
+		MaxBatch:      *maxBatch,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer svc.Close()
+
+	log.Printf("serving on %s", *addr)
+	if err := http.ListenAndServe(*addr, newHandler(svc, g.N())); err != nil {
+		fatal(err)
+	}
+}
+
+// newHandler builds the HTTP API over a running service. n is the node-id
+// bound used to validate update requests (the engine panics on
+// out-of-range ids by design, so the API rejects them up front).
+func newHandler(svc *dkclique.Service, n int) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /snapshot", func(w http.ResponseWriter, r *http.Request) {
+		snap := svc.Snapshot()
+		resp := snapshotResponse{
+			Version: snap.Version(),
+			K:       snap.K(),
+			Nodes:   snap.N(),
+			Edges:   snap.M(),
+			Size:    snap.Size(),
+		}
+		if r.URL.Query().Get("cliques") != "0" {
+			resp.Cliques = snap.Cliques()
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /clique/{node}", func(w http.ResponseWriter, r *http.Request) {
+		u, err := strconv.ParseInt(r.PathValue("node"), 10, 32)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad node id")
+			return
+		}
+		snap := svc.Snapshot()
+		c := snap.CliqueOf(int32(u))
+		writeJSON(w, http.StatusOK, cliqueResponse{
+			Node:    int32(u),
+			Version: snap.Version(),
+			Covered: c != nil,
+			Clique:  c,
+		})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		snap := svc.Snapshot()
+		st := svc.Stats()
+		es := snap.Stats()
+		writeJSON(w, http.StatusOK, statsResponse{
+			Version:    snap.Version(),
+			Size:       snap.Size(),
+			Nodes:      snap.N(),
+			Edges:      snap.M(),
+			Enqueued:   st.Enqueued,
+			Applied:    st.Applied,
+			Changed:    st.Changed,
+			Batches:    st.Batches,
+			Flushes:    st.Flushes,
+			Insertions: es.Insertions,
+			Deletions:  es.Deletions,
+			Swaps:      es.Swaps,
+			IndexMS:    float64(es.IndexBuild.Microseconds()) / 1000,
+		})
+	})
+	mux.HandleFunc("POST /update", func(w http.ResponseWriter, r *http.Request) {
+		var req updateRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+			return
+		}
+		if len(req.Ops) == 0 {
+			writeError(w, http.StatusBadRequest, "no ops")
+			return
+		}
+		ops := make([]dkclique.Update, len(req.Ops))
+		for i, op := range req.Ops {
+			if op.U < 0 || int(op.U) >= n || op.V < 0 || int(op.V) >= n || op.U == op.V {
+				writeError(w, http.StatusBadRequest,
+					fmt.Sprintf("op %d: invalid edge (%d,%d) for %d nodes", i, op.U, op.V, n))
+				return
+			}
+			ops[i] = dkclique.Update{Insert: op.Insert, U: op.U, V: op.V}
+		}
+		if err := svc.Enqueue(r.Context(), ops...); err != nil {
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		if req.Flush {
+			if err := svc.Flush(r.Context()); err != nil {
+				writeError(w, http.StatusServiceUnavailable, err.Error())
+				return
+			}
+		}
+		snap := svc.Snapshot()
+		writeJSON(w, http.StatusAccepted, updateResponse{
+			Enqueued: len(ops),
+			Flushed:  req.Flush,
+			Version:  snap.Version(),
+			Size:     snap.Size(),
+		})
+	})
+	return mux
+}
+
+type snapshotResponse struct {
+	Version uint64    `json:"version"`
+	K       int       `json:"k"`
+	Nodes   int       `json:"nodes"`
+	Edges   int       `json:"edges"`
+	Size    int       `json:"size"`
+	Cliques [][]int32 `json:"cliques,omitempty"`
+}
+
+type cliqueResponse struct {
+	Node    int32   `json:"node"`
+	Version uint64  `json:"version"`
+	Covered bool    `json:"covered"`
+	Clique  []int32 `json:"clique,omitempty"`
+}
+
+type statsResponse struct {
+	Version    uint64  `json:"version"`
+	Size       int     `json:"size"`
+	Nodes      int     `json:"nodes"`
+	Edges      int     `json:"edges"`
+	Enqueued   uint64  `json:"enqueued"`
+	Applied    uint64  `json:"applied"`
+	Changed    uint64  `json:"changed"`
+	Batches    uint64  `json:"batches"`
+	Flushes    uint64  `json:"flushes"`
+	Insertions int     `json:"insertions"`
+	Deletions  int     `json:"deletions"`
+	Swaps      int     `json:"swaps"`
+	IndexMS    float64 `json:"index_build_ms"`
+}
+
+type updateRequest struct {
+	Ops []struct {
+		Insert bool  `json:"insert"`
+		U      int32 `json:"u"`
+		V      int32 `json:"v"`
+	} `json:"ops"`
+	Flush bool `json:"flush"`
+}
+
+type updateResponse struct {
+	Enqueued int    `json:"enqueued"`
+	Flushed  bool   `json:"flushed"`
+	Version  uint64 `json:"version"`
+	Size     int    `json:"size"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("dkserver: encode response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func loadGraph(path, ds, gen string) (*dkclique.Graph, error) {
+	switch {
+	case ds != "":
+		return dkclique.LoadDataset(ds)
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return dkclique.Read(f)
+	case gen != "":
+		parts := strings.Split(gen, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("-gen wants NODES,EDGES,SEED, got %q", gen)
+		}
+		nodes, err1 := strconv.Atoi(parts[0])
+		edges, err2 := strconv.Atoi(parts[1])
+		seed, err3 := strconv.ParseInt(parts[2], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("-gen wants NODES,EDGES,SEED, got %q", gen)
+		}
+		return dkclique.Generate(dkclique.CommunitySocial(nodes, 10, 0.2, edges, seed))
+	}
+	return nil, fmt.Errorf("need -input FILE, -dataset NAME or -gen NODES,EDGES,SEED")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dkserver:", err)
+	os.Exit(1)
+}

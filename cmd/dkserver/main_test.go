@@ -1,0 +1,221 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	dkclique "repro"
+)
+
+func testHandler(t *testing.T) (http.Handler, *dkclique.Graph) {
+	t.Helper()
+	g, err := dkclique.Generate(dkclique.CommunitySocial(400, 8, 0.3, 800, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dkclique.Find(g, dkclique.Options{K: 3, Algorithm: dkclique.LP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := dkclique.NewService(g, 3, res.Cliques, dkclique.ServiceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	return newHandler(svc, g.N()), g
+}
+
+func getJSON(t *testing.T, srv *httptest.Server, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	return resp.StatusCode
+}
+
+func postUpdate(t *testing.T, srv *httptest.Server, body string) (updateResponse, int) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/update", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out updateResponse
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return out, resp.StatusCode
+}
+
+func TestEndpoints(t *testing.T) {
+	h, g := testHandler(t)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var snap snapshotResponse
+	if code := getJSON(t, srv, "/snapshot", &snap); code != http.StatusOK {
+		t.Fatalf("/snapshot status %d", code)
+	}
+	if snap.K != 3 || snap.Nodes != g.N() || snap.Edges != g.M() || snap.Size == 0 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if len(snap.Cliques) != snap.Size {
+		t.Fatalf("cliques %d != size %d", len(snap.Cliques), snap.Size)
+	}
+	if err := dkclique.Verify(g, snap.K, snap.Cliques); err != nil {
+		t.Fatalf("served set invalid: %v", err)
+	}
+
+	var lean snapshotResponse
+	getJSON(t, srv, "/snapshot?cliques=0", &lean)
+	if lean.Cliques != nil {
+		t.Fatal("?cliques=0 must omit members")
+	}
+
+	covered := snap.Cliques[0][0]
+	var cq cliqueResponse
+	if code := getJSON(t, srv, fmt.Sprintf("/clique/%d", covered), &cq); code != http.StatusOK {
+		t.Fatalf("/clique status %d", code)
+	}
+	if !cq.Covered || len(cq.Clique) != 3 {
+		t.Fatalf("clique response = %+v", cq)
+	}
+	var bad map[string]string
+	if code := getJSON(t, srv, "/clique/xyz", &bad); code != http.StatusBadRequest {
+		t.Fatalf("bad node id status %d", code)
+	}
+
+	// Delete one edge of the covered clique (flushed) and watch the
+	// snapshot move.
+	c := cq.Clique
+	out, code := postUpdate(t, srv,
+		fmt.Sprintf(`{"ops":[{"insert":false,"u":%d,"v":%d}],"flush":true}`, c[0], c[1]))
+	if code != http.StatusAccepted || !out.Flushed {
+		t.Fatalf("/update status %d, %+v", code, out)
+	}
+	if out.Version <= snap.Version {
+		t.Fatalf("version did not advance: %d -> %d", snap.Version, out.Version)
+	}
+
+	var stats statsResponse
+	if code := getJSON(t, srv, "/stats", &stats); code != http.StatusOK {
+		t.Fatalf("/stats status %d", code)
+	}
+	if stats.Applied != 1 || stats.Deletions != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+
+	// Invalid updates are rejected before they can reach the engine.
+	if _, code := postUpdate(t, srv, `{"ops":[{"insert":true,"u":-1,"v":2}]}`); code != http.StatusBadRequest {
+		t.Fatalf("negative id status %d", code)
+	}
+	if _, code := postUpdate(t, srv, fmt.Sprintf(`{"ops":[{"insert":true,"u":0,"v":%d}]}`, g.N())); code != http.StatusBadRequest {
+		t.Fatalf("out-of-range id status %d", code)
+	}
+	if _, code := postUpdate(t, srv, `{"ops":[]}`); code != http.StatusBadRequest {
+		t.Fatalf("empty ops status %d", code)
+	}
+	if _, code := postUpdate(t, srv, `{not json`); code != http.StatusBadRequest {
+		t.Fatalf("bad json status %d", code)
+	}
+}
+
+// TestSnapshotUnderUpdateTraffic is the acceptance scenario: /snapshot
+// keeps serving consistent results while concurrent /update traffic is
+// applied.
+func TestSnapshotUnderUpdateTraffic(t *testing.T) {
+	h, g := testHandler(t)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	edges := make([][2]int32, 0, g.M())
+	g.Edges(func(u, v int32) bool {
+		edges = append(edges, [2]int32{u, v})
+		return true
+	})
+
+	var wg sync.WaitGroup
+	const writers, readers, rounds = 3, 4, 25
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < rounds; i++ {
+				e := edges[rng.Intn(len(edges))]
+				body := fmt.Sprintf(`{"ops":[{"insert":%v,"u":%d,"v":%d}]}`,
+					rng.Intn(2) == 0, e[0], e[1])
+				resp, err := http.Post(srv.URL+"/update", "application/json", bytes.NewBufferString(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusAccepted {
+					t.Errorf("update status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(int64(w + 1))
+	}
+	readErrs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last uint64
+			for i := 0; i < rounds; i++ {
+				resp, err := http.Get(srv.URL + "/snapshot")
+				if err != nil {
+					readErrs <- err
+					return
+				}
+				var snap snapshotResponse
+				err = json.NewDecoder(resp.Body).Decode(&snap)
+				resp.Body.Close()
+				if err != nil {
+					readErrs <- err
+					return
+				}
+				if snap.Version < last {
+					readErrs <- fmt.Errorf("version went backwards: %d -> %d", last, snap.Version)
+					return
+				}
+				last = snap.Version
+				if len(snap.Cliques) != snap.Size {
+					readErrs <- fmt.Errorf("cliques %d != size %d", len(snap.Cliques), snap.Size)
+					return
+				}
+				seen := map[int32]bool{}
+				for _, c := range snap.Cliques {
+					if len(c) != snap.K {
+						readErrs <- fmt.Errorf("clique %v has wrong size", c)
+						return
+					}
+					for _, u := range c {
+						if seen[u] {
+							readErrs <- fmt.Errorf("node %d in two cliques", u)
+							return
+						}
+						seen[u] = true
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-readErrs:
+		t.Fatal(err)
+	default:
+	}
+}

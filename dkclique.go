@@ -27,6 +27,16 @@
 //	})
 //	fmt.Println(dyn.Size())
 //
+// To serve the maintained set to concurrent readers while updates stream
+// in, NewService wraps the dynamic engine behind a single writer goroutine
+// with a coalescing update queue; readers get immutable point-in-time
+// snapshots through wait-free, allocation-free loads:
+//
+//	svc, _ := dkclique.NewService(g, 4, res.Cliques, dkclique.ServiceOptions{})
+//	defer svc.Close()
+//	svc.Enqueue(ctx, dkclique.Update{Insert: true, U: 3, V: 9})
+//	snap := svc.Snapshot() // safe from any goroutine, never mutated
+//
 // Every parallel path — Find's score counting and heap initialisation,
 // index construction, batched updates — honours Options.Workers (or the
 // NewDynamicWorkers bound) and produces worker-count-independent results:

@@ -16,6 +16,11 @@ type Update = workload.Op
 // keeps the candidate-clique index of §V-B and repairs the result set with
 // swap operations (Algorithm 4), so a typical update costs microseconds
 // instead of a full recomputation.
+//
+// Dynamic is single-writer: one goroutine at a time may call the mutating
+// methods. Reads through Result and ResultSnapshot are safe from any
+// goroutine concurrently with that writer; to queue and coalesce a stream
+// of updates behind a managed writer, wrap the same state in a Service.
 type Dynamic struct {
 	e *dynamic.Engine
 }
@@ -68,8 +73,17 @@ func (d *Dynamic) Size() int { return d.e.Size() }
 // K returns the clique size.
 func (d *Dynamic) K() int { return d.e.K() }
 
-// Result returns a copy of the current disjoint k-clique set.
+// Result returns the current disjoint k-clique set, read from the
+// engine's published snapshot: the call is allocation-free and the
+// returned slices are immutable point-in-time data — they stay unchanged
+// across later updates and must not be modified by the caller.
 func (d *Dynamic) Result() [][]int32 { return d.e.Result() }
+
+// ResultSnapshot returns an immutable point-in-time view of the
+// maintained set (cliques, per-node membership index, graph N/M, version
+// counter). Reading it is wait-free and allocation-free; for serving
+// concurrent readers while updates stream in, see Service.
+func (d *Dynamic) ResultSnapshot() *ResultSnapshot { return d.e.Snapshot() }
 
 // IsFree reports whether node u is in no clique of the current set.
 func (d *Dynamic) IsFree(u int32) bool { return d.e.IsFree(u) }

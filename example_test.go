@@ -1,6 +1,7 @@
 package dkclique_test
 
 import (
+	"context"
 	"fmt"
 
 	dkclique "repro"
@@ -58,6 +59,32 @@ func ExampleDynamic_ApplyBatch() {
 	})
 	fmt.Println(applied, "updates applied,", dyn.Size(), "triangle remains")
 	// Output: 3 updates applied, 1 triangle remains
+}
+
+func ExampleService() {
+	// Serve a continuously updated clique set: readers get immutable
+	// point-in-time snapshots (wait-free, zero allocations) while a single
+	// writer goroutine drains the queued updates in coalesced batches.
+	g, _ := dkclique.FromEdges(6, [][2]int32{
+		{0, 1}, {1, 2}, {0, 2},
+		{3, 4}, {4, 5}, {3, 5},
+	})
+	svc, _ := dkclique.NewService(g, 3, nil, dkclique.ServiceOptions{})
+	defer svc.Close()
+
+	ctx := context.Background()
+	before := svc.Snapshot() // point-in-time: later updates never touch it
+	svc.Enqueue(ctx, dkclique.Update{Insert: false, U: 0, V: 1})
+	svc.Flush(ctx) // wait until the writer has applied the queue
+
+	after := svc.Snapshot()
+	fmt.Println("before:", before.Size(), "cliques, version", before.Version())
+	fmt.Println("after: ", after.Size(), "cliques, version", after.Version())
+	fmt.Println("node 4 still in", after.CliqueOf(4))
+	// Output:
+	// before: 2 cliques, version 1
+	// after:  1 cliques, version 2
+	// node 4 still in [3 4 5]
 }
 
 func ExampleMaximumMatching() {

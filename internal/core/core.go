@@ -15,7 +15,7 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/graph"
@@ -162,7 +162,7 @@ func Find(g *graph.Graph, opt Options) (*Result, error) {
 		return nil, err
 	}
 	for _, c := range cliques {
-		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+		slices.Sort(c)
 	}
 	return &Result{
 		Cliques:       cliques,
@@ -177,7 +177,7 @@ func Find(g *graph.Graph, opt Options) (*Result, error) {
 // Result.Cliques contract (and cliqueLexLess's precondition) once at
 // creation time.
 func sortClique(c []int32) {
-	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	slices.Sort(c)
 }
 
 // cliqueLexLess compares two cliques by their member lists — the fixed

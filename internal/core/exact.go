@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/graph"
@@ -37,7 +37,7 @@ func ExactDirect(g *graph.Graph, opt Options) (*Result, error) {
 			return false
 		}
 		cc := append([]int32(nil), c...)
-		sort.Slice(cc, func(i, j int) bool { return cc[i] < cc[j] })
+		slices.Sort(cc)
 		cliques = append(cliques, cc)
 		return true
 	})

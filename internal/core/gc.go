@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 	"time"
 
 	"repro/internal/graph"
@@ -52,20 +53,23 @@ func runGC(g *graph.Graph, opt *Options) ([][]int32, uint64, error) {
 		return nil, total, ErrOOT
 	}
 	if opt.StrictTies {
-		sort.Slice(entries, func(i, j int) bool {
-			if entries[i].score != entries[j].score {
-				return entries[i].score < entries[j].score
+		slices.SortFunc(entries, func(a, b entry) int {
+			if c := cmp.Compare(a.score, b.score); c != 0 {
+				return c
 			}
-			return cliqueLexLess(entries[i].clique, entries[j].clique)
+			if cliqueLexLess(a.clique, b.clique) {
+				return -1
+			}
+			return 1
 		})
 	} else {
 		// The paper's implementation note (§VI-A): ties broken by first
 		// encounter, which our stable discovery sequence reproduces.
-		sort.Slice(entries, func(i, j int) bool {
-			if entries[i].score != entries[j].score {
-				return entries[i].score < entries[j].score
+		slices.SortFunc(entries, func(a, b entry) int {
+			if c := cmp.Compare(a.score, b.score); c != 0 {
+				return c
 			}
-			return entries[i].seq < entries[j].seq
+			return cmp.Compare(a.seq, b.seq)
 		})
 	}
 

@@ -1,8 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/graph"
 )
@@ -87,11 +88,11 @@ func Partition(g *graph.Graph, opt Options) (*PartitionResult, error) {
 		}
 	}
 	// Seed order: descending residual degree (hubs anchor teams), then id.
-	sort.Slice(residual, func(i, j int) bool {
-		if deg[residual[i]] != deg[residual[j]] {
-			return deg[residual[i]] > deg[residual[j]]
+	slices.SortFunc(residual, func(a, b int32) int {
+		if c := cmp.Compare(deg[b], deg[a]); c != 0 {
+			return c
 		}
-		return residual[i] < residual[j]
+		return cmp.Compare(a, b)
 	})
 	remaining := len(residual)
 	team := make([]int32, 0, k)

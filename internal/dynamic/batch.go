@@ -1,7 +1,7 @@
 package dynamic
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/workload"
 )
@@ -91,7 +91,7 @@ func (e *Engine) ApplyBatch(ops []workload.Op) int {
 			owners = append(owners, id)
 		}
 	}
-	sort.Slice(owners, func(i, j int) bool { return owners[i] < owners[j] })
+	slices.Sort(owners)
 	lists, allFree := e.collectCandidates(owners)
 	queue := append([]int32(nil), b.pending...)
 	for _, id := range swept {
@@ -120,7 +120,7 @@ func (e *Engine) ApplyBatch(ops []workload.Op) int {
 	// Phase 3 — deferred swap processing on the fresh index, in ascending
 	// owner order with duplicates removed.
 	if len(queue) > 0 && !e.noSwaps {
-		sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })
+		slices.Sort(queue)
 		dedup := queue[:0]
 		for _, id := range queue {
 			if _, ok := e.cliques[id]; !ok {
@@ -134,6 +134,11 @@ func (e *Engine) ApplyBatch(ops []workload.Op) int {
 		if len(dedup) > 0 {
 			e.trySwap(dedup)
 		}
+	}
+	// Match the single-op entry points: a batch of pure no-ops changed
+	// neither the graph nor S, so it publishes no phantom version.
+	if applied > 0 {
+		e.publish()
 	}
 	return applied
 }
@@ -162,7 +167,7 @@ func (e *Engine) sweepTouched(touched map[int32]bool) []int32 {
 	for u := range touched {
 		nodes = append(nodes, u)
 	}
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	slices.Sort(nodes)
 	var installed []int32
 	for _, u := range nodes {
 		for e.nodeClique[u] == free {

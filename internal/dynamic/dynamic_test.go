@@ -2,6 +2,7 @@ package dynamic
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/core"
@@ -324,17 +325,35 @@ func TestStatsCounters(t *testing.T) {
 	}
 }
 
-func TestResultIsCopy(t *testing.T) {
+func TestResultIsPointInTime(t *testing.T) {
+	// Result returns the published snapshot's cliques: an update that
+	// changes S must not mutate a previously returned result, and the
+	// snapshot a reader holds must keep verifying after the engine moves on.
 	g := fig5Graph()
 	e, err := New(g, 3, [][]int32{{2, 3, 4}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := e.Result()
-	r[0][0] = 99
-	r2 := e.Result()
-	if r2[0][0] == 99 {
-		t.Error("Result must return copies")
+	before := e.Result()
+	beforeCopy := make([][]int32, len(before))
+	for i, c := range before {
+		beforeCopy[i] = append([]int32(nil), c...)
+	}
+	snap := e.Snapshot()
+	v := snap.Version()
+	e.DeleteEdge(2, 3) // dissolves the clique containing the edge, if any
+	e.InsertEdge(2, 3)
+	if !reflect.DeepEqual(before, beforeCopy) {
+		t.Errorf("old Result mutated by later updates: %v != %v", before, beforeCopy)
+	}
+	if snap.Version() != v {
+		t.Error("published snapshot mutated after publication")
+	}
+	if err := snap.Validate(); err != nil {
+		t.Errorf("old snapshot no longer valid: %v", err)
+	}
+	if now := e.Snapshot(); now.Version() <= v {
+		t.Errorf("version did not advance: %d -> %d", v, now.Version())
 	}
 }
 

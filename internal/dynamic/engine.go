@@ -15,11 +15,18 @@
 //  2. S is maximal: no k-clique exists whose members are all free.
 //  3. The candidate index holds exactly the candidate k-cliques of §V-A
 //     for the current graph and S, each keyed to its owner.
+//
+// The engine is single-writer, multi-reader: one goroutine at a time may
+// call the mutating entry points, while any number of goroutines read the
+// maintained result through Snapshot — an immutable point-in-time view
+// published through an atomic pointer after every update (see snapshot.go).
+// A published snapshot is never mutated; readers keep it valid forever.
 package dynamic
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
@@ -78,6 +85,18 @@ type Engine struct {
 	// ApplyBatch can coalesce and parallelise them; see batch.go.
 	batch *batchState
 
+	// sgen counts changes to S (clique installs/removals); publish reuses
+	// the previous snapshot's arrays when it has not moved. orderIds /
+	// orderCliques hold S sorted by clique id, maintained incrementally by
+	// orderInstall/orderRemove, so publication clones flat arrays instead
+	// of sorting; the member slices are shared with e.cliques and never
+	// mutated in place. snap holds the latest published snapshot — the
+	// only engine state readers may touch.
+	sgen         uint64
+	orderIds     []int32
+	orderCliques [][]int32
+	snap         atomic.Pointer[Snapshot]
+
 	stats Stats
 
 	// noSwaps disables voluntary swap operations (ablation studies); all
@@ -126,7 +145,7 @@ func NewWorkers(g *graph.Graph, k int, initial [][]int32, workers int) (*Engine,
 			return nil, fmt.Errorf("dynamic: initial members %v are not a clique", c)
 		}
 		cc := append([]int32(nil), c...)
-		sort.Slice(cc, func(i, j int) bool { return cc[i] < cc[j] })
+		slices.Sort(cc)
 		id := e.nextClique
 		e.nextClique++
 		for _, u := range cc {
@@ -136,6 +155,7 @@ func NewWorkers(g *graph.Graph, k int, initial [][]int32, workers int) (*Engine,
 			e.nodeClique[u] = id
 		}
 		e.cliques[id] = cc
+		e.orderInstall(id, cc)
 	}
 	// The candidate index assumes S is maximal (a non-maximal S would make
 	// all-free cliques "candidates" of nobody). Complete the initial set
@@ -144,6 +164,7 @@ func NewWorkers(g *graph.Graph, k int, initial [][]int32, workers int) (*Engine,
 	start := time.Now()
 	e.buildIndex()
 	e.stats.IndexBuild = time.Since(start)
+	e.publish()
 	return e, nil
 }
 
@@ -176,13 +197,14 @@ func (e *Engine) completeMaximal(g *graph.Graph) {
 			for i, x := range c {
 				members[i] = ids[x]
 			}
-			sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+			slices.Sort(members)
 			id := e.nextClique
 			e.nextClique++
 			for _, u := range members {
 				e.nodeClique[u] = id
 			}
 			e.cliques[id] = members
+			e.orderInstall(id, members)
 		}
 		return true
 	})
@@ -203,20 +225,12 @@ func (e *Engine) Stats() Stats { return e.stats }
 // Graph exposes the current dynamic graph (read-only use).
 func (e *Engine) Graph() *graph.Dynamic { return e.g }
 
-// Result returns a copy of the current disjoint k-clique set, each clique
-// sorted, cliques ordered by id for determinism.
-func (e *Engine) Result() [][]int32 {
-	ids := make([]int32, 0, len(e.cliques))
-	for id := range e.cliques {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	out := make([][]int32, 0, len(ids))
-	for _, id := range ids {
-		out = append(out, append([]int32(nil), e.cliques[id]...))
-	}
-	return out
-}
+// Result returns the current disjoint k-clique set, each clique sorted,
+// cliques ordered by id for determinism. It reads the published snapshot,
+// so the call is allocation-free; the returned slices are immutable
+// point-in-time data shared with the snapshot and must not be modified
+// (they stay valid and unchanged across later updates).
+func (e *Engine) Result() [][]int32 { return e.Snapshot().Cliques() }
 
 // IsFree reports whether u belongs to no S-clique.
 func (e *Engine) IsFree(u int32) bool { return e.nodeClique[u] == free }

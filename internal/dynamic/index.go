@@ -1,7 +1,7 @@
 package dynamic
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/kclique"
 )
@@ -11,7 +11,7 @@ import (
 // return false to stop. The callback slice is reused.
 func (e *Engine) forEachCliqueAmong(B []int32, fn func(c []int32) bool) {
 	nodes := append([]int32(nil), B...)
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	slices.Sort(nodes)
 	w := 0
 	for i, x := range nodes {
 		if i == 0 || x != nodes[w-1] {
@@ -84,7 +84,7 @@ func (e *Engine) forEachCliqueWithEdge(u, v int32, allowed func(w int32) bool, f
 	if len(cand) < e.k-2 {
 		return
 	}
-	sort.Slice(cand, func(i, j int) bool { return cand[i] < cand[j] })
+	slices.Sort(cand)
 	stack := make([]int32, 0, e.k)
 	stack = append(stack, u, v)
 	levels := make([][]int32, e.k+1)
@@ -148,7 +148,7 @@ func (e *Engine) candidatesOf(id int32) (cands, allFree [][]int32) {
 	members := e.cliques[id]
 	e.forEachCliqueAmong(e.freeNeighborhood(members), func(c []int32) bool {
 		cc := append([]int32(nil), c...)
-		sort.Slice(cc, func(i, j int) bool { return cc[i] < cc[j] })
+		slices.Sort(cc)
 		nonFree := 0
 		for _, u := range cc {
 			if e.nodeClique[u] != free {
@@ -190,7 +190,7 @@ func (e *Engine) buildIndex() {
 	for id := range e.cliques {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	results, _ := e.collectCandidates(ids)
 	for i, id := range ids {
 		for _, c := range results[i] {
@@ -227,7 +227,7 @@ func (e *Engine) rebuildCandidates(id int32) bool {
 	buf := make([]int32, e.k)
 	e.forEachCliqueAmong(B, func(c []int32) bool {
 		copy(buf, c)
-		sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+		slices.Sort(buf)
 		nonFree := 0
 		for _, u := range buf {
 			if e.nodeClique[u] != free {
@@ -273,13 +273,14 @@ func (e *Engine) rebuildCandidates(id int32) bool {
 // candidate rebuilds never observe a half-applied S.
 func (e *Engine) installClique(members []int32) int32 {
 	cc := append([]int32(nil), members...)
-	sort.Slice(cc, func(i, j int) bool { return cc[i] < cc[j] })
+	slices.Sort(cc)
 	id := e.nextClique
 	e.nextClique++
 	for _, u := range cc {
 		e.nodeClique[u] = id
 	}
 	e.cliques[id] = cc
+	e.orderInstall(id, cc)
 	return id
 }
 
@@ -327,6 +328,7 @@ func (e *Engine) removeCliqueFromS(id int32) []int32 {
 	for _, u := range members {
 		e.nodeClique[u] = free
 	}
+	e.orderRemove(id)
 	if e.batch != nil {
 		for _, u := range members {
 			e.batch.touched[u] = true
@@ -352,6 +354,6 @@ func (e *Engine) ownersAdjacentTo(nodes []int32) []int32 {
 	for id := range seen {
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }

@@ -1,6 +1,6 @@
 package dynamic
 
-import "sort"
+import "slices"
 
 // This file holds the compact integer-keyed containers behind the candidate
 // index. The original implementation deduplicated candidates through a
@@ -22,30 +22,28 @@ type idSet struct {
 
 // add inserts id, reporting whether it was absent.
 func (s *idSet) add(id int32) bool {
-	i := sort.Search(len(s.items), func(i int) bool { return s.items[i] >= id })
-	if i < len(s.items) && s.items[i] == id {
+	i, found := slices.BinarySearch(s.items, id)
+	if found {
 		return false
 	}
-	s.items = append(s.items, 0)
-	copy(s.items[i+1:], s.items[i:])
-	s.items[i] = id
+	s.items = slices.Insert(s.items, i, id)
 	return true
 }
 
 // remove deletes id, reporting whether it was present.
 func (s *idSet) remove(id int32) bool {
-	i := sort.Search(len(s.items), func(i int) bool { return s.items[i] >= id })
-	if i >= len(s.items) || s.items[i] != id {
+	i, found := slices.BinarySearch(s.items, id)
+	if !found {
 		return false
 	}
-	s.items = append(s.items[:i], s.items[i+1:]...)
+	s.items = slices.Delete(s.items, i, i+1)
 	return true
 }
 
 // has reports membership.
 func (s *idSet) has(id int32) bool {
-	i := sort.Search(len(s.items), func(i int) bool { return s.items[i] >= id })
-	return i < len(s.items) && s.items[i] == id
+	_, found := slices.BinarySearch(s.items, id)
+	return found
 }
 
 // size returns the number of ids.

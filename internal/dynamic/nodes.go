@@ -10,6 +10,7 @@ func (e *Engine) AddNode() int32 {
 	id := e.g.AddNode()
 	e.nodeClique = append(e.nodeClique, free)
 	e.candsByNode = append(e.candsByNode, idSet{})
+	e.publish()
 	return id
 }
 

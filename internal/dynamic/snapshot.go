@@ -1,0 +1,212 @@
+package dynamic
+
+import (
+	"fmt"
+	"slices"
+)
+
+// MVCC read path. The engine is single-writer: one goroutine (or one
+// caller at a time) applies updates, but any number of goroutines may read
+// the maintained result concurrently. Instead of guarding the live
+// structures with a lock, the engine publishes an immutable *Snapshot
+// through an atomic pointer after every mutating entry point; readers load
+// the pointer — wait-free, zero allocations — and keep using the snapshot
+// for as long as they like. A snapshot is point-in-time: it is never
+// mutated after publication, so two loads may observe different snapshots
+// but each one is internally consistent forever.
+//
+// Publication is copy-on-write: an update that leaves S untouched (most
+// insertions) reuses the previous snapshot's arrays and only stamps a
+// fresh version and graph M; an update that changes S clones the writer's
+// incrementally maintained order (three flat memcpys — no sorting, no
+// per-clique copying) and shares the immutable member slices.
+
+// Snapshot is an immutable point-in-time view of the maintained disjoint
+// k-clique set. All methods are safe for concurrent use and never return
+// data that a later update can mutate; the slices they expose are shared
+// with the snapshot and must not be modified by callers.
+type Snapshot struct {
+	version uint64
+	sgen    uint64 // S-change generation, for copy-on-write reuse
+	k       int
+	n, m    int
+	ids     []int32   // sorted clique ids, parallel to cliques
+	cliques [][]int32 // sorted members, ascending clique-id order
+	node    []int32   // node -> clique id, or free (-1)
+	stats   Stats
+}
+
+// Version returns the publication counter: it starts at 1 when the engine
+// is constructed and increases by one with every published update, so a
+// reader polling Snapshot observes strictly increasing versions whenever
+// the state changed.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// K returns the clique size.
+func (s *Snapshot) K() int { return s.k }
+
+// Size returns |S| at publication time.
+func (s *Snapshot) Size() int { return len(s.cliques) }
+
+// N returns the number of graph nodes at publication time.
+func (s *Snapshot) N() int { return s.n }
+
+// M returns the number of graph edges at publication time.
+func (s *Snapshot) M() int { return s.m }
+
+// Stats returns the engine activity counters as of publication.
+func (s *Snapshot) Stats() Stats { return s.stats }
+
+// Cliques returns the clique set, each clique sorted, ordered by the
+// engine's internal clique id (the same deterministic order Result always
+// used). The outer and inner slices are shared with the snapshot and must
+// not be modified.
+func (s *Snapshot) Cliques() [][]int32 { return s.cliques }
+
+// Clique returns the i-th clique of Cliques.
+func (s *Snapshot) Clique(i int) []int32 { return s.cliques[i] }
+
+// CliqueOf returns the sorted members of the clique containing u, or nil
+// if u is free or out of range. The slice is shared and must not be
+// modified.
+func (s *Snapshot) CliqueOf(u int32) []int32 {
+	if i := s.indexOf(u); i >= 0 {
+		return s.cliques[i]
+	}
+	return nil
+}
+
+// Contains reports whether u belongs to some clique of the set.
+func (s *Snapshot) Contains(u int32) bool {
+	return u >= 0 && int(u) < len(s.node) && s.node[u] != free
+}
+
+// indexOf returns the position in Cliques of u's clique, or -1. The
+// membership index stores stable clique ids (so updates never reposition
+// unrelated entries); the position is recovered by binary search over the
+// sorted id list. Nodes appended by AddNode after the index was last
+// rebuilt are free by construction, so the bounds check doubles as the
+// correct answer.
+func (s *Snapshot) indexOf(u int32) int {
+	if u < 0 || int(u) >= len(s.node) {
+		return -1
+	}
+	id := s.node[u]
+	if id == free {
+		return -1
+	}
+	pos, ok := slices.BinarySearch(s.ids, id)
+	if !ok {
+		return -1
+	}
+	return pos
+}
+
+// Validate checks the snapshot's internal invariants — every clique has
+// exactly k distinct members, the cliques are pairwise disjoint, and the
+// membership index is the exact inverse of the clique list. It does not
+// (and cannot) check cliquehood against a graph; pair it with a graph
+// snapshot and Verify for that. Meant for tests and debugging endpoints.
+func (s *Snapshot) Validate() error {
+	if len(s.ids) != len(s.cliques) {
+		return fmt.Errorf("snapshot: %d ids for %d cliques", len(s.ids), len(s.cliques))
+	}
+	if !slices.IsSorted(s.ids) {
+		return fmt.Errorf("snapshot: clique ids not sorted")
+	}
+	mapped := 0
+	for i, c := range s.cliques {
+		if len(c) != s.k {
+			return fmt.Errorf("snapshot: clique %d has %d members, want %d", i, len(c), s.k)
+		}
+		if !slices.IsSorted(c) {
+			return fmt.Errorf("snapshot: clique %d (%v) is not sorted", i, c)
+		}
+		for j := 1; j < len(c); j++ {
+			if c[j] == c[j-1] {
+				return fmt.Errorf("snapshot: clique %d repeats node %d", i, c[j])
+			}
+		}
+		for _, u := range c {
+			if got := s.indexOf(u); got != i {
+				return fmt.Errorf("snapshot: node %d in clique %d but index says %d", u, i, got)
+			}
+		}
+	}
+	for u, id := range s.node {
+		if id == free {
+			continue
+		}
+		mapped++
+		pos, ok := slices.BinarySearch(s.ids, id)
+		if !ok {
+			return fmt.Errorf("snapshot: node %d mapped to missing clique id %d", u, id)
+		}
+		if !slices.Contains(s.cliques[pos], int32(u)) {
+			return fmt.Errorf("snapshot: node %d mapped to clique %d that does not list it", u, id)
+		}
+	}
+	if want := len(s.cliques) * s.k; mapped != want {
+		return fmt.Errorf("snapshot: index maps %d nodes, cliques cover %d", mapped, want)
+	}
+	return nil
+}
+
+// Snapshot returns the most recently published snapshot. The load is
+// wait-free and allocation-free; the result is immutable and stays valid
+// across any number of later updates. Safe to call from any goroutine
+// concurrently with a single writer applying updates.
+func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
+
+// publish installs a fresh snapshot reflecting the engine's current state.
+// Called at the end of every mutating entry point; a no-op mid-batch
+// (ApplyBatch publishes once, after the deferred phases run). Only the
+// writer calls publish, so plain reads of the live structures are safe
+// here; the atomic store is what hands the result to readers.
+//
+// Cost: updates that did not move S allocate one Snapshot struct and
+// reuse the previous arrays. Updates that did clone the writer-side order
+// and membership arrays (flat memcpys of |S| ids, |S| pointers and N
+// node entries) and share the member slices, which the engine never
+// mutates in place (installClique allocates fresh ones).
+func (e *Engine) publish() {
+	if e.batch != nil {
+		return
+	}
+	prev := e.snap.Load()
+	n, m := e.g.N(), e.g.M()
+	s := &Snapshot{sgen: e.sgen, k: e.k, n: n, m: m, stats: e.stats, version: 1}
+	if prev != nil {
+		s.version = prev.version + 1
+	}
+	if prev != nil && prev.sgen == e.sgen && prev.n == n {
+		// S did not change: reuse the immutable arrays, stamp new metadata.
+		s.ids, s.cliques, s.node = prev.ids, prev.cliques, prev.node
+	} else {
+		s.ids = make([]int32, len(e.orderIds))
+		copy(s.ids, e.orderIds)
+		s.cliques = make([][]int32, len(e.orderCliques))
+		copy(s.cliques, e.orderCliques)
+		s.node = make([]int32, len(e.nodeClique))
+		copy(s.node, e.nodeClique)
+	}
+	e.snap.Store(s)
+}
+
+// orderInstall appends a freshly installed clique to the writer-side
+// publication order. Clique ids are allocated monotonically, so appending
+// keeps the order sorted by id.
+func (e *Engine) orderInstall(id int32, members []int32) {
+	e.orderIds = append(e.orderIds, id)
+	e.orderCliques = append(e.orderCliques, members)
+	e.sgen++
+}
+
+// orderRemove drops a clique from the writer-side publication order.
+func (e *Engine) orderRemove(id int32) {
+	if pos, ok := slices.BinarySearch(e.orderIds, id); ok {
+		e.orderIds = slices.Delete(e.orderIds, pos, pos+1)
+		e.orderCliques = slices.Delete(e.orderCliques, pos, pos+1)
+	}
+	e.sgen++
+}

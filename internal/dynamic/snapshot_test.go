@@ -1,0 +1,185 @@
+package dynamic
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+func twoTriangles(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromEdges(6, [][2]int32{
+		{0, 1}, {1, 2}, {0, 2},
+		{3, 4}, {4, 5}, {3, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestSnapshotZeroAlloc pins the acceptance criterion: the whole read path
+// — loading the snapshot and answering point queries from it — performs
+// zero allocations.
+func TestSnapshotZeroAlloc(t *testing.T) {
+	e, err := New(twoTriangles(t), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink int
+	allocs := testing.AllocsPerRun(1000, func() {
+		s := e.Snapshot()
+		sink += s.Size() + s.N() + s.M() + len(s.CliqueOf(0))
+		if s.Contains(1) {
+			sink++
+		}
+		sink += len(s.Cliques())
+	})
+	if allocs != 0 {
+		t.Fatalf("read path allocated %v times per run, want 0", allocs)
+	}
+	_ = sink
+}
+
+// TestSnapshotVersionAndQueries exercises the query surface and version
+// counter across updates that do and do not move S.
+func TestSnapshotVersionAndQueries(t *testing.T) {
+	e, err := New(twoTriangles(t), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.Snapshot()
+	if s == nil {
+		t.Fatal("no snapshot published at construction")
+	}
+	if s.Version() != 1 {
+		t.Fatalf("initial version = %d, want 1", s.Version())
+	}
+	if s.Size() != 2 || s.K() != 3 || s.N() != 6 || s.M() != 6 {
+		t.Fatalf("snapshot header = size %d k %d n %d m %d", s.Size(), s.K(), s.N(), s.M())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for u := int32(0); u < 6; u++ {
+		if !s.Contains(u) {
+			t.Fatalf("node %d should be covered", u)
+		}
+	}
+	if got := s.CliqueOf(4); !reflect.DeepEqual(got, []int32{3, 4, 5}) {
+		t.Fatalf("CliqueOf(4) = %v", got)
+	}
+	if s.CliqueOf(-1) != nil || s.CliqueOf(99) != nil {
+		t.Fatal("out-of-range CliqueOf must return nil")
+	}
+
+	// An insertion that leaves S untouched still publishes (M changed) and
+	// reuses the membership arrays copy-on-write.
+	if !e.InsertEdge(0, 3) {
+		t.Fatal("insert failed")
+	}
+	s2 := e.Snapshot()
+	if s2.Version() != s.Version()+1 {
+		t.Fatalf("version after insert = %d, want %d", s2.Version(), s.Version()+1)
+	}
+	if s2.M() != 7 {
+		t.Fatalf("M after insert = %d, want 7", s2.M())
+	}
+	if &s2.cliques[0][0] != &s.cliques[0][0] {
+		t.Error("S-preserving update should reuse the clique arrays")
+	}
+
+	// A no-op update publishes nothing.
+	if e.InsertEdge(0, 3) {
+		t.Fatal("duplicate insert reported true")
+	}
+	if got := e.Snapshot().Version(); got != s2.Version() {
+		t.Fatalf("no-op update bumped version to %d", got)
+	}
+
+	// A deletion inside an S-clique moves S: fresh arrays, valid snapshot.
+	if !e.DeleteEdge(3, 4) {
+		t.Fatal("delete failed")
+	}
+	s3 := e.Snapshot()
+	if s3.Version() <= s2.Version() {
+		t.Fatalf("version after delete = %d", s3.Version())
+	}
+	if s3.Size() != 1 {
+		t.Fatalf("size after delete = %d, want 1", s3.Size())
+	}
+	if err := s3.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The older snapshots still answer from their own era.
+	if s2.Size() != 2 || !s2.Contains(4) {
+		t.Error("older snapshot changed retroactively")
+	}
+}
+
+// TestSnapshotAddNode checks that node growth extends the read path
+// correctly: the fresh node reads as free on the new snapshot and as
+// out-of-range (nil, false) on older ones.
+func TestSnapshotAddNode(t *testing.T) {
+	e, err := New(twoTriangles(t), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := e.Snapshot()
+	id := e.AddNode()
+	s := e.Snapshot()
+	if s.N() != 7 {
+		t.Fatalf("N = %d, want 7", s.N())
+	}
+	if s.Contains(id) || s.CliqueOf(id) != nil {
+		t.Fatal("fresh node must be free")
+	}
+	if old.Contains(id) {
+		t.Fatal("old snapshot claims the new node")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotMatchesEngineUnderBatches drives randomized batches and
+// checks after each one that the published snapshot agrees with the
+// engine's own view and validates.
+func TestSnapshotMatchesEngineUnderBatches(t *testing.T) {
+	g := randomGraph(40, 0.25, 5)
+	e, err := New(g, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workload.Mixed(g, 60, 9)
+	for _, op := range w.Prepare {
+		e.DeleteEdge(op.U, op.V)
+	}
+	for i := 0; i+10 <= len(w.Stream); i += 10 {
+		e.ApplyBatch(w.Stream[i : i+10])
+		s := e.Snapshot()
+		if err := s.Validate(); err != nil {
+			t.Fatalf("batch %d: %v", i/10, err)
+		}
+		if s.Size() != e.Size() {
+			t.Fatalf("batch %d: snapshot size %d, engine %d", i/10, s.Size(), e.Size())
+		}
+		if s.M() != e.Graph().M() || s.N() != e.Graph().N() {
+			t.Fatalf("batch %d: snapshot graph %d/%d, engine %d/%d",
+				i/10, s.N(), s.M(), e.Graph().N(), e.Graph().M())
+		}
+		if !reflect.DeepEqual(s.Cliques(), e.Result()) {
+			t.Fatalf("batch %d: snapshot cliques diverge from Result", i/10)
+		}
+		for u := int32(0); int(u) < g.N(); u++ {
+			if s.Contains(u) == e.IsFree(u) {
+				t.Fatalf("batch %d: node %d free status disagrees", i/10, u)
+			}
+		}
+		if err := e.Verify(); err != nil {
+			t.Fatalf("batch %d: %v", i/10, err)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package dynamic
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
 
 // greedyDisjoint selects a maximal disjoint subset of the given cliques in
 // ascending clique-score order — Algorithm 2 applied to a candidate set
@@ -30,11 +33,11 @@ func greedyDisjoint(cliques [][]int32) [][]int32 {
 		}
 		entries[i] = entry{idx: i, score: s}
 	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].score != entries[j].score {
-			return entries[i].score < entries[j].score
+	slices.SortFunc(entries, func(a, b entry) int {
+		if c := cmp.Compare(a.score, b.score); c != 0 {
+			return c
 		}
-		return entries[i].idx < entries[j].idx
+		return cmp.Compare(a.idx, b.idx)
 	})
 	used := map[int32]bool{}
 	var out [][]int32

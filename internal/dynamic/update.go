@@ -1,6 +1,6 @@
 package dynamic
 
-import "sort"
+import "slices"
 
 // InsertEdge applies Algorithm 6 (incremental update). It reports whether
 // the edge was new; inserting an existing edge or a self-loop is a no-op.
@@ -21,6 +21,7 @@ func (e *Engine) InsertEdge(u, v int32) bool {
 	default:
 		e.insertBothFree(u, v)
 	}
+	e.publish()
 	return true
 }
 
@@ -40,7 +41,7 @@ func (e *Engine) insertOneFree(u, v int32, uIsFree bool) {
 	buf := make([]int32, e.k)
 	e.forEachCliqueWithEdge(fn, bn, allowed, func(c []int32) bool {
 		copy(buf, c)
-		sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+		slices.Sort(buf)
 		if e.addCandidate(buf, owner) {
 			gained = true
 		}
@@ -90,7 +91,7 @@ func (e *Engine) insertBothFree(u, v int32) {
 			return true
 		}
 		copy(buf, c)
-		sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+		slices.Sort(buf)
 		if e.addCandidate(buf, owner) {
 			owners[owner] = true
 		}
@@ -101,7 +102,7 @@ func (e *Engine) insertBothFree(u, v int32) {
 		for id := range owners {
 			q = append(q, id)
 		}
-		sort.Slice(q, func(i, j int) bool { return q[i] < q[j] })
+		slices.Sort(q)
 		e.trySwap(q)
 	}
 }
@@ -120,9 +121,11 @@ func (e *Engine) DeleteEdge(u, v int32) bool {
 	if cu == free || cu != cv {
 		// Second case of Algorithm 7: the edge was not inside an S-clique;
 		// dropping its candidates is all that is needed.
+		e.publish()
 		return true
 	}
 	e.dissolveAndRepack(cu)
+	e.publish()
 	return true
 }
 

@@ -2,7 +2,7 @@ package dynamic
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // key canonicalises a sorted member list into a comparable string. The hot
@@ -59,6 +59,26 @@ func (e *Engine) Verify() error {
 	}
 	if counted != mapped {
 		return fmt.Errorf("clique membership count %d != mapped nodes %d", counted, mapped)
+	}
+
+	// 1b. The writer-side publication order mirrors S exactly, sorted by
+	// id, and shares the member slices (publish clones these arrays, so a
+	// divergence here would surface as a stale snapshot).
+	if len(e.orderIds) != len(e.cliques) || len(e.orderCliques) != len(e.cliques) {
+		return fmt.Errorf("publication order holds %d/%d entries for %d cliques",
+			len(e.orderIds), len(e.orderCliques), len(e.cliques))
+	}
+	if !slices.IsSorted(e.orderIds) {
+		return fmt.Errorf("publication order ids not sorted")
+	}
+	for i, id := range e.orderIds {
+		members, ok := e.cliques[id]
+		if !ok {
+			return fmt.Errorf("publication order holds stale clique %d", id)
+		}
+		if &members[0] != &e.orderCliques[i][0] || len(members) != len(e.orderCliques[i]) {
+			return fmt.Errorf("publication order entry %d does not alias clique %d's members", i, id)
+		}
 	}
 
 	// 2. Maximality: no k-clique among free nodes.
@@ -154,7 +174,7 @@ func (e *Engine) Verify() error {
 		B := e.freeNeighborhood(members)
 		e.forEachCliqueAmong(B, func(c []int32) bool {
 			cc := append([]int32(nil), c...)
-			sort.Slice(cc, func(i, j int) bool { return cc[i] < cc[j] })
+			slices.Sort(cc)
 			nFree := 0
 			for _, u := range cc {
 				if e.nodeClique[u] == free {

@@ -1,6 +1,6 @@
 package graph
 
-import "sort"
+import "slices"
 
 // Dynamic is a mutable undirected graph with O(1) expected-time edge
 // insertion, deletion and lookup. It shares the dense int32 node-id space
@@ -112,7 +112,7 @@ func (d *Dynamic) NeighborsSorted(u int32) []int32 {
 	for v := range d.adj[u] {
 		out = append(out, v)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

@@ -11,6 +11,7 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -184,7 +185,7 @@ func (b *Builder) Build() (*Graph, error) {
 	for u := 0; u < n; u++ {
 		lo, hi := deg[u], deg[u+1]
 		lst := adj[lo:hi]
-		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+		slices.Sort(lst)
 		offsets[u] = w
 		var prev int32 = -1
 		for _, x := range lst {
@@ -221,26 +222,36 @@ func FromEdges(n int, edges [][2]int32) (*Graph, error) {
 // Induced returns the subgraph induced on nodes (which need not be sorted),
 // together with the mapping newID -> oldID. Node i of the result corresponds
 // to nodes[i] after sorting/dedup.
+//
+// The old -> new remap avoids the per-call map the original used (it
+// allocated on every lookup and dominated dynamic-engine construction
+// profiles): for subsets that are a decent fraction of the graph a dense
+// slice gives O(1) lookups (make returns a zeroed array for free, so 0
+// marks "dropped" and stored ids are offset by one); for small subsets of
+// huge graphs, where zeroing O(N) would dwarf the real work, lookups
+// binary-search the sorted keep list instead.
 func (g *Graph) Induced(nodes []int32) (*Graph, []int32) {
-	keep := append([]int32(nil), nodes...)
-	sort.Slice(keep, func(i, j int) bool { return keep[i] < keep[j] })
-	// Dedup.
-	w := 0
-	for i, x := range keep {
-		if i == 0 || x != keep[w-1] {
-			keep[w] = x
-			w++
+	keep := slices.Clone(nodes)
+	slices.Sort(keep)
+	keep = slices.Compact(keep)
+	lookup := func(v int32) int32 { // old id -> new id, or -1
+		nv, ok := slices.BinarySearch(keep, v)
+		if !ok {
+			return -1
 		}
+		return int32(nv)
 	}
-	keep = keep[:w]
-	remap := make(map[int32]int32, len(keep))
-	for i, old := range keep {
-		remap[old] = int32(i)
+	if g.N() <= 8*len(keep) {
+		remap := make([]int32, g.N()) // old id -> new id + 1; 0 = dropped
+		for i, old := range keep {
+			remap[old] = int32(i) + 1
+		}
+		lookup = func(v int32) int32 { return remap[v] - 1 }
 	}
 	b := NewBuilder(len(keep))
 	for i, old := range keep {
 		for _, v := range g.Neighbors(old) {
-			if nv, ok := remap[v]; ok && nv > int32(i) {
+			if nv := lookup(v); nv > int32(i) {
 				b.AddEdge(int32(i), nv)
 			}
 		}

@@ -1,6 +1,9 @@
 package graph
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
 
 // An Ordering assigns each node a distinct rank η in [0, N). Algorithms in
 // this repository follow the paper's convention (Algorithm 1 line 3): the
@@ -22,17 +25,16 @@ func orderBy(g *Graph, key func(u int32) int64) Ordering {
 	for i := range perm {
 		perm[i] = int32(i)
 	}
-	sort.SliceStable(perm, func(i, j int) bool {
-		a, b := perm[i], perm[j]
-		ka, kb := key(a), key(b)
-		if ka != kb {
-			return ka < kb
+	// The (key, degree, id) comparator is a total order, so the unstable
+	// slices.SortFunc produces the same permutation SliceStable did.
+	slices.SortFunc(perm, func(a, b int32) int {
+		if c := cmp.Compare(key(a), key(b)); c != 0 {
+			return c
 		}
-		da, db := g.Degree(a), g.Degree(b)
-		if da != db {
-			return da < db
+		if c := cmp.Compare(g.Degree(a), g.Degree(b)); c != 0 {
+			return c
 		}
-		return a < b
+		return cmp.Compare(a, b)
 	})
 	rank := make([]int32, n)
 	for r, u := range perm {

@@ -3,7 +3,7 @@ package kclique
 import (
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 	"testing"
 
 	"repro/internal/graph"
@@ -57,7 +57,7 @@ func bruteForce(g *graph.Graph, k int) [][]int32 {
 
 func canonical(c []int32) string {
 	s := append([]int32(nil), c...)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
 	b := make([]byte, 0, len(s)*4)
 	for _, v := range s {
 		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))

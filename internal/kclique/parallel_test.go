@@ -4,7 +4,7 @@ import (
 	"math/rand"
 	"reflect"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -37,14 +37,14 @@ func cliqueSet(cliques [][]int32) []string {
 	out := make([]string, len(cliques))
 	for i, c := range cliques {
 		cc := append([]int32(nil), c...)
-		sort.Slice(cc, func(a, b int) bool { return cc[a] < cc[b] })
+		slices.Sort(cc)
 		s := make([]byte, 0, len(cc)*4)
 		for _, v := range cc {
 			s = append(s, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 		}
 		out[i] = string(s)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 

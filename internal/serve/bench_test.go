@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/workload"
+)
+
+// BenchmarkSnapshotRead measures the wait-free read path: parallel
+// readers loading the snapshot and answering a point query. The busy
+// variant keeps the single writer applying update batches concurrently,
+// showing that writes do not slow readers down.
+func BenchmarkSnapshotRead(b *testing.B) {
+	g := gen.CommunitySocial(20000, 10, 0.2, 40000, 17)
+	for _, busy := range []bool{false, true} {
+		name := "idle-writer"
+		if busy {
+			name = "busy-writer"
+		}
+		b.Run(name, func(b *testing.B) {
+			s := newService(b, g, Options{})
+			defer s.Close()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			if busy {
+				ops := workload.Mixed(g, 2000, 23).Stream
+				go func() {
+					for i := 0; ; i++ {
+						batch := ops[(i*50)%len(ops) : (i*50)%len(ops)+50]
+						if s.Enqueue(ctx, batch...) != nil {
+							return
+						}
+					}
+				}()
+			}
+			var cursor atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				var sink int
+				u := int32(cursor.Add(977) % int64(g.N()))
+				for pb.Next() {
+					snap := s.Snapshot()
+					sink += snap.Size() + len(snap.CliqueOf(u))
+					u = (u + 1) % int32(g.N())
+				}
+				_ = sink
+			})
+		})
+	}
+}
+
+// BenchmarkServeMixed replays the closed-loop read/write client streams
+// against a Service: every goroutine issues its next op as soon as the
+// previous completes (reads answer from the snapshot, writes enqueue to
+// the single writer). ns/op is per client operation.
+func BenchmarkServeMixed(b *testing.B) {
+	g := gen.CommunitySocial(20000, 10, 0.2, 40000, 17)
+	for _, readFrac := range []float64{0.5, 0.9, 0.99} {
+		b.Run(fmt.Sprintf("reads=%.0f%%", readFrac*100), func(b *testing.B) {
+			s := newService(b, g, Options{})
+			defer s.Close()
+			ctx := context.Background()
+			streams := workload.ReadWriteClients(g, 16, 4096, readFrac, 31)
+			var next atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				ops := streams[int(next.Add(1))%len(streams)]
+				i := 0
+				var sink int
+				for pb.Next() {
+					op := ops[i%len(ops)]
+					i++
+					if op.Read {
+						sink += len(s.CliqueOf(op.Node))
+					} else if err := s.Enqueue(ctx, op.Update); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+				_ = sink
+			})
+			b.StopTimer()
+			if err := s.Flush(ctx); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,294 @@
+// Package serve turns the dynamic engine into a concurrently servable
+// component: a Service owns the engine behind a single writer goroutine
+// that drains a queued update stream into coalesced ApplyBatch calls,
+// while any number of reader goroutines get wait-free, allocation-free
+// access to the latest published result snapshot.
+//
+// The design is the standard reader/writer split of production graph
+// stores. Writers never block readers: the engine publishes an immutable
+// dynamic.Snapshot through an atomic pointer after every batch, and the
+// read path (Snapshot, Size, CliqueOf, Contains) is a single atomic load
+// plus array indexing — no locks, no copies. Readers may hold a snapshot
+// for as long as they like; it is point-in-time and never mutated.
+//
+// Updates are asynchronous: Enqueue hands ops to the writer and returns;
+// Flush blocks until everything enqueued before it has been applied;
+// Close stops the writer after draining the queue. Backpressure comes
+// from the bounded queue — when it is full, Enqueue blocks until the
+// writer catches up or the context is cancelled.
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dynamic"
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+// ErrClosed is returned by Enqueue and Flush after Close.
+var ErrClosed = errors.New("serve: service closed")
+
+// Options tunes a Service; the zero value of every field selects a
+// sensible default.
+type Options struct {
+	// Workers bounds the engine's parallelism for index construction and
+	// batch rebuilds; <= 0 means GOMAXPROCS.
+	Workers int
+	// QueueCapacity bounds the update queue (in Enqueue calls, not ops);
+	// a full queue makes Enqueue block. Default 1024.
+	QueueCapacity int
+	// MaxBatch caps how many ops one ApplyBatch call coalesces. Default
+	// 4096.
+	MaxBatch int
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueCapacity <= 0 {
+		o.QueueCapacity = 1024
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 4096
+	}
+	return o
+}
+
+// Stats counts service activity. All fields are cumulative.
+type Stats struct {
+	// Enqueued counts ops accepted by Enqueue.
+	Enqueued uint64
+	// Applied counts ops the writer handed to the engine (every enqueued
+	// op is applied exactly once, so Applied trails Enqueued by the queue
+	// backlog).
+	Applied uint64
+	// Changed counts applied ops that actually changed the graph.
+	Changed uint64
+	// Batches counts ApplyBatch calls the writer issued.
+	Batches uint64
+	// Flushes counts completed Flush calls.
+	Flushes uint64
+}
+
+// item is one unit of the writer's input queue: ops to apply and/or a
+// flush marker to close once everything before it has been applied.
+type item struct {
+	ops   []workload.Op
+	flush chan struct{}
+}
+
+// Service owns a dynamic engine behind a single writer goroutine. All
+// exported methods are safe for concurrent use by any number of
+// goroutines; the read path never blocks on the writer.
+type Service struct {
+	eng *dynamic.Engine
+	k   int
+
+	in   chan item
+	quit chan struct{} // closed by Close to stop the writer
+	done chan struct{} // closed by the writer on exit
+
+	closeOnce sync.Once
+	closed    atomic.Bool
+
+	enqueued atomic.Uint64
+	applied  atomic.Uint64
+	changed  atomic.Uint64
+	batches  atomic.Uint64
+	flushes  atomic.Uint64
+}
+
+// New builds a Service over a starting graph and initial clique set
+// (normally a static Find result; nil is completed greedily) and starts
+// the writer goroutine. Callers must Close the service to stop it.
+func New(g *graph.Graph, k int, initial [][]int32, opt Options) (*Service, error) {
+	opt = opt.withDefaults()
+	eng, err := dynamic.NewWorkers(g, k, initial, opt.Workers)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		eng:  eng,
+		k:    k,
+		in:   make(chan item, opt.QueueCapacity),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go s.run(opt.MaxBatch)
+	return s, nil
+}
+
+// run is the single writer: it blocks for the next queue item, then
+// greedily collects everything already queued (up to maxBatch ops) and
+// applies it as one ApplyBatch call, so bursts coalesce into few engine
+// batches while an idle service applies single updates immediately.
+func (s *Service) run(maxBatch int) {
+	defer close(s.done)
+	buf := make([]workload.Op, 0, maxBatch)
+	var pendingFlush []chan struct{}
+	apply := func() {
+		// Chunk to maxBatch so one oversized Enqueue cannot stall the
+		// writer (and snapshot freshness) for an unbounded mega-batch.
+		for off := 0; off < len(buf); off += maxBatch {
+			end := min(off+maxBatch, len(buf))
+			changed := s.eng.ApplyBatch(buf[off:end])
+			s.applied.Add(uint64(end - off))
+			s.changed.Add(uint64(changed))
+			s.batches.Add(1)
+		}
+		buf = buf[:0]
+		for _, f := range pendingFlush {
+			close(f)
+			s.flushes.Add(1)
+		}
+		pendingFlush = pendingFlush[:0]
+	}
+	collect := func(it item) {
+		buf = append(buf, it.ops...)
+		if it.flush != nil {
+			pendingFlush = append(pendingFlush, it.flush)
+		}
+	}
+	for {
+		select {
+		case it := <-s.in:
+			collect(it)
+			// Coalesce whatever else is already queued.
+		collecting:
+			for len(buf) < maxBatch {
+				select {
+				case more := <-s.in:
+					collect(more)
+				default:
+					break collecting
+				}
+			}
+			apply()
+		case <-s.quit:
+			// Final drain: apply everything that made it into the queue
+			// before Close, then exit.
+			for {
+				select {
+				case it := <-s.in:
+					collect(it)
+					if len(buf) >= maxBatch {
+						apply()
+					}
+				default:
+					apply()
+					return
+				}
+			}
+		}
+	}
+}
+
+// Enqueue queues edge updates for the writer and returns once they are
+// accepted (not yet applied — use Flush to wait for application). It
+// blocks when the queue is full until space frees, the context is
+// cancelled, or the service closes. Ops whose Enqueue races with Close
+// may be discarded; Flush before Close for a full-drain guarantee.
+func (s *Service) Enqueue(ctx context.Context, ops ...workload.Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	// Copy before queueing: Enqueue returns on acceptance, before the
+	// writer reads the ops, so retaining the caller's slice would race
+	// with callers that reuse their buffer.
+	ops = append([]workload.Op(nil), ops...)
+	// The writer drains the queue once more after Close; a send that beats
+	// that final drain is still applied, later ones are dropped (see doc).
+	select {
+	case <-s.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case s.in <- item{ops: ops}:
+		s.enqueued.Add(uint64(len(ops)))
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-s.done:
+		return ErrClosed
+	}
+}
+
+// Flush blocks until every op enqueued before the call has been applied,
+// the context is cancelled, or the service closes.
+func (s *Service) Flush(ctx context.Context) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	marker := make(chan struct{})
+	select {
+	case s.in <- item{flush: marker}:
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-s.done:
+		return ErrClosed
+	}
+	select {
+	case <-marker:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-s.done:
+		// The writer's final drain closes collected markers; if it exited
+		// without reaching ours, report closure.
+		select {
+		case <-marker:
+			return nil
+		default:
+			return ErrClosed
+		}
+	}
+}
+
+// Close stops the writer after draining the queue and waits for it to
+// exit. Further Enqueue/Flush calls return ErrClosed; the read path keeps
+// answering from the last published snapshot. Close is idempotent.
+func (s *Service) Close() error {
+	s.closeOnce.Do(func() {
+		s.closed.Store(true)
+		close(s.quit)
+		<-s.done
+	})
+	return nil
+}
+
+// Snapshot returns the latest published result snapshot — one atomic
+// load, zero allocations, never blocked by the writer. The snapshot is
+// immutable and stays valid indefinitely.
+func (s *Service) Snapshot() *dynamic.Snapshot { return s.eng.Snapshot() }
+
+// Size returns the current |S|.
+func (s *Service) Size() int { return s.eng.Snapshot().Size() }
+
+// CliqueOf returns the sorted members of the clique containing u in the
+// latest snapshot, or nil if u is free or out of range. The slice is
+// shared with the snapshot and must not be modified.
+func (s *Service) CliqueOf(u int32) []int32 { return s.eng.Snapshot().CliqueOf(u) }
+
+// Contains reports whether u is covered by the latest snapshot.
+func (s *Service) Contains(u int32) bool { return s.eng.Snapshot().Contains(u) }
+
+// K returns the clique size.
+func (s *Service) K() int { return s.k }
+
+// Stats returns the service's activity counters. The engine's own
+// counters travel with each snapshot (Snapshot().Stats()).
+func (s *Service) Stats() Stats {
+	return Stats{
+		Enqueued: s.enqueued.Load(),
+		Applied:  s.applied.Load(),
+		Changed:  s.changed.Load(),
+		Batches:  s.batches.Load(),
+		Flushes:  s.flushes.Load(),
+	}
+}

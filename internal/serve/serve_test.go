@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dynamic"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+func testGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	return gen.CommunitySocial(600, 8, 0.3, 1200, 42)
+}
+
+func newService(t testing.TB, g *graph.Graph, opt Options) *Service {
+	t.Helper()
+	res, err := core.Find(g, core.Options{K: 3, Algorithm: core.LP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(g, 3, res.Cliques, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestServiceBasics(t *testing.T) {
+	g := testGraph(t)
+	s := newService(t, g, Options{})
+	ctx := context.Background()
+
+	snap := s.Snapshot()
+	if snap == nil || snap.Size() == 0 {
+		t.Fatal("service must start with a published snapshot")
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != snap.Size() {
+		t.Fatal("Size disagrees with Snapshot")
+	}
+	covered := int32(-1)
+	for u := int32(0); int(u) < g.N(); u++ {
+		if s.Contains(u) {
+			covered = u
+			break
+		}
+	}
+	if covered < 0 {
+		t.Fatal("no covered node")
+	}
+	if c := s.CliqueOf(covered); len(c) != 3 {
+		t.Fatalf("CliqueOf(%d) = %v", covered, c)
+	}
+
+	// Apply a workload through the queue and flush; the result must match
+	// applying the same ops directly to a twin engine.
+	ops := workload.Mixed(g, 150, 7).Stream
+	for i := 0; i < len(ops); i += 10 {
+		end := min(i+10, len(ops))
+		if err := s.Enqueue(ctx, ops[i:end]...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Enqueued != uint64(len(ops)) || st.Applied != uint64(len(ops)) {
+		t.Fatalf("stats = %+v, want %d enqueued and applied", st, len(ops))
+	}
+	if st.Flushes != 1 {
+		t.Fatalf("flushes = %d, want 1", st.Flushes)
+	}
+
+	res, err := core.Find(g, core.Options{K: 3, Algorithm: core.LP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin, err := dynamic.New(g, 3, res.Cliques)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin.ApplyBatch(ops)
+	got, want := s.Snapshot(), twin.Snapshot()
+	if got.Size() != want.Size() || got.M() != want.M() {
+		t.Fatalf("service size %d / M %d, direct engine %d / %d",
+			got.Size(), got.M(), want.Size(), want.M())
+	}
+}
+
+func TestServiceClose(t *testing.T) {
+	g := testGraph(t)
+	s := newService(t, g, Options{})
+	ctx := context.Background()
+	ops := workload.Deletions(g, 50, 3)
+	if err := s.Enqueue(ctx, ops...); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close drains: everything enqueued before Close must be applied.
+	if st := s.Stats(); st.Applied != uint64(len(ops)) {
+		t.Fatalf("applied %d of %d after Close", st.Applied, len(ops))
+	}
+	if err := s.Enqueue(ctx, workload.Op{Insert: true, U: 0, V: 1}); err != ErrClosed {
+		t.Fatalf("Enqueue after Close = %v, want ErrClosed", err)
+	}
+	if err := s.Flush(ctx); err != ErrClosed {
+		t.Fatalf("Flush after Close = %v, want ErrClosed", err)
+	}
+	// Reads still answer.
+	if s.Snapshot() == nil || s.Size() < 0 {
+		t.Fatal("read path must survive Close")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("Close must be idempotent")
+	}
+}
+
+func TestServiceEnqueueContext(t *testing.T) {
+	g := testGraph(t)
+	s := newService(t, g, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// A cancelled context must not block even when the queue has space.
+	err := s.Flush(ctx)
+	if err != context.Canceled {
+		t.Fatalf("Flush with cancelled ctx = %v", err)
+	}
+}
+
+// TestConcurrentReadersRace is the acceptance -race test: N reader
+// goroutines hammer Snapshot/CliqueOf/Contains while the writer drains
+// randomized insert/delete batches. Every observed snapshot must satisfy
+// the dynamic.Verify-style set invariants and versions must be monotonic
+// per reader.
+func TestConcurrentReadersRace(t *testing.T) {
+	g := testGraph(t)
+	s := newService(t, g, Options{QueueCapacity: 64, MaxBatch: 256})
+	ctx := context.Background()
+	const readers = 8
+
+	stop := make(chan struct{})
+	errs := make(chan error, readers)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var lastVersion uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := s.Snapshot()
+				if v := snap.Version(); v < lastVersion {
+					errs <- errVersion(lastVersion, v)
+					return
+				} else {
+					lastVersion = v
+				}
+				if err := snap.Validate(); err != nil {
+					errs <- err
+					return
+				}
+				u := int32(rng.Intn(g.N()))
+				c := snap.CliqueOf(u)
+				if (c != nil) != snap.Contains(u) {
+					errs <- errMismatch(u)
+					return
+				}
+				if c != nil && len(c) != snap.K() {
+					errs <- errLen(u, len(c))
+					return
+				}
+				_ = s.Size()
+			}
+		}(int64(r + 1))
+	}
+
+	// Writer: randomized insert/delete batches, interleaved with flushes.
+	rng := rand.New(rand.NewSource(99))
+	edges := g.EdgeList()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		batch := make([]workload.Op, 0, 32)
+		for len(batch) < 32 {
+			e := edges[rng.Intn(len(edges))]
+			batch = append(batch, workload.Op{Insert: rng.Intn(2) == 0, U: e[0], V: e[1]})
+		}
+		if err := s.Enqueue(ctx, batch...); err != nil {
+			t.Fatal(err)
+		}
+		if rng.Intn(8) == 0 {
+			if err := s.Flush(ctx); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if st := s.Stats(); st.Applied != st.Enqueued {
+		t.Fatalf("applied %d != enqueued %d after flush", st.Applied, st.Enqueued)
+	}
+}
+
+func errVersion(last, got uint64) error {
+	return fmt.Errorf("version went backwards: %d -> %d", last, got)
+}
+func errMismatch(u int32) error { return fmt.Errorf("CliqueOf/Contains disagree on node %d", u) }
+func errLen(u int32, n int) error {
+	return fmt.Errorf("CliqueOf(%d) returned %d members", u, n)
+}
+
+// TestServiceSnapshotZeroAlloc pins the acceptance criterion end to end:
+// the service read path allocates nothing even while the writer runs.
+func TestServiceSnapshotZeroAlloc(t *testing.T) {
+	g := testGraph(t)
+	s := newService(t, g, Options{})
+	ctx := context.Background()
+	// Keep the writer busy in the background.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ops := workload.Mixed(g, 100, 5).Stream
+		for i := 0; i < 20; i++ {
+			if s.Enqueue(ctx, ops...) != nil {
+				return
+			}
+		}
+	}()
+	var sink int
+	allocs := testing.AllocsPerRun(2000, func() {
+		snap := s.Snapshot()
+		sink += snap.Size() + len(snap.CliqueOf(1))
+		if s.Contains(2) {
+			sink++
+		}
+	})
+	<-done
+	if allocs != 0 {
+		t.Fatalf("read path allocated %v times per run, want 0", allocs)
+	}
+	_ = sink
+}

@@ -1,7 +1,9 @@
 // Package workload builds the update streams of the paper's §VI-E dynamic
-// evaluation: a batch of uniformly sampled edge deletions, the matching
+// evaluation — a batch of uniformly sampled edge deletions, the matching
 // re-insertions, and a mixed stream that removes a batch up front and then
-// interleaves its re-insertion with deletions of other random edges.
+// interleaves its re-insertion with deletions of other random edges — plus
+// the closed-loop read/write client streams the serving-layer throughput
+// benchmarks replay against a Service.
 package workload
 
 import (
@@ -74,6 +76,75 @@ func Mixed(g *graph.Graph, count int, seed int64) MixedWorkload {
 		w.Stream[i], w.Stream[j] = w.Stream[j], w.Stream[i]
 	})
 	return w
+}
+
+// ClientOp is one operation of a closed-loop serving client: either a
+// point read against the latest snapshot (CliqueOf / Contains on Node) or
+// an edge update to enqueue.
+type ClientOp struct {
+	// Read selects a snapshot read (true) or an update (false).
+	Read bool
+	// Node is the read target; meaningful only when Read is set.
+	Node int32
+	// Update is the edge update; meaningful only when Read is clear.
+	Update Op
+}
+
+// ReadWriteClients builds per-client closed-loop streams for a serving
+// benchmark: each of the clients goroutines replays its own opsPerClient
+// operations, issuing the next one as soon as the previous completes.
+// readFrac (0..1) is the per-op probability of a read; reads target
+// uniform random nodes. Writes toggle edges from a per-client partition of
+// a uniform edge sample — each client first deletes an edge of its own,
+// later re-inserts it, and so on alternating, so a stream can be replayed
+// indefinitely and clients never fight over the same edge. The result is
+// deterministic in (g, clients, opsPerClient, readFrac, seed).
+func ReadWriteClients(g *graph.Graph, clients, opsPerClient int, readFrac float64, seed int64) [][]ClientOp {
+	if clients <= 0 || opsPerClient <= 0 {
+		return nil
+	}
+	edges := sample(g, g.M(), seed)
+	out := make([][]ClientOp, clients)
+	for c := range out {
+		rng := rand.New(rand.NewSource(seed + int64(c)*7919))
+		// The client's private edge partition: every clients-th edge.
+		var own [][2]int32
+		for i := c; i < len(edges); i += clients {
+			own = append(own, edges[i])
+		}
+		ops := make([]ClientOp, opsPerClient)
+		next := 0                      // cursor into own
+		var deleted [][2]int32         // edges removed, pending re-insertion
+		pending := map[[2]int32]bool{} // membership view of deleted
+		for i := range ops {
+			if rng.Float64() < readFrac || len(own) == 0 {
+				ops[i] = ClientOp{Read: true, Node: int32(rng.Intn(g.N()))}
+				continue
+			}
+			// Alternate delete/re-insert per edge so every write changes
+			// the graph and density stays near the original no matter how
+			// long the stream runs. When every owned edge is already out,
+			// re-insertion is forced (never delete a pending edge twice).
+			reinsert := len(deleted) > 0 && (len(deleted) == len(own) || rng.Intn(2) == 0)
+			if reinsert {
+				e := deleted[0]
+				deleted = deleted[1:]
+				delete(pending, e)
+				ops[i] = ClientOp{Update: Op{Insert: true, U: e[0], V: e[1]}}
+			} else {
+				for pending[own[next%len(own)]] {
+					next++
+				}
+				e := own[next%len(own)]
+				next++
+				deleted = append(deleted, e)
+				pending[e] = true
+				ops[i] = ClientOp{Update: Op{Insert: false, U: e[0], V: e[1]}}
+			}
+		}
+		out[c] = ops
+	}
+	return out
 }
 
 // sample draws count distinct edges uniformly at random.

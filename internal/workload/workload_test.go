@@ -116,6 +116,105 @@ func norm(u, v int32) [2]int32 {
 	return [2]int32{u, v}
 }
 
+func TestReadWriteClientsShape(t *testing.T) {
+	g := testGraph(11)
+	const clients, perClient = 4, 400
+	streams := ReadWriteClients(g, clients, perClient, 0.75, 12)
+	if len(streams) != clients {
+		t.Fatalf("got %d streams, want %d", len(streams), clients)
+	}
+	reads, writes := 0, 0
+	owned := make([]map[[2]int32]bool, clients)
+	for c, ops := range streams {
+		if len(ops) != perClient {
+			t.Fatalf("client %d has %d ops, want %d", c, len(ops), perClient)
+		}
+		owned[c] = map[[2]int32]bool{}
+		for _, op := range ops {
+			if op.Read {
+				reads++
+				if op.Node < 0 || int(op.Node) >= g.N() {
+					t.Fatalf("read target %d out of range", op.Node)
+				}
+			} else {
+				writes++
+				if !g.HasEdge(op.Update.U, op.Update.V) {
+					t.Fatalf("write touches non-edge (%d,%d)", op.Update.U, op.Update.V)
+				}
+				owned[c][norm(op.Update.U, op.Update.V)] = true
+			}
+		}
+	}
+	total := clients * perClient
+	frac := float64(reads) / float64(total)
+	if frac < 0.70 || frac > 0.80 {
+		t.Fatalf("read fraction = %.3f, want ~0.75", frac)
+	}
+	// Edge partitions are client-private: no edge appears in two streams.
+	for a := 0; a < clients; a++ {
+		for b := a + 1; b < clients; b++ {
+			for e := range owned[a] {
+				if owned[b][e] {
+					t.Fatalf("clients %d and %d share edge %v", a, b, e)
+				}
+			}
+		}
+	}
+	// Deterministic in the seed.
+	again := ReadWriteClients(g, clients, perClient, 0.75, 12)
+	for c := range streams {
+		for i := range streams[c] {
+			if streams[c][i] != again[c][i] {
+				t.Fatal("same seed must produce the same streams")
+			}
+		}
+	}
+}
+
+func TestReadWriteClientsReplayable(t *testing.T) {
+	// Writes alternate delete/re-insert per edge, so an edge's presence
+	// after a full pass depends only on its last write op. Replaying the
+	// streams must keep converging to that same state: after every round,
+	// exactly the edges whose final op is a delete are absent.
+	g := testGraph(13)
+	streams := ReadWriteClients(g, 2, 500, 0.2, 14)
+	lastOp := map[[2]int32]bool{} // edge -> final op is insert
+	for _, ops := range streams {
+		for _, op := range ops {
+			if !op.Read {
+				lastOp[norm(op.Update.U, op.Update.V)] = op.Update.Insert
+			}
+		}
+	}
+	wantAbsent := 0
+	for _, insert := range lastOp {
+		if !insert {
+			wantAbsent++
+		}
+	}
+	if wantAbsent == 0 {
+		t.Fatal("degenerate stream: no edge ends deleted")
+	}
+	d := graph.DynamicFrom(g)
+	for round := 0; round < 3; round++ {
+		for _, ops := range streams {
+			for _, op := range ops {
+				if op.Read {
+					continue
+				}
+				if op.Update.Insert {
+					d.InsertEdge(op.Update.U, op.Update.V)
+				} else {
+					d.DeleteEdge(op.Update.U, op.Update.V)
+				}
+			}
+		}
+		if got := g.M() - d.M(); got != wantAbsent {
+			t.Fatalf("round %d: %d edges absent, want %d", round, got, wantAbsent)
+		}
+	}
+}
+
 func TestMixedApplies(t *testing.T) {
 	// Applying Prepare then Stream to a dynamic copy must leave edge count
 	// at M - count (count prepared edges return, count others leave).
