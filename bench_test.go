@@ -167,6 +167,45 @@ func BenchmarkDynamicUpdate(b *testing.B) {
 	}
 }
 
+// BenchmarkInsertDeleteChurn measures sustained mixed churn on the
+// community graph through the batched path: ops stream in and are applied
+// in batches of 128, the way the serving layer drains its queue. ns/op is
+// per update, directly comparable with BenchmarkDynamicUpdate.
+func BenchmarkInsertDeleteChurn(b *testing.B) {
+	g := gen.CommunitySocial(20000, 14, 0.15, 40000, 13)
+	k := 4
+	res, err := core.Find(g, core.Options{K: k, Algorithm: core.LP})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := dynamic.New(g, k, res.Cliques)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := workload.Mixed(g, 4000, 7)
+	for _, op := range w.Prepare {
+		e.DeleteEdge(op.U, op.V)
+	}
+	ops := w.Stream
+	const batch = 128
+	buf := make([]workload.Op, 0, batch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Toggle against the live graph so every op is a real mutation
+		// even when b.N wraps around the stream.
+		op := ops[i%len(ops)]
+		op.Insert = !e.Graph().HasEdge(op.U, op.V)
+		buf = append(buf, op)
+		if len(buf) == batch {
+			e.ApplyBatch(buf)
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		e.ApplyBatch(buf)
+	}
+}
+
 // BenchmarkIndexBuild times Algorithm 5 (Construction), Table VII's
 // indexing-time column, serial versus the full worker pool.
 func BenchmarkIndexBuild(b *testing.B) {

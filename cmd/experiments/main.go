@@ -25,6 +25,7 @@ func main() {
 		all      = flag.Bool("all", false, "run every table, figure and ablation")
 		full     = flag.Bool("full", false, "full sweep (all datasets, k=3..6) instead of the quick subset")
 		shapes   = flag.Bool("shapes", false, "verify the paper's qualitative claims (exits non-zero on failure)")
+		updates  = flag.Bool("updates", false, "update-path throughput: mixed workload, single-op vs batched")
 		workers  = flag.Int("workers", 0, "worker-pool size for every parallel phase (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
@@ -66,6 +67,8 @@ func main() {
 	switch {
 	case *shapes:
 		jobs = append(jobs, job{"Shape checks", experiments.PrintShapes})
+	case *updates:
+		jobs = append(jobs, job{"Update throughput", experiments.UpdateThroughput})
 	case *all:
 		for i := 1; i <= 8; i++ {
 			jobs = append(jobs, tables[i])

@@ -169,19 +169,20 @@ func (e *Engine) sweepTouched(touched map[int32]bool) []int32 {
 	}
 	slices.Sort(nodes)
 	var installed []int32
+	var B []int32
 	for _, u := range nodes {
 		for e.nodeClique[u] == free {
-			B := []int32{u}
-			e.g.ForEachNeighbor(u, func(w int32) {
+			B = append(B[:0], u)
+			for _, w := range e.g.Neighbors(u) {
 				if e.nodeClique[w] == free {
 					B = append(B, w)
 				}
-			})
+			}
 			if len(B) < e.k {
 				break
 			}
 			var found []int32
-			e.forEachCliqueAmong(B, func(c []int32) bool {
+			e.forEachCliqueAmong(e.esc, B, func(c []int32) bool {
 				for _, x := range c {
 					if x == u {
 						found = append([]int32(nil), c...)

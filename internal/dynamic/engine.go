@@ -76,14 +76,26 @@ type Engine struct {
 	nextClique int32
 
 	cands       map[int32]*candidate
-	candDedup   *candDedup        // member digest -> candidate id
-	candsByOwn  map[int32]*idSet  // clique id -> candidate ids owned
-	candsByNode []idSet           // node -> candidate ids containing it
+	candDedup   *candDedup       // member digest -> candidate id
+	candsByOwn  map[int32]*idSet // clique id -> candidate ids owned
+	candsByNode []idSet          // node -> candidate ids containing it
 	nextCand    int32
 
 	// batch, when non-nil, defers candidate rebuilds and swap processing so
 	// ApplyBatch can coalesce and parallelise them; see batch.go.
 	batch *batchState
+
+	// esc is the single-writer enumeration scratch: every serial update
+	// enumerates through these reusable buffers, so the steady-state update
+	// path allocates nothing. The parallel batch rebuilds use per-worker
+	// scratches instead (collectCandidates).
+	esc *enumScratch
+
+	// snapSlab / snapUsed carve published Snapshot structs out of
+	// slab-allocated blocks so publication is allocation-free in steady
+	// state; see nextSnapshot in snapshot.go.
+	snapSlab []Snapshot
+	snapUsed int
 
 	// sgen counts changes to S (clique installs/removals); publish reuses
 	// the previous snapshot's arrays when it has not moved. orderIds /
@@ -96,6 +108,13 @@ type Engine struct {
 	orderIds     []int32
 	orderCliques [][]int32
 	snap         atomic.Pointer[Snapshot]
+
+	// nodePages is the currently published paged membership index;
+	// nodeDirty/nodeDirtyB track which pages the updates since the last
+	// publish touched, so publication refreshes only those (snapshot.go).
+	nodePages  [][]int32
+	nodeDirty  []int32
+	nodeDirtyB []bool
 
 	stats Stats
 
@@ -132,6 +151,7 @@ func NewWorkers(g *graph.Graph, k int, initial [][]int32, workers int) (*Engine,
 		cands:       make(map[int32]*candidate),
 		candsByOwn:  make(map[int32]*idSet),
 		candsByNode: make([]idSet, n),
+		esc:         newEnumScratch(k),
 	}
 	e.candDedup = newCandDedup(e.cands)
 	for i := range e.nodeClique {
@@ -314,12 +334,10 @@ func (e *Engine) dropCandidatesWithEdge(u, v int32) {
 	if su.size() > sv.size() {
 		su, sv = sv, su
 	}
-	var hit []int32
-	for _, id := range su.ids() {
-		if sv.has(id) {
-			hit = append(hit, id)
-		}
-	}
+	// Collect into scratch first: dropCandidate mutates the sets being
+	// intersected.
+	hit := graph.IntersectSorted(e.esc.hits[:0], su.ids(), sv.ids())
+	e.esc.hits = hit
 	for _, id := range hit {
 		e.dropCandidate(id)
 	}

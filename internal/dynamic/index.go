@@ -3,137 +3,145 @@ package dynamic
 import (
 	"slices"
 
+	"repro/internal/graph"
 	"repro/internal/kclique"
 )
 
-// forEachCliqueAmong enumerates every k-clique of the current graph whose
-// members all lie in B (need not be sorted; duplicates allowed). fn may
-// return false to stop. The callback slice is reused.
-func (e *Engine) forEachCliqueAmong(B []int32, fn func(c []int32) bool) {
-	nodes := append([]int32(nil), B...)
-	slices.Sort(nodes)
-	w := 0
-	for i, x := range nodes {
-		if i == 0 || x != nodes[w-1] {
-			nodes[w] = x
-			w++
+// anyOwner is the forEachCliqueWithEdge filter value meaning "no owner
+// restriction": every extra member is allowed regardless of clique status.
+const anyOwner int32 = -2
+
+// enumScratch holds the reusable buffers of the clique enumerators. The
+// single-writer update path uses the engine-level instance (e.esc), so
+// steady-state updates allocate nothing; the parallel candidate-collection
+// of ApplyBatch hands each worker its own instance.
+type enumScratch struct {
+	stack     []int32   // current partial clique
+	levels    [][]int32 // candidate sets per recursion level
+	nodes     []int32   // enumeration base: B copy, or N(u) ∩ N(v)
+	bbuf      []int32   // freeNeighborhood output
+	sorted    []int32   // k-sized buffer for sorting candidate members
+	owners    []int32   // owner ids gathered during an update
+	hits      []int32   // candidate ids gathered by dropCandidatesWithEdge
+	adjOwners []int32   // ownersAdjacentTo output
+	digests   []uint64  // previous-candidate digests in rebuildCandidates
+}
+
+func newEnumScratch(k int) *enumScratch {
+	return &enumScratch{
+		stack:  make([]int32, 0, k),
+		levels: make([][]int32, k+1),
+		sorted: make([]int32, k),
+	}
+}
+
+// cliqueRec extends the partial clique on sc.stack by l more nodes drawn
+// from cand (sorted ascending), calling fn with each completion. Successors
+// of cand[i] are cand[i+1:] ∩ N(cand[i]) — a merge scan of two sorted
+// slices on the flat graph rows, where the map-based representation paid a
+// hash probe per pair. Because only nodes after i are ever drawn, the
+// positional early-break is sound here (unlike the DAG enumerator in
+// internal/kclique, whose candidates are ordered by id, not rank).
+func (e *Engine) cliqueRec(sc *enumScratch, l int, cand []int32, fn func(c []int32) bool) bool {
+	if l == 0 {
+		return fn(sc.stack)
+	}
+	if l == 1 {
+		// Every candidate is adjacent to the whole stack by construction,
+		// so each one completes a clique — no intersection needed.
+		for _, v := range cand {
+			sc.stack = append(sc.stack, v)
+			ok := fn(sc.stack)
+			sc.stack = sc.stack[:len(sc.stack)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	for i, v := range cand {
+		if len(cand)-i < l {
+			break // not enough nodes left
+		}
+		next := graph.IntersectSorted(sc.levels[l][:0], cand[i+1:], e.g.Neighbors(v))
+		sc.levels[l] = next
+		if len(next) < l-1 {
+			continue
+		}
+		sc.stack = append(sc.stack, v)
+		ok := e.cliqueRec(sc, l-1, next, fn)
+		sc.stack = sc.stack[:len(sc.stack)-1]
+		if !ok {
+			return false
 		}
 	}
-	nodes = nodes[:w]
+	return true
+}
+
+// forEachCliqueAmong enumerates every k-clique of the current graph whose
+// members all lie in B (need not be sorted; duplicates allowed). fn may
+// return false to stop. The callback slice is reused. All buffers come
+// from sc, so a steady-state call allocates nothing once the scratch has
+// grown to the workload's high-water mark.
+func (e *Engine) forEachCliqueAmong(sc *enumScratch, B []int32, fn func(c []int32) bool) {
+	nodes := append(sc.nodes[:0], B...)
+	slices.Sort(nodes)
+	nodes = slices.Compact(nodes)
+	sc.nodes = nodes
 	if len(nodes) < e.k {
 		return
 	}
-	stack := make([]int32, 0, e.k)
-	levels := make([][]int32, e.k+1)
-	var rec func(cand []int32) bool
-	rec = func(cand []int32) bool {
-		l := e.k - len(stack)
-		if l == 0 {
-			return fn(stack)
-		}
-		for i, v := range cand {
-			if len(cand)-i < l {
-				break // not enough nodes left
-			}
-			// Next candidates: nodes after v adjacent to v (they are
-			// already adjacent to the whole stack).
-			next := levels[l][:0]
-			for _, w := range cand[i+1:] {
-				if e.g.HasEdge(v, w) {
-					next = append(next, w)
-				}
-			}
-			levels[l] = next
-			if len(next) < l-1 {
-				continue
-			}
-			stack = append(stack, v)
-			ok := rec(next)
-			stack = stack[:len(stack)-1]
-			if !ok {
-				return false
-			}
-		}
-		return true
-	}
-	for i := range levels {
-		levels[i] = make([]int32, 0, len(nodes))
-	}
-	rec(nodes)
+	sc.stack = sc.stack[:0]
+	e.cliqueRec(sc, e.k, nodes, fn)
 }
 
 // forEachCliqueWithEdge enumerates every k-clique of the current graph that
-// contains the edge (u, v), restricted to extra members for which allowed
-// returns true. allowed may be nil (no restriction). fn may return false to
-// stop; the callback slice is reused and holds u, v first.
-func (e *Engine) forEachCliqueWithEdge(u, v int32, allowed func(w int32) bool, fn func(c []int32) bool) {
+// contains the edge (u, v). Extra members are restricted by allowedOwner:
+// anyOwner admits every node, otherwise only free nodes and members of the
+// clique allowedOwner qualify (passing free admits free nodes only). fn may
+// return false to stop; the callback slice is reused and holds u, v first.
+// Uses the engine-level scratch: single-writer update path only.
+func (e *Engine) forEachCliqueWithEdge(u, v int32, allowedOwner int32, fn func(c []int32) bool) {
 	if !e.g.HasEdge(u, v) {
 		return
 	}
+	sc := e.esc
+	sc.stack = append(sc.stack[:0], u, v)
 	if e.k == 2 {
-		fn([]int32{u, v})
+		fn(sc.stack)
 		return
 	}
-	// Common neighbourhood of u and v, filtered.
-	var cand []int32
-	e.g.ForEachNeighbor(u, func(w int32) {
-		if w != v && e.g.HasEdge(v, w) && (allowed == nil || allowed(w)) {
-			cand = append(cand, w)
+	// Common neighbourhood of u and v: one merge of the two sorted rows.
+	cand := graph.IntersectSorted(sc.nodes[:0], e.g.Neighbors(u), e.g.Neighbors(v))
+	sc.nodes = cand
+	if allowedOwner != anyOwner {
+		w := 0
+		for _, x := range cand {
+			if id := e.nodeClique[x]; id == free || id == allowedOwner {
+				cand[w] = x
+				w++
+			}
 		}
-	})
+		cand = cand[:w]
+	}
 	if len(cand) < e.k-2 {
 		return
 	}
-	slices.Sort(cand)
-	stack := make([]int32, 0, e.k)
-	stack = append(stack, u, v)
-	levels := make([][]int32, e.k+1)
-	for i := range levels {
-		levels[i] = make([]int32, 0, len(cand))
-	}
-	var rec func(cand []int32) bool
-	rec = func(cand []int32) bool {
-		l := e.k - len(stack)
-		if l == 0 {
-			return fn(stack)
-		}
-		for i, x := range cand {
-			if len(cand)-i < l {
-				break
-			}
-			next := levels[l][:0]
-			for _, w := range cand[i+1:] {
-				if e.g.HasEdge(x, w) {
-					next = append(next, w)
-				}
-			}
-			levels[l] = next
-			if len(next) < l-1 {
-				continue
-			}
-			stack = append(stack, x)
-			ok := rec(next)
-			stack = stack[:len(stack)-1]
-			if !ok {
-				return false
-			}
-		}
-		return true
-	}
-	rec(cand)
+	e.cliqueRec(sc, e.k-2, cand, fn)
 }
 
 // freeNeighborhood returns B = C ∪ N_F(C): the clique members plus their
-// free neighbours (Algorithm 5 line 2).
-func (e *Engine) freeNeighborhood(members []int32) []int32 {
-	B := append([]int32(nil), members...)
+// free neighbours (Algorithm 5 line 2). The result lives in sc.bbuf.
+func (e *Engine) freeNeighborhood(sc *enumScratch, members []int32) []int32 {
+	B := append(sc.bbuf[:0], members...)
 	for _, u := range members {
-		e.g.ForEachNeighbor(u, func(w int32) {
+		for _, w := range e.g.Neighbors(u) {
 			if e.nodeClique[w] == free {
 				B = append(B, w)
 			}
-		})
+		}
 	}
+	sc.bbuf = B
 	return B
 }
 
@@ -142,11 +150,12 @@ func (e *Engine) freeNeighborhood(members []int32) []int32 {
 // status: sorted member lists of k-cliques on B = C ∪ N_F(C), excluding C
 // itself. It also reports any all-free cliques encountered — a non-empty
 // second result means S is not maximal and the caller must repair it.
-// Reads only the graph, S and the free status (never the candidate index),
-// so concurrent calls for different owners are safe.
-func (e *Engine) candidatesOf(id int32) (cands, allFree [][]int32) {
+// Reads only the graph, S and the free status (never the candidate index)
+// and scratches through sc, so concurrent calls with distinct scratches
+// are safe.
+func (e *Engine) candidatesOf(sc *enumScratch, id int32) (cands, allFree [][]int32) {
 	members := e.cliques[id]
-	e.forEachCliqueAmong(e.freeNeighborhood(members), func(c []int32) bool {
+	e.forEachCliqueAmong(sc, e.freeNeighborhood(sc, members), func(c []int32) bool {
 		cc := append([]int32(nil), c...)
 		slices.Sort(cc)
 		nonFree := 0
@@ -170,12 +179,19 @@ func (e *Engine) candidatesOf(id int32) (cands, allFree [][]int32) {
 
 // collectCandidates runs candidatesOf for the given owners on the worker
 // pool and returns the per-owner lists in input order. The computation is
-// read-only, so the result is identical for every worker count.
+// read-only with one scratch per worker, so the result is identical for
+// every worker count.
 func (e *Engine) collectCandidates(ids []int32) (cands, allFree [][][]int32) {
 	cands = make([][][]int32, len(ids))
 	allFree = make([][][]int32, len(ids))
-	kclique.ParallelIndex(len(ids), e.workers, func(_, i int) {
-		cands[i], allFree[i] = e.candidatesOf(ids[i])
+	scratches := make([]*enumScratch, kclique.Workers(e.workers, len(ids)))
+	kclique.ParallelIndex(len(ids), e.workers, func(worker, i int) {
+		sc := scratches[worker]
+		if sc == nil {
+			sc = newEnumScratch(e.k)
+			scratches[worker] = sc
+		}
+		cands[i], allFree[i] = e.candidatesOf(sc, ids[i])
 	})
 	return cands, allFree
 }
@@ -210,22 +226,25 @@ func (e *Engine) rebuildCandidates(id int32) bool {
 	if !ok {
 		return false
 	}
-	// Previous candidate digests, to detect genuinely new candidates. A
-	// 64-bit digest collision could mask a gain (a skipped swap check, not
-	// a correctness issue) with negligible probability.
-	var old map[uint64]bool
+	// Previous candidate digests (sorted scratch slice), to detect
+	// genuinely new candidates. A 64-bit digest collision could mask a
+	// gain (a skipped swap check, not a correctness issue) with
+	// negligible probability.
+	sc := e.esc
+	old := sc.digests[:0]
 	if own := e.candsByOwn[id]; own != nil {
-		old = make(map[uint64]bool, own.size())
 		for _, cid := range own.ids() {
-			old[hashNodes(e.cands[cid].nodes)] = true
+			old = append(old, hashNodes(e.cands[cid].nodes))
 		}
+		slices.Sort(old)
 	}
+	sc.digests = old
 	e.dropCandidatesOfOwner(id)
 	gained := false
 	var repair [][]int32
-	B := e.freeNeighborhood(members)
-	buf := make([]int32, e.k)
-	e.forEachCliqueAmong(B, func(c []int32) bool {
+	B := e.freeNeighborhood(sc, members)
+	buf := sc.sorted[:e.k]
+	e.forEachCliqueAmong(sc, B, func(c []int32) bool {
 		copy(buf, c)
 		slices.Sort(buf)
 		nonFree := 0
@@ -243,8 +262,10 @@ func (e *Engine) rebuildCandidates(id int32) bool {
 			repair = append(repair, append([]int32(nil), buf...))
 			return true
 		default:
-			if e.addCandidate(buf, id) && !old[hashNodes(buf)] {
-				gained = true
+			if e.addCandidate(buf, id) {
+				if _, seen := slices.BinarySearch(old, hashNodes(buf)); !seen {
+					gained = true
+				}
 			}
 			return true
 		}
@@ -278,6 +299,7 @@ func (e *Engine) installClique(members []int32) int32 {
 	e.nextClique++
 	for _, u := range cc {
 		e.nodeClique[u] = id
+		e.markNodeDirty(u)
 	}
 	e.cliques[id] = cc
 	e.orderInstall(id, cc)
@@ -327,6 +349,7 @@ func (e *Engine) removeCliqueFromS(id int32) []int32 {
 	delete(e.cliques, id)
 	for _, u := range members {
 		e.nodeClique[u] = free
+		e.markNodeDirty(u)
 	}
 	e.orderRemove(id)
 	if e.batch != nil {
@@ -340,20 +363,19 @@ func (e *Engine) removeCliqueFromS(id int32) []int32 {
 }
 
 // ownersAdjacentTo returns the ids of S-cliques with a member adjacent to
-// any of the given nodes (excluding the nodes' own cliques), sorted.
+// any of the given nodes (excluding the nodes' own cliques), sorted. The
+// result lives in the engine scratch and is valid until the next call.
 func (e *Engine) ownersAdjacentTo(nodes []int32) []int32 {
-	seen := map[int32]bool{}
+	out := e.esc.adjOwners[:0]
 	for _, u := range nodes {
-		e.g.ForEachNeighbor(u, func(w int32) {
+		for _, w := range e.g.Neighbors(u) {
 			if id := e.nodeClique[w]; id != free {
-				seen[id] = true
+				out = append(out, id)
 			}
-		})
-	}
-	out := make([]int32, 0, len(seen))
-	for id := range seen {
-		out = append(out, id)
+		}
 	}
 	slices.Sort(out)
+	out = slices.Compact(out)
+	e.esc.adjOwners = out
 	return out
 }

@@ -10,6 +10,7 @@ func (e *Engine) AddNode() int32 {
 	id := e.g.AddNode()
 	e.nodeClique = append(e.nodeClique, free)
 	e.candsByNode = append(e.candsByNode, idSet{})
+	e.markNodeDirty(id)
 	e.publish()
 	return id
 }
@@ -20,18 +21,14 @@ func (e *Engine) AddNode() int32 {
 func (e *Engine) RemoveNode(u int32) int {
 	removed := 0
 	// Delete through the engine so S and the candidate index stay
-	// consistent after every single removal.
+	// consistent after every single removal. The flat rows are sorted, so
+	// the smallest remaining neighbour is always the first entry.
 	for {
-		var pick int32 = -1
-		e.g.ForEachNeighbor(u, func(w int32) {
-			if pick < 0 || w < pick {
-				pick = w
-			}
-		})
-		if pick < 0 {
+		nb := e.g.Neighbors(u)
+		if len(nb) == 0 {
 			break
 		}
-		e.DeleteEdge(u, pick)
+		e.DeleteEdge(u, nb[0])
 		removed++
 	}
 	return removed

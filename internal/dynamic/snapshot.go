@@ -32,8 +32,26 @@ type Snapshot struct {
 	n, m    int
 	ids     []int32   // sorted clique ids, parallel to cliques
 	cliques [][]int32 // sorted members, ascending clique-id order
-	node    []int32   // node -> clique id, or free (-1)
-	stats   Stats
+	// nodePg is the node -> clique id (or free) membership index, paged so
+	// publication clones only the pages an update touched instead of the
+	// whole N-sized array. Pages are immutable once published; entries
+	// beyond n in the last page are unused (bounds are checked against n).
+	nodePg [][]int32
+	stats  Stats
+}
+
+// nodePageShift/nodePageSize split the node-id space into fixed pages for
+// the snapshot membership index: small enough that an update dirties a few
+// kilobytes, large enough to keep the page table tiny.
+const (
+	nodePageShift = 8
+	nodePageSize  = 1 << nodePageShift
+	nodePageMask  = nodePageSize - 1
+)
+
+// nodeAt returns the membership entry for u; bounds must be pre-checked.
+func (s *Snapshot) nodeAt(u int32) int32 {
+	return s.nodePg[u>>nodePageShift][u&nodePageMask]
 }
 
 // Version returns the publication counter: it starts at 1 when the engine
@@ -78,7 +96,7 @@ func (s *Snapshot) CliqueOf(u int32) []int32 {
 
 // Contains reports whether u belongs to some clique of the set.
 func (s *Snapshot) Contains(u int32) bool {
-	return u >= 0 && int(u) < len(s.node) && s.node[u] != free
+	return u >= 0 && int(u) < s.n && s.nodeAt(u) != free
 }
 
 // indexOf returns the position in Cliques of u's clique, or -1. The
@@ -88,10 +106,10 @@ func (s *Snapshot) Contains(u int32) bool {
 // rebuilt are free by construction, so the bounds check doubles as the
 // correct answer.
 func (s *Snapshot) indexOf(u int32) int {
-	if u < 0 || int(u) >= len(s.node) {
+	if u < 0 || int(u) >= s.n {
 		return -1
 	}
-	id := s.node[u]
+	id := s.nodeAt(u)
 	if id == free {
 		return -1
 	}
@@ -133,7 +151,8 @@ func (s *Snapshot) Validate() error {
 			}
 		}
 	}
-	for u, id := range s.node {
+	for u := int32(0); int(u) < s.n; u++ {
+		id := s.nodeAt(u)
 		if id == free {
 			continue
 		}
@@ -142,7 +161,7 @@ func (s *Snapshot) Validate() error {
 		if !ok {
 			return fmt.Errorf("snapshot: node %d mapped to missing clique id %d", u, id)
 		}
-		if !slices.Contains(s.cliques[pos], int32(u)) {
+		if !slices.Contains(s.cliques[pos], u) {
 			return fmt.Errorf("snapshot: node %d mapped to clique %d that does not list it", u, id)
 		}
 	}
@@ -158,39 +177,116 @@ func (s *Snapshot) Validate() error {
 // concurrently with a single writer applying updates.
 func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
 
+// snapSlabSize is the number of Snapshot structs pre-allocated per slab.
+// A published snapshot keeps its whole slab reachable while any reader
+// holds it — a few kilobytes, traded for an allocation-free publish.
+const snapSlabSize = 1024
+
+// nextSnapshot carves the next Snapshot struct out of the slab, so the
+// steady-state publish cost is zero allocations (one slab allocation
+// every snapSlabSize updates). Each slot is written once, before the
+// atomic store that publishes it, and never touched again; distinct slots
+// of one slab are distinct memory locations, so readers of older
+// snapshots are undisturbed.
+func (e *Engine) nextSnapshot() *Snapshot {
+	if e.snapUsed == len(e.snapSlab) {
+		e.snapSlab = make([]Snapshot, snapSlabSize)
+		e.snapUsed = 0
+	}
+	s := &e.snapSlab[e.snapUsed]
+	e.snapUsed++
+	return s
+}
+
+// reserveSnapshots guarantees the next n publishes carve from the current
+// slab without allocating. Test hook for the allocation-count tests.
+func (e *Engine) reserveSnapshots(n int) {
+	if len(e.snapSlab)-e.snapUsed < n {
+		e.snapSlab = make([]Snapshot, n)
+		e.snapUsed = 0
+	}
+}
+
 // publish installs a fresh snapshot reflecting the engine's current state.
 // Called at the end of every mutating entry point; a no-op mid-batch
 // (ApplyBatch publishes once, after the deferred phases run). Only the
 // writer calls publish, so plain reads of the live structures are safe
 // here; the atomic store is what hands the result to readers.
 //
-// Cost: updates that did not move S allocate one Snapshot struct and
-// reuse the previous arrays. Updates that did clone the writer-side order
-// and membership arrays (flat memcpys of |S| ids, |S| pointers and N
-// node entries) and share the member slices, which the engine never
-// mutates in place (installClique allocates fresh ones).
+// Cost: updates that did not move S reuse the previous arrays and carve
+// the Snapshot struct from a slab (allocation-free in steady state).
+// Updates that did move S clone the writer-side order and membership
+// arrays (flat memcpys of |S| ids, |S| pointers and N node entries) and
+// share the member slices, which the engine never mutates in place
+// (installClique allocates fresh ones).
 func (e *Engine) publish() {
 	if e.batch != nil {
 		return
 	}
 	prev := e.snap.Load()
 	n, m := e.g.N(), e.g.M()
-	s := &Snapshot{sgen: e.sgen, k: e.k, n: n, m: m, stats: e.stats, version: 1}
+	s := e.nextSnapshot()
+	*s = Snapshot{sgen: e.sgen, k: e.k, n: n, m: m, stats: e.stats, version: 1}
 	if prev != nil {
 		s.version = prev.version + 1
 	}
 	if prev != nil && prev.sgen == e.sgen && prev.n == n {
 		// S did not change: reuse the immutable arrays, stamp new metadata.
-		s.ids, s.cliques, s.node = prev.ids, prev.cliques, prev.node
+		s.ids, s.cliques, s.nodePg = prev.ids, prev.cliques, prev.nodePg
 	} else {
 		s.ids = make([]int32, len(e.orderIds))
 		copy(s.ids, e.orderIds)
 		s.cliques = make([][]int32, len(e.orderCliques))
 		copy(s.cliques, e.orderCliques)
-		s.node = make([]int32, len(e.nodeClique))
-		copy(s.node, e.nodeClique)
+		s.nodePg = e.syncNodePages(n)
 	}
 	e.snap.Store(s)
+}
+
+// syncNodePages brings the published membership pages up to date with the
+// writer's flat nodeClique array and returns the new page table. Pages the
+// updates since the last publish did not touch are shared with the
+// previous table; dirty or new pages get a fresh copy. Published pages are
+// never written again, so readers of older snapshots are undisturbed.
+func (e *Engine) syncNodePages(n int) [][]int32 {
+	np := (n + nodePageSize - 1) >> nodePageShift
+	table := make([][]int32, np)
+	copy(table, e.nodePages)
+	for _, p := range e.nodeDirty {
+		e.nodeDirtyB[p] = false
+		if int(p) < np {
+			table[p] = nil // force rebuild below
+		}
+	}
+	e.nodeDirty = e.nodeDirty[:0]
+	for i := range table {
+		if table[i] != nil {
+			continue
+		}
+		pg := make([]int32, nodePageSize)
+		base := i << nodePageShift
+		hi := base + nodePageSize
+		if hi > n {
+			hi = n
+		}
+		copy(pg, e.nodeClique[base:hi])
+		table[i] = pg
+	}
+	e.nodePages = table
+	return table
+}
+
+// markNodeDirty records that u's membership entry changed, so the next
+// publish refreshes u's page.
+func (e *Engine) markNodeDirty(u int32) {
+	p := int(u) >> nodePageShift
+	for p >= len(e.nodeDirtyB) {
+		e.nodeDirtyB = append(e.nodeDirtyB, false)
+	}
+	if !e.nodeDirtyB[p] {
+		e.nodeDirtyB[p] = true
+		e.nodeDirty = append(e.nodeDirty, int32(p))
+	}
 }
 
 // orderInstall appends a freshly installed clique to the writer-side

@@ -34,12 +34,10 @@ func (e *Engine) insertOneFree(u, v int32, uIsFree bool) {
 		fn, bn = v, u
 	}
 	owner := e.nodeClique[bn]
-	allowed := func(w int32) bool {
-		return e.nodeClique[w] == free || e.nodeClique[w] == owner
-	}
+	sc := e.esc
 	gained := false
-	buf := make([]int32, e.k)
-	e.forEachCliqueWithEdge(fn, bn, allowed, func(c []int32) bool {
+	buf := sc.sorted[:e.k]
+	e.forEachCliqueWithEdge(fn, bn, owner, func(c []int32) bool {
 		copy(buf, c)
 		slices.Sort(buf)
 		if e.addCandidate(buf, owner) {
@@ -48,7 +46,8 @@ func (e *Engine) insertOneFree(u, v int32, uIsFree bool) {
 		return true
 	})
 	if gained {
-		e.trySwap([]int32{owner})
+		sc.owners = append(sc.owners[:0], owner)
+		e.trySwap(sc.owners)
 	}
 }
 
@@ -59,7 +58,7 @@ func (e *Engine) insertBothFree(u, v int32) {
 	// All new k-cliques contain both u and v, so at most one all-free
 	// clique can join S; take the first.
 	var direct []int32
-	e.forEachCliqueWithEdge(u, v, func(w int32) bool { return e.nodeClique[w] == free }, func(c []int32) bool {
+	e.forEachCliqueWithEdge(u, v, free, func(c []int32) bool {
 		direct = append([]int32(nil), c...)
 		return false
 	})
@@ -71,9 +70,10 @@ func (e *Engine) insertBothFree(u, v int32) {
 	}
 	// Otherwise index the new candidate cliques through (u, v): cliques
 	// whose non-free members all share one owner.
-	owners := map[int32]bool{}
-	buf := make([]int32, e.k)
-	e.forEachCliqueWithEdge(u, v, nil, func(c []int32) bool {
+	sc := e.esc
+	owners := sc.owners[:0]
+	buf := sc.sorted[:e.k]
+	e.forEachCliqueWithEdge(u, v, anyOwner, func(c []int32) bool {
 		owner := free
 		ok := true
 		for _, w := range c {
@@ -93,17 +93,16 @@ func (e *Engine) insertBothFree(u, v int32) {
 		copy(buf, c)
 		slices.Sort(buf)
 		if e.addCandidate(buf, owner) {
-			owners[owner] = true
+			owners = append(owners, owner)
 		}
 		return true
 	})
+	sc.owners = owners
 	if len(owners) > 0 {
-		q := make([]int32, 0, len(owners))
-		for id := range owners {
-			q = append(q, id)
-		}
-		slices.Sort(q)
-		e.trySwap(q)
+		slices.Sort(owners)
+		owners = slices.Compact(owners)
+		sc.owners = owners
+		e.trySwap(owners)
 	}
 }
 

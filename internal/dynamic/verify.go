@@ -90,7 +90,7 @@ func (e *Engine) Verify() error {
 	}
 	violated := false
 	var witness []int32
-	e.forEachCliqueAmong(freeNodes, func(c []int32) bool {
+	e.forEachCliqueAmong(e.esc, freeNodes, func(c []int32) bool {
 		violated = true
 		witness = append([]int32(nil), c...)
 		return false
@@ -171,8 +171,8 @@ func (e *Engine) Verify() error {
 	// would build from scratch.
 	want := map[string]int32{}
 	for id, members := range e.cliques {
-		B := e.freeNeighborhood(members)
-		e.forEachCliqueAmong(B, func(c []int32) bool {
+		B := e.freeNeighborhood(e.esc, members)
+		e.forEachCliqueAmong(e.esc, B, func(c []int32) bool {
 			cc := append([]int32(nil), c...)
 			slices.Sort(cc)
 			nFree := 0

@@ -224,6 +224,72 @@ func nsCell(r updateResult) string {
 	return fmt.Sprintf("%d (%d)", r.avgNs, r.p99Ns)
 }
 
+// UpdateThroughput prints per-update nanoseconds for the mixed workload
+// applied one op at a time versus in 128-op batches — the update-path
+// throughput the flat graph substrate optimises (BENCH_update.json records
+// the benchmark-harness equivalents). Every op is toggled against the live
+// graph so the whole stream consists of real mutations.
+func UpdateThroughput(cfg Config) error {
+	graphs, err := loadAll(cfg.Datasets)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(cfg.Out, "Update throughput: mixed-workload ns per update")
+	tw := newTab(cfg.Out)
+	fmt.Fprintln(tw, "Dataset\tk\tsingle-op\tbatched(128)")
+	for _, name := range cfg.Datasets {
+		g := graphs[name]
+		for _, k := range cfg.Ks {
+			single, errS := churnRate(g, k, &cfg, 1)
+			batched, errB := churnRate(g, k, &cfg, 128)
+			cs, cb := "ERR", "ERR"
+			if errS == nil {
+				cs = fmt.Sprintf("%d", single)
+			}
+			if errB == nil {
+				cb = fmt.Sprintf("%d", batched)
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%s\t%s\n", name, k, cs, cb)
+		}
+	}
+	return tw.Flush()
+}
+
+// churnRate drives the mixed stream through a fresh engine in batches of
+// the given size (1 = the single-op entry points) and returns avg ns/op.
+func churnRate(g *graph.Graph, k int, cfg *Config, batch int) (int64, error) {
+	w := workload.Mixed(g, cfg.UpdateCount, 7003)
+	e, err := seedEngine(g, k, cfg)
+	if err != nil {
+		return 0, err
+	}
+	for _, op := range w.Prepare {
+		e.DeleteEdge(op.U, op.V)
+	}
+	buf := make([]workload.Op, 0, batch)
+	start := time.Now()
+	for _, op := range w.Stream {
+		op.Insert = !e.Graph().HasEdge(op.U, op.V)
+		if batch == 1 {
+			if op.Insert {
+				e.InsertEdge(op.U, op.V)
+			} else {
+				e.DeleteEdge(op.U, op.V)
+			}
+			continue
+		}
+		buf = append(buf, op)
+		if len(buf) == batch {
+			e.ApplyBatch(buf)
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		e.ApplyBatch(buf)
+	}
+	return time.Since(start).Nanoseconds() / int64(len(w.Stream)), nil
+}
+
 // Table8 prints the quality of S after each workload as Δ versus building
 // from scratch on the final graph (the paper's Table VIII).
 func Table8(cfg Config) error {

@@ -2,33 +2,52 @@ package graph
 
 import "slices"
 
-// Dynamic is a mutable undirected graph with O(1) expected-time edge
-// insertion, deletion and lookup. It shares the dense int32 node-id space
-// with Graph; the dynamic engine in internal/dynamic builds one from the
-// static graph it starts from.
+// Dynamic is a mutable undirected graph sharing the dense int32 node-id
+// space with Graph; the dynamic engine in internal/dynamic builds one from
+// the static graph it starts from.
+//
+// Adjacency is stored flat: one sorted []int32 neighbour slice per node,
+// exactly like the CSR rows of Graph but individually growable. Edge
+// insertion and deletion binary-search the two endpoint rows and shift in
+// place (amortised O(deg) with degree-capped capacity growth); HasEdge
+// binary-searches the shorter row. The map-based representation this
+// replaces answered HasEdge in O(1) expected time but paid a hash and a
+// cache miss per probe — the clique enumerators sitting on top issue
+// neighbourhood-sized probe bursts, which the sorted rows answer with
+// merge scans and the epoch-stamped mark array instead (see MarkNeighbors).
 type Dynamic struct {
-	adj []map[int32]struct{}
+	adj [][]int32
 	m   int
+
+	// mark is the epoch-stamped scratch used by MarkNeighbors/Marked and
+	// IsClique: mark[v] == epoch means v was stamped since the last
+	// MarkNeighbors call. Bumping epoch invalidates all stamps at once, so
+	// no clearing is needed between calls.
+	mark  []uint32
+	epoch uint32
 }
 
 // NewDynamic returns an empty dynamic graph with n nodes.
 func NewDynamic(n int) *Dynamic {
-	return &Dynamic{adj: make([]map[int32]struct{}, n)}
+	return &Dynamic{adj: make([][]int32, n), mark: make([]uint32, n)}
 }
 
-// DynamicFrom copies a static graph into a dynamic one.
+// DynamicFrom copies a static graph into a dynamic one. The rows are carved
+// from one flat backing array (full-capacity slices, so a row only gets its
+// own allocation once an insertion outgrows it).
 func DynamicFrom(g *Graph) *Dynamic {
 	d := NewDynamic(g.N())
+	flat := make([]int32, 2*g.M())
+	pos := 0
 	for u := int32(0); int(u) < g.N(); u++ {
 		nb := g.Neighbors(u)
 		if len(nb) == 0 {
 			continue
 		}
-		m := make(map[int32]struct{}, len(nb))
-		for _, v := range nb {
-			m[v] = struct{}{}
-		}
-		d.adj[u] = m
+		row := flat[pos : pos+len(nb) : pos+len(nb)]
+		copy(row, nb)
+		d.adj[u] = row
+		pos += len(nb)
 	}
 	d.m = g.M()
 	return d
@@ -40,16 +59,24 @@ func (d *Dynamic) N() int { return len(d.adj) }
 // AddNode appends an isolated node and returns its id.
 func (d *Dynamic) AddNode() int32 {
 	d.adj = append(d.adj, nil)
+	d.mark = append(d.mark, 0)
 	return int32(len(d.adj) - 1)
 }
 
 // IsolateNode removes every edge incident to u, leaving the node in place
-// (ids are stable). It returns the removed neighbours.
+// (ids are stable). It returns the removed neighbours, sorted.
 func (d *Dynamic) IsolateNode(u int32) []int32 {
-	nb := d.NeighborsSorted(u)
-	for _, v := range nb {
-		d.DeleteEdge(u, v)
+	row := d.adj[u]
+	if len(row) == 0 {
+		return nil
 	}
+	nb := make([]int32, len(row))
+	copy(nb, row)
+	for _, v := range nb {
+		d.adj[v] = deleteSorted(d.adj[v], u)
+	}
+	d.adj[u] = row[:0]
+	d.m -= len(nb)
 	return nb
 }
 
@@ -61,27 +88,63 @@ func (d *Dynamic) Degree(u int32) int { return len(d.adj[u]) }
 
 // HasEdge reports whether (u, v) currently exists.
 func (d *Dynamic) HasEdge(u, v int32) bool {
-	if u == v || d.adj[u] == nil {
+	if u == v {
 		return false
 	}
-	_, ok := d.adj[u][v]
-	return ok
+	// Search the shorter row.
+	if len(d.adj[u]) > len(d.adj[v]) {
+		u, v = v, u
+	}
+	_, found := slices.BinarySearch(d.adj[u], v)
+	return found
+}
+
+// insertSorted places v at its sorted position in row. When the row is out
+// of capacity the growth step is degree-capped: small rows double (append
+// semantics), huge rows grow by a bounded chunk so a hub node does not
+// over-reserve half its degree again.
+func insertSorted(row []int32, i int, v int32) []int32 {
+	if len(row) < cap(row) {
+		row = row[:len(row)+1]
+		copy(row[i+1:], row[i:])
+		row[i] = v
+		return row
+	}
+	grow := len(row)
+	switch {
+	case grow < 4:
+		grow = 4
+	case grow > 1024:
+		grow = 1024
+	}
+	next := make([]int32, len(row)+1, len(row)+grow)
+	copy(next, row[:i])
+	next[i] = v
+	copy(next[i+1:], row[i:])
+	return next
+}
+
+// deleteSorted removes v from row (which must contain it), keeping order
+// and capacity.
+func deleteSorted(row []int32, v int32) []int32 {
+	i, _ := slices.BinarySearch(row, v)
+	copy(row[i:], row[i+1:])
+	return row[:len(row)-1]
 }
 
 // InsertEdge adds the undirected edge (u, v). It reports whether the edge
 // was new. Self-loops are rejected (returns false).
 func (d *Dynamic) InsertEdge(u, v int32) bool {
-	if u == v || d.HasEdge(u, v) {
+	if u == v {
 		return false
 	}
-	if d.adj[u] == nil {
-		d.adj[u] = make(map[int32]struct{}, 4)
+	iu, found := slices.BinarySearch(d.adj[u], v)
+	if found {
+		return false
 	}
-	if d.adj[v] == nil {
-		d.adj[v] = make(map[int32]struct{}, 4)
-	}
-	d.adj[u][v] = struct{}{}
-	d.adj[v][u] = struct{}{}
+	iv, _ := slices.BinarySearch(d.adj[v], u)
+	d.adj[u] = insertSorted(d.adj[u], iu, v)
+	d.adj[v] = insertSorted(d.adj[v], iv, u)
 	d.m++
 	return true
 }
@@ -92,52 +155,120 @@ func (d *Dynamic) DeleteEdge(u, v int32) bool {
 	if !d.HasEdge(u, v) {
 		return false
 	}
-	delete(d.adj[u], v)
-	delete(d.adj[v], u)
+	d.adj[u] = deleteSorted(d.adj[u], v)
+	d.adj[v] = deleteSorted(d.adj[v], u)
 	d.m--
 	return true
 }
 
-// ForEachNeighbor calls fn for every current neighbour of u. Iteration
-// order is unspecified. The graph must not be mutated during iteration.
+// Neighbors returns u's sorted adjacency slice. The returned slice aliases
+// the graph's internal storage: it must not be modified and is invalidated
+// by the next mutation of the graph.
+func (d *Dynamic) Neighbors(u int32) []int32 { return d.adj[u] }
+
+// NeighborsSorted is Neighbors under the name the map-based representation
+// used. It is now a zero-copy alias of the internal row — same contract as
+// Neighbors: read-only, valid until the next mutation.
+func (d *Dynamic) NeighborsSorted(u int32) []int32 { return d.adj[u] }
+
+// ForEachNeighbor calls fn for every current neighbour of u, in ascending
+// id order. The graph must not be mutated during iteration.
 func (d *Dynamic) ForEachNeighbor(u int32, fn func(v int32)) {
-	for v := range d.adj[u] {
+	for _, v := range d.adj[u] {
 		fn(v)
 	}
 }
 
-// NeighborsSorted returns a freshly allocated sorted neighbour slice of u.
-func (d *Dynamic) NeighborsSorted(u int32) []int32 {
-	out := make([]int32, 0, len(d.adj[u]))
-	for v := range d.adj[u] {
-		out = append(out, v)
+// MarkNeighbors stamps u's neighbourhood into the mark array under a fresh
+// epoch; Marked then answers "is v adjacent to u" in O(1) with no hashing.
+// One MarkNeighbors plus a scan replaces a burst of HasEdge probes against
+// the same node: O(deg(u) + probes) instead of O(probes · log deg).
+// The stamps are valid until the next MarkNeighbors or IsClique call; the
+// mark array is writer-state, so concurrent readers must not use this.
+func (d *Dynamic) MarkNeighbors(u int32) {
+	d.bumpEpoch()
+	for _, v := range d.adj[u] {
+		d.mark[v] = d.epoch
 	}
-	slices.Sort(out)
-	return out
 }
 
-// Snapshot converts the current state back to an immutable CSR graph.
-func (d *Dynamic) Snapshot() *Graph {
-	b := NewBuilder(d.N())
-	for u := int32(0); int(u) < d.N(); u++ {
-		for v := range d.adj[u] {
-			if v > u {
-				b.AddEdge(u, v)
-			}
-		}
+// Marked reports whether v was stamped by the last MarkNeighbors call.
+func (d *Dynamic) Marked(v int32) bool { return d.mark[v] == d.epoch }
+
+// bumpEpoch invalidates all stamps. On the (rare) uint32 wraparound the
+// array is cleared so stale epochs cannot collide.
+func (d *Dynamic) bumpEpoch() {
+	d.epoch++
+	if d.epoch == 0 {
+		clear(d.mark)
+		d.epoch = 1
 	}
-	return b.MustBuild()
+}
+
+// Snapshot converts the current state back to an immutable CSR graph. The
+// rows are already sorted and duplicate-free, so this is a flat copy.
+func (d *Dynamic) Snapshot() *Graph {
+	offsets := make([]int64, d.N()+1)
+	adj := make([]int32, 2*d.m)
+	pos := int64(0)
+	for u, row := range d.adj {
+		offsets[u] = pos
+		copy(adj[pos:], row)
+		pos += int64(len(row))
+	}
+	offsets[d.N()] = pos
+	return &Graph{offsets: offsets, adj: adj}
 }
 
 // IsClique reports whether every pair of the given nodes is connected in
-// the current graph. Duplicate nodes make it false.
+// the current graph. Duplicate nodes make it false. Per anchor node it
+// picks the cheaper probe strategy: stamp-then-scan when the anchor's row
+// is short relative to the remaining members (one pass, O(1) answers),
+// binary searches otherwise (a hub row would make stamping O(deg)).
 func (d *Dynamic) IsClique(nodes []int32) bool {
-	for i := 0; i < len(nodes); i++ {
-		for j := i + 1; j < len(nodes); j++ {
-			if nodes[i] == nodes[j] || !d.HasEdge(nodes[i], nodes[j]) {
+	for i := 0; i+1 < len(nodes); i++ {
+		u := nodes[i]
+		rest := nodes[i+1:]
+		if len(d.adj[u]) <= 8*len(rest) {
+			d.MarkNeighbors(u)
+			for _, v := range rest {
+				if v == u || !d.Marked(v) {
+					return false
+				}
+			}
+			continue
+		}
+		for _, v := range rest {
+			if v == u || !d.HasEdge(u, v) {
 				return false
 			}
 		}
 	}
 	return true
+}
+
+// IntersectSorted appends a ∩ b to dst and returns it. Both inputs must be
+// sorted ascending and duplicate-free; dst must not alias them. This is the
+// merge-scan primitive the clique enumerators use against the flat rows;
+// neighbourhood rows are short, so a plain merge (with one range-overlap
+// pre-check) beats galloping.
+func IntersectSorted(dst, a, b []int32) []int32 {
+	if len(a) == 0 || len(b) == 0 || a[0] > b[len(b)-1] || b[0] > a[len(a)-1] {
+		return dst
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		x, y := a[i], b[j]
+		switch {
+		case x < y:
+			i++
+		case x > y:
+			j++
+		default:
+			dst = append(dst, x)
+			i++
+			j++
+		}
+	}
+	return dst
 }

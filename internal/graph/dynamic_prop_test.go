@@ -1,0 +1,194 @@
+package graph
+
+import (
+	"math/rand"
+	"slices"
+	"sync"
+	"testing"
+)
+
+// refDynamic is a deliberately naive map-of-sets dynamic graph — the
+// representation the flat Dynamic replaced — used as the oracle for the
+// property test below.
+type refDynamic struct {
+	adj []map[int32]bool
+	m   int
+}
+
+func newRefDynamic(n int) *refDynamic {
+	return &refDynamic{adj: make([]map[int32]bool, n)}
+}
+
+func (r *refDynamic) addNode() int32 {
+	r.adj = append(r.adj, nil)
+	return int32(len(r.adj) - 1)
+}
+
+func (r *refDynamic) hasEdge(u, v int32) bool { return u != v && r.adj[u][v] }
+
+func (r *refDynamic) insertEdge(u, v int32) bool {
+	if u == v || r.hasEdge(u, v) {
+		return false
+	}
+	if r.adj[u] == nil {
+		r.adj[u] = map[int32]bool{}
+	}
+	if r.adj[v] == nil {
+		r.adj[v] = map[int32]bool{}
+	}
+	r.adj[u][v] = true
+	r.adj[v][u] = true
+	r.m++
+	return true
+}
+
+func (r *refDynamic) deleteEdge(u, v int32) bool {
+	if !r.hasEdge(u, v) {
+		return false
+	}
+	delete(r.adj[u], v)
+	delete(r.adj[v], u)
+	r.m--
+	return true
+}
+
+func (r *refDynamic) isolate(u int32) []int32 {
+	var nb []int32
+	for v := range r.adj[u] {
+		nb = append(nb, v)
+	}
+	slices.Sort(nb)
+	for _, v := range nb {
+		r.deleteEdge(u, v)
+	}
+	return nb
+}
+
+func (r *refDynamic) neighborsSorted(u int32) []int32 {
+	out := make([]int32, 0, len(r.adj[u]))
+	for v := range r.adj[u] {
+		out = append(out, v)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// TestDynamicPropertyVsReference drives the flat Dynamic and the map-based
+// reference through ~10k random insert/delete/isolate/AddNode ops and
+// asserts identical M(), degrees, sorted neighbour sets and HasEdge
+// answers throughout.
+func TestDynamicPropertyVsReference(t *testing.T) {
+	const ops = 10000
+	rng := rand.New(rand.NewSource(42))
+	n := 30
+	d := NewDynamic(n)
+	ref := newRefDynamic(n)
+
+	checkNode := func(op int, u int32) {
+		if got, want := d.Degree(u), len(ref.adj[u]); got != want {
+			t.Fatalf("op %d: Degree(%d) = %d, want %d", op, u, got, want)
+		}
+		if got, want := d.NeighborsSorted(u), ref.neighborsSorted(u); !slices.Equal(got, want) {
+			t.Fatalf("op %d: Neighbors(%d) = %v, want %v", op, u, got, want)
+		}
+	}
+
+	for op := 0; op < ops; op++ {
+		u := int32(rng.Intn(n))
+		v := int32(rng.Intn(n))
+		switch r := rng.Float64(); {
+		case r < 0.45:
+			if got, want := d.InsertEdge(u, v), ref.insertEdge(u, v); got != want {
+				t.Fatalf("op %d: InsertEdge(%d,%d) = %v, want %v", op, u, v, got, want)
+			}
+		case r < 0.85:
+			if got, want := d.DeleteEdge(u, v), ref.deleteEdge(u, v); got != want {
+				t.Fatalf("op %d: DeleteEdge(%d,%d) = %v, want %v", op, u, v, got, want)
+			}
+		case r < 0.95:
+			if got, want := d.IsolateNode(u), ref.isolate(u); !slices.Equal(got, want) {
+				t.Fatalf("op %d: IsolateNode(%d) = %v, want %v", op, u, got, want)
+			}
+		default:
+			if got, want := d.AddNode(), ref.addNode(); got != want {
+				t.Fatalf("op %d: AddNode = %d, want %d", op, got, want)
+			}
+			n = d.N()
+		}
+		if d.M() != ref.m {
+			t.Fatalf("op %d: M = %d, reference %d", op, d.M(), ref.m)
+		}
+		checkNode(op, u)
+		checkNode(op, v)
+		// Random HasEdge spot checks both ways.
+		for i := 0; i < 4; i++ {
+			a, b := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if got, want := d.HasEdge(a, b), ref.hasEdge(a, b); got != want {
+				t.Fatalf("op %d: HasEdge(%d,%d) = %v, want %v", op, a, b, got, want)
+			}
+		}
+	}
+	// Full sweep at the end.
+	for u := int32(0); int(u) < n; u++ {
+		checkNode(ops, u)
+	}
+	// Round-trip through the CSR snapshot.
+	s := d.Snapshot()
+	if s.M() != ref.m || s.N() != len(ref.adj) {
+		t.Fatalf("snapshot N/M = %d/%d, reference %d/%d", s.N(), s.M(), len(ref.adj), ref.m)
+	}
+	for u := int32(0); int(u) < n; u++ {
+		if !slices.Equal(s.Neighbors(u), ref.neighborsSorted(u)) {
+			t.Fatalf("snapshot neighbours of %d diverge", u)
+		}
+	}
+}
+
+// TestDynamicConcurrentSnapshotReaders mutates a Dynamic on the writer
+// goroutine while reader goroutines inspect the immutable CSR snapshots it
+// hands out — meaningful chiefly under -race: the snapshots must be fully
+// detached from the mutable rows.
+func TestDynamicConcurrentSnapshotReaders(t *testing.T) {
+	const readers = 4
+	d := NewDynamic(64)
+	rng := rand.New(rand.NewSource(7))
+	snaps := make(chan *Graph, readers*4)
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for g := range snaps {
+				// Touch every row and re-derive M; any sharing with the
+				// writer's rows would trip the race detector.
+				total := 0
+				for u := int32(0); int(u) < g.N(); u++ {
+					nb := g.Neighbors(u)
+					if !slices.IsSorted(nb) {
+						t.Error("snapshot row not sorted")
+						return
+					}
+					total += len(nb)
+				}
+				if total != 2*g.M() {
+					t.Errorf("snapshot adjacency sums to %d, want %d", total, 2*g.M())
+					return
+				}
+			}
+		}()
+	}
+	for op := 0; op < 3000; op++ {
+		u := int32(rng.Intn(d.N()))
+		v := int32(rng.Intn(d.N()))
+		if rng.Float64() < 0.6 {
+			d.InsertEdge(u, v)
+		} else {
+			d.DeleteEdge(u, v)
+		}
+		if op%50 == 0 {
+			snaps <- d.Snapshot()
+		}
+	}
+	close(snaps)
+	wg.Wait()
+}

@@ -1,12 +1,14 @@
 // Package graph provides the graph substrate used by every algorithm in this
 // repository: a compact immutable CSR representation for the static
-// algorithms, a mutable adjacency-set representation for the dynamic engine,
-// node orderings (degree, degeneracy, score), DAG orientation, and edge-list
+// algorithms, a mutable flat-row representation (per-node sorted neighbour
+// slices plus an epoch-stamped mark array) for the dynamic engine, node
+// orderings (degree, degeneracy, score), DAG orientation, and edge-list
 // text I/O.
 //
-// Node identifiers are dense int32 values in [0, N). All adjacency lists in
-// the static representation are sorted ascending, which the k-clique engine
-// relies on for merge-style intersections.
+// Node identifiers are dense int32 values in [0, N). All adjacency lists —
+// static CSR rows and dynamic flat rows alike — are sorted ascending, which
+// the k-clique engines rely on for merge-style intersections
+// (IntersectSorted) and stamp-then-scan filtering.
 package graph
 
 import (

@@ -22,6 +22,13 @@ type Scratch struct {
 	cand  [][]int32 // candidate sets per recursion level
 	stack []int32   // current partial clique
 	best  []int32   // best clique found by FindMin
+
+	// mark/epoch implement the stamped-intersection fast path for
+	// high-degree roots (see ForEach): mark[v] == epoch means v is in the
+	// root's out-neighbourhood. Sized lazily to the graph's node count on
+	// first use, so the cheap merge-only paths never pay for it.
+	mark  []uint32
+	epoch uint32
 }
 
 // NewScratch returns scratch space for searches up to depth k in a graph
@@ -47,24 +54,28 @@ func (s *Scratch) level(l int) []int32 {
 	return s.cand[l][:0]
 }
 
+// beginStamp starts a fresh stamping epoch over a graph of n nodes.
+func (s *Scratch) beginStamp(n int) {
+	if len(s.mark) < n {
+		s.mark = make([]uint32, n)
+		s.epoch = 0
+	}
+	s.epoch++
+	if s.epoch == 0 {
+		clear(s.mark)
+		s.epoch = 1
+	}
+}
+
+func (s *Scratch) stamp(v int32)        { s.mark[v] = s.epoch }
+func (s *Scratch) stamped(v int32) bool { return s.mark[v] == s.epoch }
+
 // intersect writes cand ∩ out into dst (both inputs sorted ascending by
 // node id) and returns the filled slice. dst must not alias the inputs.
+// It delegates to the shared merge-scan primitive so the static and
+// dynamic enumerators cannot drift apart.
 func intersect(dst, cand, out []int32) []int32 {
-	i, j := 0, 0
-	for i < len(cand) && j < len(out) {
-		a, b := cand[i], out[j]
-		switch {
-		case a < b:
-			i++
-		case a > b:
-			j++
-		default:
-			dst = append(dst, a)
-			i++
-			j++
-		}
-	}
-	return dst
+	return graph.IntersectSorted(dst, cand, out)
 }
 
 // filterValid writes the valid members of src into dst and returns it.
@@ -76,6 +87,14 @@ func filterValid(dst, src []int32, valid []bool) []int32 {
 	}
 	return dst
 }
+
+// stampRootDegree is the out-degree above which ForEach switches the first
+// recursion level to the stamped intersection: the merge path costs
+// O(outdeg(root) + outdeg(v)) per child v, while stamping the root's
+// out-neighbourhood once turns each child into an O(outdeg(v)) filter scan.
+// The win only materialises when the root neighbourhood is large; small
+// roots stay on the pure merge path and never touch the mark array.
+const stampRootDegree = 64
 
 // ForEach calls fn once for every k-clique of the DAG. The clique slice is
 // reused between calls; fn must copy it to retain it. fn returning false
@@ -91,11 +110,54 @@ func ForEach(d *graph.DAG, k int, fn func(clique []int32) bool) {
 			continue
 		}
 		sc.stack = append(sc.stack[:0], u)
-		cand := append(sc.level(k-1), d.Out(u)...)
+		out := d.Out(u)
+		if k >= 3 && len(out) >= stampRootDegree {
+			if !forEachStampedRoot(d, k, out, sc, fn) {
+				return
+			}
+			continue
+		}
+		cand := append(sc.level(k-1), out...)
 		if !forEachRec(d, k-1, cand, sc, fn) {
 			return
 		}
 	}
+}
+
+// forEachStampedRoot runs the first recursion level of a high-degree root
+// with the root's out-neighbourhood stamped into the mark array: the
+// candidate set for each child v is the stamped filter of Out(v) — sorted
+// output for free, no merge against the (large) root neighbourhood. Deeper
+// levels fall back to forEachRec, whose candidate sets shrink fast. Only
+// the root level stamps, so a single epoch per root suffices (nested
+// stamping would invalidate the parent's marks mid-loop).
+func forEachStampedRoot(d *graph.DAG, k int, out []int32, sc *Scratch, fn func([]int32) bool) bool {
+	sc.beginStamp(d.N())
+	for _, w := range out {
+		sc.stamp(w)
+	}
+	for _, v := range out {
+		if d.OutDegree(v) < k-2 {
+			continue
+		}
+		next := sc.level(k - 2)
+		for _, w := range d.Out(v) {
+			if sc.stamped(w) {
+				next = append(next, w)
+			}
+		}
+		sc.cand[k-2] = next
+		if len(next) < k-2 {
+			continue
+		}
+		sc.stack = append(sc.stack, v)
+		ok := forEachRec(d, k-2, next, sc, fn)
+		sc.stack = sc.stack[:len(sc.stack)-1]
+		if !ok {
+			return false
+		}
+	}
+	return true
 }
 
 // forEachRec enumerates l more nodes from cand. Returns false to abort.
@@ -111,11 +173,18 @@ func forEachRec(d *graph.DAG, l int, cand []int32, sc *Scratch, fn func([]int32)
 		}
 		return true
 	}
-	for i, v := range cand {
-		// Only nodes after v in cand can still be picked? No — cand is
-		// sorted by id, not rank; the DAG intersection below enforces the
-		// rank decrease, so each sub-clique is still produced once.
-		_ = i
+	if len(cand) < l {
+		return true
+	}
+	for _, v := range cand {
+		// No positional early-break here: cand is sorted by node id while
+		// the DAG's edges point towards strictly smaller *rank*, so a clique
+		// through v may continue with ids that precede v in cand. (The
+		// among-B enumerator in internal/dynamic breaks out of its loop once
+		// too few candidates follow v, but its recursion only draws from
+		// cand[i+1:]; here the intersection with Out(v) is what guarantees
+		// each clique is emitted exactly once, rooted at its highest-rank
+		// member.)
 		if d.OutDegree(v) < l-1 {
 			continue
 		}

@@ -127,10 +127,16 @@ func ParallelForEach(d *graph.DAG, k, workers int, fn func(worker int, clique []
 	}
 	return ParallelRoots(d, k, workers, func(worker int, u int32, sc *Scratch) bool {
 		sc.stack = append(sc.stack[:0], u)
-		cand := append(sc.level(k-1), d.Out(u)...)
-		return forEachRec(d, k-1, cand, sc, func(c []int32) bool {
-			return fn(worker, c)
-		})
+		out := d.Out(u)
+		emit := func(c []int32) bool { return fn(worker, c) }
+		if k >= 3 && len(out) >= stampRootDegree {
+			// Same stamped fast path as the serial enumerator; the mark
+			// array lives in the per-worker Scratch, so roots stamp
+			// independently.
+			return forEachStampedRoot(d, k, out, sc, emit)
+		}
+		cand := append(sc.level(k-1), out...)
+		return forEachRec(d, k-1, cand, sc, emit)
 	})
 }
 
