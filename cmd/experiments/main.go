@@ -27,6 +27,7 @@ func main() {
 		shapes   = flag.Bool("shapes", false, "verify the paper's qualitative claims (exits non-zero on failure)")
 		updates  = flag.Bool("updates", false, "update-path throughput: mixed workload, single-op vs batched")
 		workers  = flag.Int("workers", 0, "worker-pool size for every parallel phase (0 = GOMAXPROCS, 1 = serial)")
+		unified  = flag.String("unified", "on", "on|off: stamped-intersection fast path of the unified enumeration core (ablation row for -updates)")
 	)
 	flag.Parse()
 
@@ -35,6 +36,13 @@ func main() {
 		cfg = experiments.Full(os.Stdout)
 	}
 	cfg.Workers = *workers
+	switch *unified {
+	case "on":
+	case "off":
+		cfg.DisableUnified = true
+	default:
+		fatal(fmt.Errorf("-unified must be on or off, got %q", *unified))
+	}
 
 	type job struct {
 		name string

@@ -41,6 +41,13 @@
 // index construction, batched updates — honours Options.Workers (or the
 // NewDynamicWorkers bound) and produces worker-count-independent results:
 // identical sets under Options.StrictTies, identical sizes otherwise.
+//
+// Internally, the static algorithms and the dynamic maintenance engine
+// run the same k-clique enumeration core over a substrate-neutral
+// adjacency view, so the enumeration fast paths (stamped intersections,
+// scratch reuse, the parallel worker pool) apply to static listing and
+// to the hot update path alike; see ARCHITECTURE.md for the layer
+// diagram.
 package dkclique
 
 import (

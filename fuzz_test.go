@@ -3,6 +3,10 @@ package dkclique
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/dynamic"
+	"repro/internal/graph"
+	"repro/internal/workload"
 )
 
 // FuzzReadEdgeList hardens the parser: arbitrary text must either parse
@@ -69,6 +73,69 @@ func FuzzDynamicEngine(f *testing.F) {
 		}
 		if !IsMaximal(dyn.Snapshot(), 3, dyn.Result()) {
 			t.Fatal("maintained set not maximal")
+		}
+	})
+}
+
+// FuzzEngineBatchVerify drives the maintenance engine's batched update
+// path with an arbitrary mixed insert/delete op stream, split into
+// arbitrary batch sizes, and checks the full internal invariants
+// (Engine.Verify: S disjoint and maximal, candidate index exactly
+// Algorithm 5's) after every ApplyBatch — so the unified enumeration core
+// behind forEachCliqueWithEdge / forEachCliqueAmong is fuzz-covered end
+// to end, including the differential candidate rebuilds and the deferred
+// swap processing.
+func FuzzEngineBatchVerify(f *testing.F) {
+	f.Add([]byte{3, 0, 1, 2, 3, 4, 5}, uint8(2))
+	f.Add([]byte{10, 11, 12, 10, 11, 12, 7, 8}, uint8(1))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, uint8(5))
+	f.Add([]byte{}, uint8(0))
+	f.Fuzz(func(t *testing.T, raw []byte, batchSize uint8) {
+		const n = 12
+		g, err := graph.FromEdges(n, [][2]int32{
+			{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {4, 5}, {3, 5}, {6, 7},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := dynamic.New(g, 3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Verify(); err != nil {
+			t.Fatalf("fresh engine: %v", err)
+		}
+		size := int(batchSize%16) + 1
+		var ops []workload.Op
+		flush := func() {
+			if len(ops) == 0 {
+				return
+			}
+			eng.ApplyBatch(ops)
+			ops = ops[:0]
+			if err := eng.Verify(); err != nil {
+				t.Fatalf("after batch: %v", err)
+			}
+		}
+		for i := 0; i+1 < len(raw); i += 2 {
+			u := int32(raw[i] % n)
+			v := int32(raw[i+1] % n)
+			if u == v {
+				continue
+			}
+			ops = append(ops, workload.Op{Insert: raw[i]&1 == 0, U: u, V: v})
+			if len(ops) >= size {
+				flush()
+			}
+		}
+		flush()
+		// The published snapshot must agree with the engine's final state.
+		snap := eng.Snapshot()
+		if err := snap.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if snap.Size() != eng.Size() {
+			t.Fatalf("snapshot size %d != engine size %d", snap.Size(), eng.Size())
 		}
 	})
 }

@@ -20,7 +20,8 @@ func runHG(g *graph.Graph, opt *Options) ([][]int32, error) {
 	for i := range valid {
 		valid[i] = true
 	}
-	sc := kclique.NewScratch(k, g.MaxDegree())
+	sc := kclique.GetScratch(k, g.MaxDegree())
+	defer kclique.PutScratch(sc)
 	deadline := opt.deadline()
 	var out [][]int32
 	for r := 0; r < n; r++ {

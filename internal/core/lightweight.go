@@ -108,7 +108,8 @@ func runLightweight(g *graph.Graph, opt *Options, prune bool) ([][]int32, uint64
 	for i := range valid {
 		valid[i] = true
 	}
-	sc := kclique.NewScratch(k, maxDeg)
+	sc := kclique.GetScratch(k, maxDeg)
+	defer kclique.PutScratch(sc)
 	var out [][]int32
 	pops := 0
 	for h.Len() > 0 {

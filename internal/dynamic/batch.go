@@ -92,27 +92,52 @@ func (e *Engine) ApplyBatch(ops []workload.Op) int {
 		}
 	}
 	slices.Sort(owners)
-	lists, allFree := e.collectCandidates(owners)
+	keptL, freshL, allFree := e.collectCandidates(owners)
 	queue := append([]int32(nil), b.pending...)
 	for _, id := range swept {
 		if e.numCandidatesOfOwner(id) >= 2 {
 			queue = append(queue, id)
 		}
 	}
+	degraded := false
 	for i, id := range owners {
-		if len(allFree[i]) > 0 {
+		gained := false
+		switch {
+		case len(allFree[i]) > 0:
 			// The sweep guarantees no all-free clique survives; if one
 			// slipped through (it cannot, see batchState.touched), repair
 			// through the serial path, which installs and re-enumerates.
 			e.rebuildCandidates(id)
 			queue = append(queue, id)
+			degraded = true
 			continue
+		case degraded:
+			// A repair changed S after the parallel enumeration ran, so
+			// the precomputed kept ids and fresh lists may be stale;
+			// re-enumerate this owner serially instead.
+			gained = e.rebuildCandidates(id)
+		default:
+			// Differential install, mirroring rebuildCandidates:
+			// candidates that survived the batch stay in place (their ids
+			// were collected during the read-only parallel phase, no
+			// copies made), only the stale remainder is dropped and the
+			// fresh ones indexed.
+			kept := append(e.esc.keep[:0], keptL[i]...)
+			for _, c := range freshL[i] {
+				cid, added := e.ensureCandidate(c, id)
+				kept = append(kept, cid)
+				gained = gained || added
+			}
+			slices.Sort(kept)
+			e.esc.keep = kept
+			e.dropStaleCandidates(id, kept)
 		}
-		e.dropCandidatesOfOwner(id)
-		for _, c := range lists[i] {
-			e.addCandidate(c, id)
-		}
-		if e.numCandidatesOfOwner(id) >= 2 {
+		// Swap eligibility follows the serial path's rule: only owners
+		// whose candidate set gained a member are worth a TrySwap pass
+		// (Algorithm 4 enqueues on gain). Before the differential rebuild
+		// the batch path could not tell and had to enqueue every owner
+		// with two or more candidates, paying a greedyDisjoint run each.
+		if gained && e.numCandidatesOfOwner(id) >= 2 {
 			queue = append(queue, id)
 		}
 	}

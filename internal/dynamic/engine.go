@@ -37,11 +37,14 @@ import (
 const free int32 = -1
 
 // candidate is an indexed candidate k-clique: nodes are sorted; owner is
-// the S-clique all its non-free nodes belong to.
+// the S-clique all its non-free nodes belong to. digest caches the
+// members' FNV hash so the dedup index never re-hashes on lookup misses
+// resolved by comparison or on drops.
 type candidate struct {
-	id    int32
-	nodes []int32
-	owner int32
+	id     int32
+	owner  int32
+	digest uint64
+	nodes  []int32
 }
 
 // Stats counts engine activity since construction.
@@ -67,6 +70,12 @@ type Engine struct {
 	g *graph.Dynamic
 	k int
 
+	// view is g seen through the substrate-neutral adjacency view the
+	// unified enumeration core in internal/kclique runs on (oriented by
+	// ascending node id). Boxed once at construction so the hot update
+	// path never re-converts.
+	view graph.View
+
 	// workers bounds parallelism for index construction and batch update
 	// rebuilds; <= 0 means GOMAXPROCS.
 	workers int
@@ -76,7 +85,7 @@ type Engine struct {
 	nextClique int32
 
 	cands       map[int32]*candidate
-	candDedup   *candDedup       // member digest -> candidate id
+	candDedup   *candDedup       // member digest -> candidate
 	candsByOwn  map[int32]*idSet // clique id -> candidate ids owned
 	candsByNode []idSet          // node -> candidate ids containing it
 	nextCand    int32
@@ -87,9 +96,18 @@ type Engine struct {
 
 	// esc is the single-writer enumeration scratch: every serial update
 	// enumerates through these reusable buffers, so the steady-state update
-	// path allocates nothing. The parallel batch rebuilds use per-worker
-	// scratches instead (collectCandidates).
+	// path allocates nothing. The parallel batch rebuilds use the wsc
+	// per-worker scratches instead (collectCandidates), kept for the
+	// engine's lifetime so a long-running service reuses them batch after
+	// batch — the same pooling discipline internal/kclique applies to the
+	// static counting oracles.
 	esc *enumScratch
+	wsc []*enumScratch
+
+	// noStamp disables the stamped-intersection fast path of the unified
+	// enumeration core (ablation: cmd/experiments -unified=off). Results
+	// are identical either way; only the intersection strategy changes.
+	noStamp bool
 
 	// snapSlab / snapUsed carve published Snapshot structs out of
 	// slab-allocated blocks so publication is allocation-free in steady
@@ -127,6 +145,19 @@ type Engine struct {
 // benchmarks to quantify how much TrySwap contributes to result quality.
 func (e *Engine) DisableSwaps() { e.noSwaps = true }
 
+// DisableUnifiedFastPath forces every enumeration the engine issues onto
+// the pure merge-scan path, turning off the stamped-intersection first
+// level the unified core shares with the static enumerators. Used by the
+// cmd/experiments -unified=off ablation to make the speedup of the shared
+// fast path reproducible; the maintained result is identical either way.
+func (e *Engine) DisableUnifiedFastPath() {
+	e.noStamp = true
+	e.esc.kc.NoStamp = true
+	for _, sc := range e.wsc {
+		sc.kc.NoStamp = true
+	}
+}
+
 // New builds an engine from a static graph and an initial disjoint
 // k-clique set (typically the output of the static LP algorithm), then
 // constructs the candidate index with Algorithm 5 using every CPU.
@@ -153,7 +184,8 @@ func NewWorkers(g *graph.Graph, k int, initial [][]int32, workers int) (*Engine,
 		candsByNode: make([]idSet, n),
 		esc:         newEnumScratch(k),
 	}
-	e.candDedup = newCandDedup(e.cands)
+	e.view = e.g.View()
+	e.candDedup = newCandDedup()
 	for i := range e.nodeClique {
 		e.nodeClique[i] = free
 	}
@@ -258,14 +290,28 @@ func (e *Engine) IsFree(u int32) bool { return e.nodeClique[u] == free }
 // addCandidate indexes a candidate clique (members must be sorted) unless
 // an identical one exists. Reports whether it was new.
 func (e *Engine) addCandidate(nodes []int32, owner int32) bool {
-	if _, ok := e.candDedup.lookup(nodes); ok {
-		return false
+	_, added := e.ensureCandidate(nodes, owner)
+	return added
+}
+
+// ensureCandidate is addCandidate returning the candidate's id as well:
+// the id of the existing identical candidate when one is indexed, the
+// freshly assigned id otherwise. The differential rebuilds key their
+// keep/stale sets on these ids, so an unchanged candidate costs one
+// dedup probe instead of a drop-and-reinsert cycle through every index
+// structure. An existing candidate necessarily already has this owner —
+// its non-free members determine the owner uniquely, and the index never
+// holds a candidate across an S change that moved them.
+func (e *Engine) ensureCandidate(nodes []int32, owner int32) (int32, bool) {
+	digest := hashNodes(nodes)
+	if c, ok := e.candDedup.lookup(nodes, digest); ok {
+		return c.id, false
 	}
 	id := e.nextCand
 	e.nextCand++
-	c := &candidate{id: id, nodes: append([]int32(nil), nodes...), owner: owner}
+	c := &candidate{id: id, owner: owner, digest: digest, nodes: append([]int32(nil), nodes...)}
 	e.cands[id] = c
-	e.candDedup.insert(c.nodes, id)
+	e.candDedup.insert(c)
 	own := e.candsByOwn[owner]
 	if own == nil {
 		own = &idSet{}
@@ -276,7 +322,7 @@ func (e *Engine) addCandidate(nodes []int32, owner int32) bool {
 		e.candsByNode[u].add(id)
 	}
 	e.stats.CandidatesCreated++
-	return true
+	return id, true
 }
 
 // dropCandidate removes a candidate from every index.
@@ -286,7 +332,7 @@ func (e *Engine) dropCandidate(id int32) {
 		return
 	}
 	delete(e.cands, id)
-	e.candDedup.delete(c.nodes, id)
+	e.candDedup.delete(c)
 	if own := e.candsByOwn[c.owner]; own != nil {
 		own.remove(id)
 		if own.size() == 0 {
@@ -313,6 +359,27 @@ func (e *Engine) dropCandidatesOfOwner(owner int32) {
 		for _, id := range append([]int32(nil), own.ids()...) {
 			e.dropCandidate(id)
 		}
+	}
+}
+
+// dropStaleCandidates removes every candidate owned by the clique whose
+// id is not in kept (sorted ascending). kept must be a subset of the
+// owner's candidate ids, so equal sizes mean nothing is stale — the
+// common case for rebuilds whose enumeration reproduced the whole set.
+func (e *Engine) dropStaleCandidates(owner int32, kept []int32) {
+	own := e.candsByOwn[owner]
+	if own == nil || own.size() == len(kept) {
+		return
+	}
+	stale := e.esc.stale[:0]
+	for _, id := range own.ids() {
+		if !graph.SortedContains(kept, id) {
+			stale = append(stale, id)
+		}
+	}
+	e.esc.stale = stale
+	for _, id := range stale {
+		e.dropCandidate(id)
 	}
 }
 

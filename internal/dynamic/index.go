@@ -11,71 +11,35 @@ import (
 // restriction": every extra member is allowed regardless of clique status.
 const anyOwner int32 = -2
 
-// enumScratch holds the reusable buffers of the clique enumerators. The
-// single-writer update path uses the engine-level instance (e.esc), so
-// steady-state updates allocate nothing; the parallel candidate-collection
-// of ApplyBatch hands each worker its own instance.
+// enumScratch holds the reusable buffers of the engine's enumeration
+// adapters: the kclique.Scratch the unified core recurses through, plus
+// the engine-specific staging buffers around it. The single-writer update
+// path uses the engine-level instance (e.esc), so steady-state updates
+// allocate nothing; the parallel candidate-collection of ApplyBatch hands
+// each worker its own instance (e.wsc, reused across batches).
 type enumScratch struct {
-	stack     []int32   // current partial clique
-	levels    [][]int32 // candidate sets per recursion level
-	nodes     []int32   // enumeration base: B copy, or N(u) ∩ N(v)
-	bbuf      []int32   // freeNeighborhood output
-	sorted    []int32   // k-sized buffer for sorting candidate members
-	owners    []int32   // owner ids gathered during an update
-	hits      []int32   // candidate ids gathered by dropCandidatesWithEdge
-	adjOwners []int32   // ownersAdjacentTo output
-	digests   []uint64  // previous-candidate digests in rebuildCandidates
+	kc        *kclique.Scratch // unified-core recursion state (stack, levels, marks)
+	edge      [2]int32         // prefix buffer for edge-anchored enumeration
+	nodes     []int32          // enumeration base: B copy, or N(u) ∩ N(v)
+	bbuf      []int32          // freeNeighborhood output
+	sorted    []int32          // k-sized buffer for sorting candidate members
+	owners    []int32          // owner ids gathered during an update
+	hits      []int32          // candidate ids gathered by dropCandidatesWithEdge
+	adjOwners []int32          // ownersAdjacentTo output
+	keep      []int32          // surviving candidate ids in differential rebuilds
+	stale     []int32          // dropStaleCandidates output
+	swapIDs   []int32          // trySwap: owner's candidate ids
+	swapLists [][]int32        // trySwap: member-list pointers for greedyDisjoint
+	gdNodes   []int32          // greedyDisjoint: concatenated sorted members / used set
+	gdEntries []gdEntry        // greedyDisjoint: selection order
+	gdOut     [][]int32        // greedyDisjoint: selected subset (aliases inputs)
 }
 
 func newEnumScratch(k int) *enumScratch {
 	return &enumScratch{
-		stack:  make([]int32, 0, k),
-		levels: make([][]int32, k+1),
+		kc:     kclique.NewScratch(k, 0),
 		sorted: make([]int32, k),
 	}
-}
-
-// cliqueRec extends the partial clique on sc.stack by l more nodes drawn
-// from cand (sorted ascending), calling fn with each completion. Successors
-// of cand[i] are cand[i+1:] ∩ N(cand[i]) — a merge scan of two sorted
-// slices on the flat graph rows, where the map-based representation paid a
-// hash probe per pair. Because only nodes after i are ever drawn, the
-// positional early-break is sound here (unlike the DAG enumerator in
-// internal/kclique, whose candidates are ordered by id, not rank).
-func (e *Engine) cliqueRec(sc *enumScratch, l int, cand []int32, fn func(c []int32) bool) bool {
-	if l == 0 {
-		return fn(sc.stack)
-	}
-	if l == 1 {
-		// Every candidate is adjacent to the whole stack by construction,
-		// so each one completes a clique — no intersection needed.
-		for _, v := range cand {
-			sc.stack = append(sc.stack, v)
-			ok := fn(sc.stack)
-			sc.stack = sc.stack[:len(sc.stack)-1]
-			if !ok {
-				return false
-			}
-		}
-		return true
-	}
-	for i, v := range cand {
-		if len(cand)-i < l {
-			break // not enough nodes left
-		}
-		next := graph.IntersectSorted(sc.levels[l][:0], cand[i+1:], e.g.Neighbors(v))
-		sc.levels[l] = next
-		if len(next) < l-1 {
-			continue
-		}
-		sc.stack = append(sc.stack, v)
-		ok := e.cliqueRec(sc, l-1, next, fn)
-		sc.stack = sc.stack[:len(sc.stack)-1]
-		if !ok {
-			return false
-		}
-	}
-	return true
 }
 
 // forEachCliqueAmong enumerates every k-clique of the current graph whose
@@ -83,6 +47,11 @@ func (e *Engine) cliqueRec(sc *enumScratch, l int, cand []int32, fn func(c []int
 // return false to stop. The callback slice is reused. All buffers come
 // from sc, so a steady-state call allocates nothing once the scratch has
 // grown to the workload's high-water mark.
+//
+// This is a thin adapter over the unified core: B becomes the first-level
+// candidate set of a ForEachAmong run on the engine's id-oriented view,
+// so it shares the stamped-intersection fast path (and any future one)
+// with the static enumerators instead of maintaining a private recursion.
 func (e *Engine) forEachCliqueAmong(sc *enumScratch, B []int32, fn func(c []int32) bool) {
 	nodes := append(sc.nodes[:0], B...)
 	slices.Sort(nodes)
@@ -91,8 +60,7 @@ func (e *Engine) forEachCliqueAmong(sc *enumScratch, B []int32, fn func(c []int3
 	if len(nodes) < e.k {
 		return
 	}
-	sc.stack = sc.stack[:0]
-	e.cliqueRec(sc, e.k, nodes, fn)
+	kclique.ForEachAmong(e.view, nil, e.k, nodes, sc.kc, fn)
 }
 
 // forEachCliqueWithEdge enumerates every k-clique of the current graph that
@@ -101,14 +69,18 @@ func (e *Engine) forEachCliqueAmong(sc *enumScratch, B []int32, fn func(c []int3
 // clique allowedOwner qualify (passing free admits free nodes only). fn may
 // return false to stop; the callback slice is reused and holds u, v first.
 // Uses the engine-level scratch: single-writer update path only.
+//
+// Thin adapter over the unified core: (u, v) is the fixed prefix and the
+// owner-filtered common neighbourhood the candidate set of a ForEachAmong
+// run on the engine's id-oriented view.
 func (e *Engine) forEachCliqueWithEdge(u, v int32, allowedOwner int32, fn func(c []int32) bool) {
 	if !e.g.HasEdge(u, v) {
 		return
 	}
 	sc := e.esc
-	sc.stack = append(sc.stack[:0], u, v)
+	sc.edge[0], sc.edge[1] = u, v
 	if e.k == 2 {
-		fn(sc.stack)
+		kclique.ForEachAmong(e.view, sc.edge[:], 0, nil, sc.kc, fn)
 		return
 	}
 	// Common neighbourhood of u and v: one merge of the two sorted rows.
@@ -127,7 +99,7 @@ func (e *Engine) forEachCliqueWithEdge(u, v int32, allowedOwner int32, fn func(c
 	if len(cand) < e.k-2 {
 		return
 	}
-	e.cliqueRec(sc, e.k-2, cand, fn)
+	kclique.ForEachAmong(e.view, sc.edge[:], e.k-2, cand, sc.kc, fn)
 }
 
 // freeNeighborhood returns B = C ∪ N_F(C): the clique members plus their
@@ -148,18 +120,21 @@ func (e *Engine) freeNeighborhood(sc *enumScratch, members []int32) []int32 {
 // candidatesOf enumerates (read-only) the candidate cliques Algorithm 5
 // would assign to the given S-clique under the current graph and free
 // status: sorted member lists of k-cliques on B = C ∪ N_F(C), excluding C
-// itself. It also reports any all-free cliques encountered — a non-empty
-// second result means S is not maximal and the caller must repair it.
-// Reads only the graph, S and the free status (never the candidate index)
-// and scratches through sc, so concurrent calls with distinct scratches
-// are safe.
-func (e *Engine) candidatesOf(sc *enumScratch, id int32) (cands, allFree [][]int32) {
+// itself. Candidates already present in the index are returned as their
+// ids (kept) without copying; only genuinely new ones are materialised
+// (fresh). It also reports any all-free cliques encountered — a non-empty
+// third result means S is not maximal and the caller must repair it.
+// Reads only the graph, S, the free status and the dedup index (lookups,
+// never mutation) and scratches through sc, so concurrent calls with
+// distinct scratches are safe as long as no writer mutates the index.
+func (e *Engine) candidatesOf(sc *enumScratch, id int32) (kept []int32, fresh, allFree [][]int32) {
 	members := e.cliques[id]
+	buf := sc.sorted[:e.k]
 	e.forEachCliqueAmong(sc, e.freeNeighborhood(sc, members), func(c []int32) bool {
-		cc := append([]int32(nil), c...)
-		slices.Sort(cc)
+		copy(buf, c)
+		slices.Sort(buf)
 		nonFree := 0
-		for _, u := range cc {
+		for _, u := range buf {
 			if e.nodeClique[u] != free {
 				nonFree++
 			}
@@ -168,82 +143,82 @@ func (e *Engine) candidatesOf(sc *enumScratch, id int32) (cands, allFree [][]int
 		case nonFree == e.k:
 			// Only C itself consists purely of non-free nodes inside B.
 		case nonFree == 0:
-			allFree = append(allFree, cc)
+			allFree = append(allFree, append([]int32(nil), buf...))
 		default:
-			cands = append(cands, cc)
+			if c, ok := e.candDedup.lookup(buf, hashNodes(buf)); ok {
+				kept = append(kept, c.id)
+			} else {
+				fresh = append(fresh, append([]int32(nil), buf...))
+			}
 		}
 		return true
 	})
-	return cands, allFree
+	return kept, fresh, allFree
 }
 
 // collectCandidates runs candidatesOf for the given owners on the worker
-// pool and returns the per-owner lists in input order. The computation is
-// read-only with one scratch per worker, so the result is identical for
-// every worker count.
-func (e *Engine) collectCandidates(ids []int32) (cands, allFree [][][]int32) {
-	cands = make([][][]int32, len(ids))
+// pool and returns the per-owner results in input order. The computation
+// is read-only with one scratch per worker, so the result is identical
+// for every worker count. Worker scratches live on the engine (e.wsc) and
+// are reused batch after batch, so a long-running service pays their
+// warm-up once instead of reallocating every ApplyBatch.
+func (e *Engine) collectCandidates(ids []int32) (kept [][]int32, fresh, allFree [][][]int32) {
+	kept = make([][]int32, len(ids))
+	fresh = make([][][]int32, len(ids))
 	allFree = make([][][]int32, len(ids))
-	scratches := make([]*enumScratch, kclique.Workers(e.workers, len(ids)))
+	for len(e.wsc) < kclique.Workers(e.workers, len(ids)) {
+		sc := newEnumScratch(e.k)
+		sc.kc.NoStamp = e.noStamp
+		e.wsc = append(e.wsc, sc)
+	}
 	kclique.ParallelIndex(len(ids), e.workers, func(worker, i int) {
-		sc := scratches[worker]
-		if sc == nil {
-			sc = newEnumScratch(e.k)
-			scratches[worker] = sc
-		}
-		cands[i], allFree[i] = e.candidatesOf(sc, ids[i])
+		kept[i], fresh[i], allFree[i] = e.candidatesOf(e.wsc[worker], ids[i])
 	})
-	return cands, allFree
+	return kept, fresh, allFree
 }
 
 // buildIndex constructs the whole candidate index from the current S —
 // Algorithm 5, with the per-clique enumeration running root-parallel
 // exactly as its line 1 prescribes. S must already be maximal. Candidate
 // insertion happens serially in ascending clique-id order, so ids and
-// stats are deterministic.
+// stats are deterministic. (The index is empty here, so every enumerated
+// candidate comes back fresh.)
 func (e *Engine) buildIndex() {
 	ids := make([]int32, 0, len(e.cliques))
 	for id := range e.cliques {
 		ids = append(ids, id)
 	}
 	slices.Sort(ids)
-	results, _ := e.collectCandidates(ids)
+	_, fresh, _ := e.collectCandidates(ids)
 	for i, id := range ids {
-		for _, c := range results[i] {
+		for _, c := range fresh[i] {
 			e.addCandidate(c, id)
 		}
 	}
 }
 
-// rebuildCandidates recomputes the candidate set owned by the given
-// S-clique from scratch (the per-clique body of Algorithm 5): enumerate the
-// k-cliques on B = C ∪ N_F(C), skip C itself, and index the rest. It
-// reports whether any candidate is new relative to the previous index
-// state. Any all-free clique encountered indicates a maximality breach and
-// is repaired by direct insertion into S.
+// rebuildCandidates brings the candidate set owned by the given S-clique
+// up to date (the per-clique body of Algorithm 5), differentially:
+// enumerate the k-cliques on B = C ∪ N_F(C), skip C itself, index the
+// ones not yet present, and drop the previously owned candidates the
+// enumeration no longer produced. A candidate that survives the update
+// that dirtied its owner — the overwhelmingly common case under churn —
+// thus costs one dedup probe and one keep-set entry instead of a full
+// drop-and-reinsert cycle through the dedup, owner and per-node indexes.
+// It reports whether any candidate is new relative to the previous index
+// state. Any all-free clique encountered indicates a maximality breach
+// and is repaired by direct insertion into S.
 func (e *Engine) rebuildCandidates(id int32) bool {
 	members, ok := e.cliques[id]
 	if !ok {
 		return false
 	}
-	// Previous candidate digests (sorted scratch slice), to detect
-	// genuinely new candidates. A 64-bit digest collision could mask a
-	// gain (a skipped swap check, not a correctness issue) with
-	// negligible probability.
 	sc := e.esc
-	old := sc.digests[:0]
-	if own := e.candsByOwn[id]; own != nil {
-		for _, cid := range own.ids() {
-			old = append(old, hashNodes(e.cands[cid].nodes))
-		}
-		slices.Sort(old)
-	}
-	sc.digests = old
-	e.dropCandidatesOfOwner(id)
 	gained := false
 	var repair [][]int32
 	B := e.freeNeighborhood(sc, members)
 	buf := sc.sorted[:e.k]
+	kept := sc.keep[:0]
 	e.forEachCliqueAmong(sc, B, func(c []int32) bool {
 		copy(buf, c)
 		slices.Sort(buf)
@@ -262,14 +237,17 @@ func (e *Engine) rebuildCandidates(id int32) bool {
 			repair = append(repair, append([]int32(nil), buf...))
 			return true
 		default:
-			if e.addCandidate(buf, id) {
-				if _, seen := slices.BinarySearch(old, hashNodes(buf)); !seen {
-					gained = true
-				}
+			cid, added := e.ensureCandidate(buf, id)
+			if added {
+				gained = true
 			}
+			kept = append(kept, cid)
 			return true
 		}
 	})
+	slices.Sort(kept)
+	sc.keep = kept
+	e.dropStaleCandidates(id, kept)
 	for _, c := range repair {
 		// Members may have been consumed by an earlier repair.
 		allFree := true

@@ -1,6 +1,10 @@
 package dynamic
 
-import "slices"
+import (
+	"slices"
+
+	"repro/internal/graph"
+)
 
 // This file holds the compact integer-keyed containers behind the candidate
 // index. The original implementation deduplicated candidates through a
@@ -22,8 +26,8 @@ type idSet struct {
 
 // add inserts id, reporting whether it was absent.
 func (s *idSet) add(id int32) bool {
-	i, found := slices.BinarySearch(s.items, id)
-	if found {
+	i := graph.LowerBound(s.items, id)
+	if i < len(s.items) && s.items[i] == id {
 		return false
 	}
 	s.items = slices.Insert(s.items, i, id)
@@ -32,8 +36,8 @@ func (s *idSet) add(id int32) bool {
 
 // remove deletes id, reporting whether it was present.
 func (s *idSet) remove(id int32) bool {
-	i, found := slices.BinarySearch(s.items, id)
-	if !found {
+	i := graph.LowerBound(s.items, id)
+	if i == len(s.items) || s.items[i] != id {
 		return false
 	}
 	s.items = slices.Delete(s.items, i, i+1)
@@ -42,8 +46,7 @@ func (s *idSet) remove(id int32) bool {
 
 // has reports membership.
 func (s *idSet) has(id int32) bool {
-	_, found := slices.BinarySearch(s.items, id)
-	return found
+	return graph.SortedContains(s.items, id)
 }
 
 // size returns the number of ids.
@@ -77,50 +80,52 @@ func nodesEqual(a, b []int32) bool {
 	return true
 }
 
-// candDedup maps sorted member lists to candidate ids without allocating a
-// key per lookup: buckets are keyed by the 64-bit digest and hold the ids
-// of candidates sharing it, verified against the stored members.
+// candDedup maps sorted member lists to candidates without allocating a
+// key per lookup: buckets are keyed by the 64-bit digest and hold the
+// candidates sharing it, verified against the stored members. Buckets
+// point at the candidate structs directly, so a lookup is one map probe
+// (the id-keyed indirection the previous version paid per bucket entry
+// showed up as whole percents of churn profiles), and drops reuse the
+// digest cached on the candidate instead of re-hashing.
 type candDedup struct {
-	buckets map[uint64][]int32
-	cands   map[int32]*candidate // shared with the engine
+	buckets map[uint64][]*candidate
 	n       int
 }
 
-func newCandDedup(cands map[int32]*candidate) *candDedup {
-	return &candDedup{buckets: make(map[uint64][]int32), cands: cands}
+func newCandDedup() *candDedup {
+	return &candDedup{buckets: make(map[uint64][]*candidate)}
 }
 
-// lookup returns the id of the candidate with exactly these (sorted)
-// members, if indexed.
-func (d *candDedup) lookup(nodes []int32) (int32, bool) {
-	for _, id := range d.buckets[hashNodes(nodes)] {
-		if c, ok := d.cands[id]; ok && nodesEqual(c.nodes, nodes) {
-			return id, true
+// lookup returns the candidate with exactly these (sorted) members and
+// this digest, if indexed.
+func (d *candDedup) lookup(nodes []int32, digest uint64) (*candidate, bool) {
+	for _, c := range d.buckets[digest] {
+		if nodesEqual(c.nodes, nodes) {
+			return c, true
 		}
 	}
-	return 0, false
+	return nil, false
 }
 
-// insert records the id under its members' digest. The caller guarantees no
-// equal-member candidate is present (checked via lookup first).
-func (d *candDedup) insert(nodes []int32, id int32) {
-	h := hashNodes(nodes)
-	d.buckets[h] = append(d.buckets[h], id)
+// insert records the candidate under its cached digest. The caller
+// guarantees no equal-member candidate is present (checked via lookup
+// first).
+func (d *candDedup) insert(c *candidate) {
+	d.buckets[c.digest] = append(d.buckets[c.digest], c)
 	d.n++
 }
 
-// delete removes the id from its members' bucket.
-func (d *candDedup) delete(nodes []int32, id int32) {
-	h := hashNodes(nodes)
-	bucket := d.buckets[h]
+// delete removes the candidate from its digest's bucket.
+func (d *candDedup) delete(c *candidate) {
+	bucket := d.buckets[c.digest]
 	for i, got := range bucket {
-		if got == id {
+		if got == c {
 			bucket[i] = bucket[len(bucket)-1]
 			bucket = bucket[:len(bucket)-1]
 			if len(bucket) == 0 {
-				delete(d.buckets, h)
+				delete(d.buckets, c.digest)
 			} else {
-				d.buckets[h] = bucket
+				d.buckets[c.digest] = bucket
 			}
 			d.n--
 			return

@@ -3,6 +3,8 @@ package dynamic
 import (
 	"fmt"
 	"slices"
+
+	"repro/internal/graph"
 )
 
 // MVCC read path. The engine is single-writer: one goroutine (or one
@@ -113,8 +115,8 @@ func (s *Snapshot) indexOf(u int32) int {
 	if id == free {
 		return -1
 	}
-	pos, ok := slices.BinarySearch(s.ids, id)
-	if !ok {
+	pos := graph.LowerBound(s.ids, id)
+	if pos == len(s.ids) || s.ids[pos] != id {
 		return -1
 	}
 	return pos

@@ -3,49 +3,73 @@ package dynamic
 import (
 	"cmp"
 	"slices"
+
+	"repro/internal/graph"
 )
+
+// gdEntry is a (clique index, local score) pair of greedyDisjoint's
+// selection order; the slice lives in enumScratch so repeated swap checks
+// reuse it.
+type gdEntry struct {
+	idx   int
+	score int64
+}
 
 // greedyDisjoint selects a maximal disjoint subset of the given cliques in
 // ascending clique-score order — Algorithm 2 applied to a candidate set
 // (Algorithm 4 line 4). Node scores are computed locally over the set
 // (the number of given cliques containing each node), which preserves the
 // minimum-conflict-first heuristic without a global recount. The returned
-// cliques are fresh copies.
-func greedyDisjoint(cliques [][]int32) [][]int32 {
+// cliques alias the input slices and the returned slice itself lives in
+// sc; callers copy what they retain (installClique already does) and must
+// consume the result before the next greedyDisjoint call on the same
+// scratch.
+//
+// Candidate sets are tiny (a handful of k-sized cliques), so multiplicity
+// counting runs over one sorted scratch slice and the used-node set is a
+// linearly scanned slice — the map-based version spent more time hashing
+// than selecting on churn profiles, and with every buffer drawn from sc
+// the common no-swap-possible queue pop allocates nothing.
+func greedyDisjoint(sc *enumScratch, cliques [][]int32) [][]int32 {
 	if len(cliques) == 0 {
 		return nil
 	}
-	local := map[int32]int64{}
+	all := sc.gdNodes[:0]
 	for _, c := range cliques {
-		for _, u := range c {
-			local[u]++
+		all = append(all, c...)
+	}
+	slices.Sort(all)
+	sc.gdNodes = all
+	multiplicity := func(u int32) int64 {
+		i := graph.LowerBound(all, u)
+		j := i
+		for j < len(all) && all[j] == u {
+			j++
 		}
+		return int64(j - i)
 	}
-	type entry struct {
-		idx   int
-		score int64
-	}
-	entries := make([]entry, len(cliques))
+	entries := sc.gdEntries[:0]
 	for i, c := range cliques {
 		var s int64
 		for _, u := range c {
-			s += local[u]
+			s += multiplicity(u)
 		}
-		entries[i] = entry{idx: i, score: s}
+		entries = append(entries, gdEntry{idx: i, score: s})
 	}
-	slices.SortFunc(entries, func(a, b entry) int {
+	sc.gdEntries = entries
+	slices.SortFunc(entries, func(a, b gdEntry) int {
 		if c := cmp.Compare(a.score, b.score); c != 0 {
 			return c
 		}
 		return cmp.Compare(a.idx, b.idx)
 	})
-	used := map[int32]bool{}
-	var out [][]int32
+	used := all[:0]
+	out := sc.gdOut[:0]
 	for _, en := range entries {
 		c := cliques[en.idx]
 		ok := true
 		for _, u := range c {
-			if used[u] {
+			if slices.Contains(used, u) {
 				ok = false
 				break
 			}
@@ -53,11 +77,10 @@ func greedyDisjoint(cliques [][]int32) [][]int32 {
 		if !ok {
 			continue
 		}
-		for _, u := range c {
-			used[u] = true
-		}
-		out = append(out, append([]int32(nil), c...))
+		used = append(used, c...)
+		out = append(out, c)
 	}
+	sc.gdOut = out
 	return out
 }
 
@@ -82,15 +105,21 @@ func (e *Engine) trySwap(q []int32) {
 		if _, ok := e.cliques[cid]; !ok {
 			continue // removed by an earlier swap
 		}
-		ids := e.candidateIDsOfOwner(cid)
-		if len(ids) < 2 {
+		own := e.candsByOwn[cid]
+		if own == nil || own.size() < 2 {
 			continue // |S_dis| > 1 is impossible
 		}
-		lists := make([][]int32, len(ids))
-		for i, id := range ids {
-			lists[i] = e.cands[id].nodes
+		// Stage ids and member-list pointers in the engine scratch instead
+		// of fresh slices; queue pops that find nothing to swap are the
+		// common case.
+		ids := append(e.esc.swapIDs[:0], own.ids()...)
+		e.esc.swapIDs = ids
+		lists := e.esc.swapLists[:0]
+		for _, id := range ids {
+			lists = append(lists, e.cands[id].nodes)
 		}
-		sdis := greedyDisjoint(lists)
+		e.esc.swapLists = lists
+		sdis := greedyDisjoint(e.esc, lists)
 		if len(sdis) <= 1 {
 			continue
 		}
@@ -108,12 +137,10 @@ func (e *Engine) executeSwap(cid int32, sdis [][]int32) []int32 {
 	// that runs against a half-applied S could "repair" an all-free clique
 	// that overlaps a replacement not yet installed.
 	newIDs := make([]int32, 0, len(sdis))
-	consumed := map[int32]bool{}
+	consumed := make([]int32, 0, len(sdis)*len(members))
 	for _, c := range sdis {
 		newIDs = append(newIDs, e.installClique(c))
-		for _, u := range c {
-			consumed[u] = true
-		}
+		consumed = append(consumed, c...)
 	}
 	for _, id := range newIDs {
 		e.indexClique(id)
@@ -122,7 +149,7 @@ func (e *Engine) executeSwap(cid int32, sdis [][]int32) []int32 {
 	// now; owners adjacent to them may gain candidates.
 	var freed []int32
 	for _, u := range members {
-		if !consumed[u] {
+		if !slices.Contains(consumed, u) {
 			freed = append(freed, u)
 		}
 	}

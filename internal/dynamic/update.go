@@ -145,8 +145,8 @@ func (e *Engine) dissolveAndRepack(cid int32) {
 	// greedyDisjoint keeps them mutually disjoint; a defensive re-check
 	// guards cliquehood and freeness (earlier additions consume nodes).
 	newIDs := make([]int32, 0, 2)
-	consumed := map[int32]bool{}
-	for _, c := range greedyDisjoint(lists) {
+	var consumed []int32
+	for _, c := range greedyDisjoint(e.esc, lists) {
 		allFree := true
 		for _, w := range c {
 			if e.nodeClique[w] != free {
@@ -158,9 +158,7 @@ func (e *Engine) dissolveAndRepack(cid int32) {
 			continue
 		}
 		newIDs = append(newIDs, e.installClique(c))
-		for _, w := range c {
-			consumed[w] = true
-		}
+		consumed = append(consumed, c...)
 	}
 	for _, id := range newIDs {
 		e.indexClique(id)
@@ -169,7 +167,7 @@ func (e *Engine) dissolveAndRepack(cid int32) {
 	// Former members that stayed free may enable candidates elsewhere.
 	var freed []int32
 	for _, w := range members {
-		if !consumed[w] {
+		if !slices.Contains(consumed, w) {
 			freed = append(freed, w)
 		}
 	}

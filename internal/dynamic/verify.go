@@ -125,7 +125,10 @@ func (e *Engine) Verify() error {
 			return fmt.Errorf("candidate %d has %d free nodes of %d", id, nFree, e.k)
 		}
 		// Index cross-references.
-		if got, ok := e.candDedup.lookup(c.nodes); !ok || got != id {
+		if c.digest != hashNodes(c.nodes) {
+			return fmt.Errorf("candidate %d carries stale digest", id)
+		}
+		if got, ok := e.candDedup.lookup(c.nodes, c.digest); !ok || got != c {
 			return fmt.Errorf("candidate %d missing from dedup index", id)
 		}
 		if own := e.candsByOwn[c.owner]; own == nil || !own.has(id) {

@@ -10,13 +10,21 @@ import (
 	"repro/internal/workload"
 )
 
-// seedEngine runs static LP and wraps the result in a dynamic engine.
+// seedEngine runs static LP and wraps the result in a dynamic engine,
+// honouring the -unified=off ablation.
 func seedEngine(g *graph.Graph, k int, cfg *Config) (*dynamic.Engine, error) {
 	res, err := core.Find(g, core.Options{K: k, Algorithm: core.LP, Workers: cfg.Workers, Budget: cfg.Budget})
 	if err != nil {
 		return nil, err
 	}
-	return dynamic.NewWorkers(g, k, res.Cliques, cfg.Workers)
+	e, err := dynamic.NewWorkers(g, k, res.Cliques, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.DisableUnified {
+		e.DisableUnifiedFastPath()
+	}
+	return e, nil
 }
 
 // Table7 prints indexing time and index size (#candidate cliques) per
@@ -234,7 +242,11 @@ func UpdateThroughput(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(cfg.Out, "Update throughput: mixed-workload ns per update")
+	mode := "unified=on"
+	if cfg.DisableUnified {
+		mode = "unified=off"
+	}
+	fmt.Fprintf(cfg.Out, "Update throughput: mixed-workload ns per update (%s)\n", mode)
 	tw := newTab(cfg.Out)
 	fmt.Fprintln(tw, "Dataset\tk\tsingle-op\tbatched(128)")
 	for _, name := range cfg.Datasets {

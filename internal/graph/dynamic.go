@@ -1,7 +1,5 @@
 package graph
 
-import "slices"
-
 // Dynamic is a mutable undirected graph sharing the dense int32 node-id
 // space with Graph; the dynamic engine in internal/dynamic builds one from
 // the static graph it starts from.
@@ -95,8 +93,7 @@ func (d *Dynamic) HasEdge(u, v int32) bool {
 	if len(d.adj[u]) > len(d.adj[v]) {
 		u, v = v, u
 	}
-	_, found := slices.BinarySearch(d.adj[u], v)
-	return found
+	return SortedContains(d.adj[u], v)
 }
 
 // insertSorted places v at its sorted position in row. When the row is out
@@ -127,7 +124,7 @@ func insertSorted(row []int32, i int, v int32) []int32 {
 // deleteSorted removes v from row (which must contain it), keeping order
 // and capacity.
 func deleteSorted(row []int32, v int32) []int32 {
-	i, _ := slices.BinarySearch(row, v)
+	i := LowerBound(row, v)
 	copy(row[i:], row[i+1:])
 	return row[:len(row)-1]
 }
@@ -138,11 +135,11 @@ func (d *Dynamic) InsertEdge(u, v int32) bool {
 	if u == v {
 		return false
 	}
-	iu, found := slices.BinarySearch(d.adj[u], v)
-	if found {
+	iu := LowerBound(d.adj[u], v)
+	if iu < len(d.adj[u]) && d.adj[u][iu] == v {
 		return false
 	}
-	iv, _ := slices.BinarySearch(d.adj[v], u)
+	iv := LowerBound(d.adj[v], u)
 	d.adj[u] = insertSorted(d.adj[u], iu, v)
 	d.adj[v] = insertSorted(d.adj[v], iv, u)
 	d.m++
@@ -251,10 +248,21 @@ func (d *Dynamic) IsClique(nodes []int32) bool {
 // sorted ascending and duplicate-free; dst must not alias them. This is the
 // merge-scan primitive the clique enumerators use against the flat rows;
 // neighbourhood rows are short, so a plain merge (with one range-overlap
-// pre-check) beats galloping.
+// pre-check) beats galloping — except at the very front: the unified
+// enumeration core intersects a full candidate set against out-rows whose
+// smallest id sits deep inside it, so the disjoint prefix is skipped with
+// one binary search instead of element-by-element.
 func IntersectSorted(dst, a, b []int32) []int32 {
 	if len(a) == 0 || len(b) == 0 || a[0] > b[len(b)-1] || b[0] > a[len(a)-1] {
 		return dst
+	}
+	// Long disjoint prefixes are skipped with one binary search; short
+	// slices stay on the plain scan, which beats the search's unpredictable
+	// branches at neighbourhood-row sizes.
+	if a[0] < b[0] && len(a) >= 32 {
+		a = a[LowerBound(a, b[0]):]
+	} else if b[0] < a[0] && len(b) >= 32 {
+		b = b[LowerBound(b, a[0]):]
 	}
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
@@ -271,4 +279,28 @@ func IntersectSorted(dst, a, b []int32) []int32 {
 		}
 	}
 	return dst
+}
+
+// LowerBound returns the index of the first element of s >= x (len(s) if
+// none). Hand-rolled and exported: the generic slices.BinarySearch costs
+// measurably more in the row-probe and id-set inner loops the dynamic
+// layers run per update, and those searches add up to whole percents of
+// the churn profile.
+func LowerBound(s []int32, x int32) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// SortedContains reports whether the ascending slice s contains x.
+func SortedContains(s []int32, x int32) bool {
+	i := LowerBound(s, x)
+	return i < len(s) && s[i] == x
 }

@@ -14,7 +14,6 @@ package graph
 import (
 	"fmt"
 	"slices"
-	"sort"
 )
 
 // Graph is an immutable undirected graph in CSR (compressed sparse row)
@@ -51,9 +50,7 @@ func (g *Graph) HasEdge(u, v int32) bool {
 	if g.Degree(u) > g.Degree(v) {
 		u, v = v, u
 	}
-	nb := g.Neighbors(u)
-	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= v })
-	return i < len(nb) && nb[i] == v
+	return SortedContains(g.Neighbors(u), v)
 }
 
 // MaxDegree returns the maximum node degree, or 0 for an empty graph.

@@ -23,12 +23,17 @@ type Scratch struct {
 	stack []int32   // current partial clique
 	best  []int32   // best clique found by FindMin
 
-	// mark/epoch implement the stamped-intersection fast path for
-	// high-degree roots (see ForEach): mark[v] == epoch means v is in the
-	// root's out-neighbourhood. Sized lazily to the graph's node count on
-	// first use, so the cheap merge-only paths never pay for it.
+	// mark/epoch implement the stamped-intersection fast path for large
+	// candidate sets (see forEachFrom): mark[v] == epoch means v is in the
+	// current first-level candidate set. Sized lazily to the view's node
+	// count on first use, so the cheap merge-only paths never pay for it.
 	mark  []uint32
 	epoch uint32
+
+	// NoStamp disables the stamped-intersection fast path, forcing every
+	// level onto the pure merge scan. Ablation knob (cmd/experiments
+	// -unified=off); results are identical either way.
+	NoStamp bool
 }
 
 // NewScratch returns scratch space for searches up to depth k in a graph
@@ -88,12 +93,15 @@ func filterValid(dst, src []int32, valid []bool) []int32 {
 	return dst
 }
 
-// stampRootDegree is the out-degree above which ForEach switches the first
-// recursion level to the stamped intersection: the merge path costs
-// O(outdeg(root) + outdeg(v)) per child v, while stamping the root's
-// out-neighbourhood once turns each child into an O(outdeg(v)) filter scan.
-// The win only materialises when the root neighbourhood is large; small
-// roots stay on the pure merge path and never touch the mark array.
+// stampRootDegree is the first-level candidate-set size above which
+// forEachFrom switches to the stamped intersection: the merge path costs
+// O(|cand| + outdeg(v)) per member v, while stamping the candidate set
+// once turns each member into an O(outdeg(v)) filter scan. The win only
+// materialises when the candidate set is large; small sets stay on the
+// pure merge path and never touch the mark array. The same threshold
+// serves both substrates — for a static DAG root the candidate set is the
+// root's out-neighbourhood, for the dynamic engine it is a common
+// neighbourhood or a clique's free surroundings.
 const stampRootDegree = 64
 
 // ForEach calls fn once for every k-clique of the DAG. The clique slice is
@@ -103,55 +111,103 @@ func ForEach(d *graph.DAG, k int, fn func(clique []int32) bool) {
 	if k < 2 {
 		return
 	}
-	sc := NewScratch(k, d.G.MaxDegree())
+	sc := GetScratch(k, d.G.MaxDegree())
+	defer PutScratch(sc)
 	n := d.N()
 	for u := int32(0); int(u) < n; u++ {
-		if d.OutDegree(u) < k-1 {
+		out := d.Out(u)
+		if len(out) < k-1 {
 			continue
 		}
 		sc.stack = append(sc.stack[:0], u)
-		out := d.Out(u)
-		if k >= 3 && len(out) >= stampRootDegree {
-			if !forEachStampedRoot(d, k, out, sc, fn) {
-				return
-			}
-			continue
-		}
-		cand := append(sc.level(k-1), out...)
-		if !forEachRec(d, k-1, cand, sc, fn) {
+		if !forEachFrom(d, k-1, out, sc, fn) {
 			return
 		}
 	}
 }
 
-// forEachStampedRoot runs the first recursion level of a high-degree root
-// with the root's out-neighbourhood stamped into the mark array: the
-// candidate set for each child v is the stamped filter of Out(v) — sorted
-// output for free, no merge against the (large) root neighbourhood. Deeper
-// levels fall back to forEachRec, whose candidate sets shrink fast. Only
-// the root level stamps, so a single epoch per root suffices (nested
-// stamping would invalidate the parent's marks mid-loop).
-func forEachStampedRoot(d *graph.DAG, k int, out []int32, sc *Scratch, fn func([]int32) bool) bool {
-	sc.beginStamp(d.N())
-	for _, w := range out {
+// ForEachAmong is the unified enumeration entry point shared by the
+// static enumerators above and the dynamic engine's adapters: it calls fn
+// once for every clique of the form prefix ∪ X with |X| = l and X drawn
+// from cand, under the orientation of the view. cand must be sorted
+// ascending, duplicate-free, and closed under the prefix (every member
+// adjacent to every prefix node); the enumeration intersects it with the
+// view's adjacency only, so all emitted members stay inside cand. The
+// clique slice passed to fn is reused between calls (prefix first, then X
+// in the view's root-first order); fn must copy it to retain it and may
+// return false to stop. Reports whether the enumeration ran to
+// completion.
+//
+// prefix may be empty (enumerate all l-cliques within cand) and l may be
+// 0 (emit the prefix itself). Large candidate sets take the same stamped
+// first level as high-degree static roots, so every substrate shares one
+// fast path.
+func ForEachAmong(v graph.View, prefix []int32, l int, cand []int32, sc *Scratch, fn func(clique []int32) bool) bool {
+	sc.stack = append(sc.stack[:0], prefix...)
+	if l == 0 {
+		return fn(sc.stack)
+	}
+	return forEachFrom(v, l, cand, sc, fn)
+}
+
+// forEachFrom extends sc.stack by l more members drawn from cand,
+// dispatching the first level to the stamped filter when the candidate
+// set is large enough to pay for it. Returns false to abort.
+func forEachFrom(v graph.View, l int, cand []int32, sc *Scratch, fn func([]int32) bool) bool {
+	if len(cand) < l {
+		return true
+	}
+	if l >= 2 && len(cand) >= stampRootDegree && !sc.NoStamp {
+		return forEachStamped(v, l, cand, sc, fn)
+	}
+	return forEachRec(v, v.IdOrdered(), l, cand, sc, fn)
+}
+
+// forEachStamped runs the first recursion level of a large candidate set
+// with the set stamped into the mark array: the candidate set for each
+// member c is the stamped filter of c's adjacency — sorted output for
+// free, no merge against the (large) first-level set. Deeper levels fall
+// back to forEachRec, whose candidate sets shrink fast. Only the first
+// level stamps, so a single epoch per call suffices (nested stamping
+// would invalidate the parent's marks mid-loop).
+func forEachStamped(v graph.View, l int, cand []int32, sc *Scratch, fn func([]int32) bool) bool {
+	idOrd := v.IdOrdered()
+	sc.beginStamp(v.N())
+	for _, w := range cand {
 		sc.stamp(w)
 	}
-	for _, v := range out {
-		if d.OutDegree(v) < k-2 {
+	for i, c := range cand {
+		if idOrd && len(cand)-i < l {
+			break // successors draw from cand[i+1:] only — too few left
+		}
+		adj := v.Adj(c)
+		if len(adj) < l-1 {
 			continue
 		}
-		next := sc.level(k - 2)
-		for _, w := range d.Out(v) {
-			if sc.stamped(w) {
-				next = append(next, w)
+		next := sc.level(l - 1)
+		if idOrd {
+			// Id-oriented adjacency rows are unrestricted; the w > c test
+			// imposes the orientation the stamped filter would otherwise
+			// lose (stamps cover the whole candidate set, before and after
+			// c's position).
+			for _, w := range adj {
+				if w > c && sc.stamped(w) {
+					next = append(next, w)
+				}
+			}
+		} else {
+			for _, w := range adj {
+				if sc.stamped(w) {
+					next = append(next, w)
+				}
 			}
 		}
-		sc.cand[k-2] = next
-		if len(next) < k-2 {
+		sc.cand[l-1] = next
+		if len(next) < l-1 {
 			continue
 		}
-		sc.stack = append(sc.stack, v)
-		ok := forEachRec(d, k-2, next, sc, fn)
+		sc.stack = append(sc.stack, c)
+		ok := forEachRec(v, idOrd, l-1, next, sc, fn)
 		sc.stack = sc.stack[:len(sc.stack)-1]
 		if !ok {
 			return false
@@ -161,10 +217,15 @@ func forEachStampedRoot(d *graph.DAG, k int, out []int32, sc *Scratch, fn func([
 }
 
 // forEachRec enumerates l more nodes from cand. Returns false to abort.
-func forEachRec(d *graph.DAG, l int, cand []int32, sc *Scratch, fn func([]int32) bool) bool {
+// idOrd is the view's orientation discipline, hoisted out of the
+// recursion so it costs one interface call per enumeration, not one per
+// node.
+func forEachRec(v graph.View, idOrd bool, l int, cand []int32, sc *Scratch, fn func([]int32) bool) bool {
 	if l == 1 {
-		for _, v := range cand {
-			sc.stack = append(sc.stack, v)
+		// Every candidate is adjacent to the whole stack by construction,
+		// so each one completes a clique — no intersection needed.
+		for _, c := range cand {
+			sc.stack = append(sc.stack, c)
 			ok := fn(sc.stack)
 			sc.stack = sc.stack[:len(sc.stack)-1]
 			if !ok {
@@ -176,24 +237,36 @@ func forEachRec(d *graph.DAG, l int, cand []int32, sc *Scratch, fn func([]int32)
 	if len(cand) < l {
 		return true
 	}
-	for _, v := range cand {
-		// No positional early-break here: cand is sorted by node id while
-		// the DAG's edges point towards strictly smaller *rank*, so a clique
-		// through v may continue with ids that precede v in cand. (The
-		// among-B enumerator in internal/dynamic breaks out of its loop once
-		// too few candidates follow v, but its recursion only draws from
-		// cand[i+1:]; here the intersection with Out(v) is what guarantees
-		// each clique is emitted exactly once, rooted at its highest-rank
-		// member.)
-		if d.OutDegree(v) < l-1 {
+	for i, c := range cand {
+		// Successor restriction depends on the orientation discipline. An
+		// id-ordered view draws successors from cand[i+1:] — the slice IS
+		// the orientation, so the positional break and the shrunken merge
+		// are sound and free. An explicitly oriented view (rank order)
+		// may continue a clique with ids that precede c in cand, so the
+		// full set must be intersected and no positional pruning is
+		// possible; there the orientation lives in Adj (the out-row),
+		// which guarantees each clique is emitted exactly once, rooted at
+		// the member every other one points away from.
+		rest := cand
+		if idOrd {
+			if len(cand)-i < l {
+				break // not enough nodes left
+			}
+			rest = cand[i+1:]
+		}
+		adj := v.Adj(c)
+		if len(adj) < l-1 {
 			continue
 		}
-		next := intersect(sc.level(l-1), cand, d.Out(v))
+		next := intersect(sc.level(l-1), rest, adj)
+		// Store the (possibly grown) buffer back so substrates without a
+		// pre-sized maxOut reach their allocation-free steady state.
+		sc.cand[l-1] = next
 		if len(next) < l-1 {
 			continue
 		}
-		sc.stack = append(sc.stack, v)
-		if !forEachRec(d, l-1, next, sc, fn) {
+		sc.stack = append(sc.stack, c)
+		if !forEachRec(v, idOrd, l-1, next, sc, fn) {
 			return false
 		}
 		sc.stack = sc.stack[:len(sc.stack)-1]

@@ -92,7 +92,8 @@ func ParallelRoots(d *graph.DAG, k, workers int, visit func(worker int, root int
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			sc := NewScratch(k, maxOut)
+			sc := GetScratch(k, maxOut)
+			defer PutScratch(sc)
 			for {
 				u := int32(next.Add(1) - 1)
 				if int(u) >= n || aborted.Load() {
@@ -126,17 +127,11 @@ func ParallelForEach(d *graph.DAG, k, workers int, fn func(worker int, clique []
 		return true
 	}
 	return ParallelRoots(d, k, workers, func(worker int, u int32, sc *Scratch) bool {
+		// Same unified core as the serial enumerator (incl. the stamped
+		// fast path for high-degree roots); the mark array lives in the
+		// per-worker Scratch, so roots stamp independently.
 		sc.stack = append(sc.stack[:0], u)
-		out := d.Out(u)
-		emit := func(c []int32) bool { return fn(worker, c) }
-		if k >= 3 && len(out) >= stampRootDegree {
-			// Same stamped fast path as the serial enumerator; the mark
-			// array lives in the per-worker Scratch, so roots stamp
-			// independently.
-			return forEachStampedRoot(d, k, out, sc, emit)
-		}
-		cand := append(sc.level(k-1), out...)
-		return forEachRec(d, k-1, cand, sc, emit)
+		return forEachFrom(d, k-1, d.Out(u), sc, func(c []int32) bool { return fn(worker, c) })
 	})
 }
 

@@ -56,9 +56,15 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Stats counts service activity. All fields are cumulative.
+// Stats counts service activity. All fields are cumulative and, in the
+// absence of failed Enqueue attempts, monotone.
 type Stats struct {
-	// Enqueued counts ops accepted by Enqueue.
+	// Enqueued counts ops accepted by Enqueue. An Enqueue blocked on a
+	// full queue counts its ops tentatively and takes the count back if
+	// the context is cancelled (or the service closes) before acceptance,
+	// so Enqueued can step back by exactly a failed call's op count —
+	// but never below Applied, because rolled-back ops were never visible
+	// to the writer.
 	Enqueued uint64
 	// Applied counts ops the writer handed to the engine (every enqueued
 	// op is applied exactly once, so Applied trails Enqueued by the queue
@@ -140,8 +146,10 @@ func (s *Service) run(maxBatch int) {
 		}
 		buf = buf[:0]
 		for _, f := range pendingFlush {
-			close(f)
+			// Count before waking the flusher: a caller returning from
+			// Flush must observe its own flush in Stats.
 			s.flushes.Add(1)
+			close(f)
 		}
 		pendingFlush = pendingFlush[:0]
 	}
@@ -208,13 +216,21 @@ func (s *Service) Enqueue(ctx context.Context, ops ...workload.Op) error {
 		return ErrClosed
 	default:
 	}
+	// Count before the send, not after: the writer may pick the ops up and
+	// apply them before a post-send Add runs, and Stats must never show
+	// Applied ahead of Enqueued (the documented backlog relation). A
+	// failed send takes the count back, so a cancelled Enqueue leaves no
+	// phantom ops behind — the transient over-count while the attempt is
+	// in flight is harmless because those ops cannot have been applied.
+	s.enqueued.Add(uint64(len(ops)))
 	select {
 	case s.in <- item{ops: ops}:
-		s.enqueued.Add(uint64(len(ops)))
 		return nil
 	case <-ctx.Done():
+		s.enqueued.Add(^uint64(len(ops) - 1))
 		return ctx.Err()
 	case <-s.done:
+		s.enqueued.Add(^uint64(len(ops) - 1))
 		return ErrClosed
 	}
 }
@@ -283,12 +299,20 @@ func (s *Service) K() int { return s.k }
 
 // Stats returns the service's activity counters. The engine's own
 // counters travel with each snapshot (Snapshot().Stats()).
+//
+// The counters are written with atomics and causally ordered: an op is
+// counted in Enqueued before the writer can see it, Applied advances only
+// after that, and Changed only with Applied. Loading them here in the
+// reverse of that order makes the documented relations (Changed <=
+// Applied <= Enqueued) hold in every returned snapshot even while
+// updates land between the individual loads — the naive same-order reads
+// could observe Applied ahead of Enqueued under concurrent traffic.
 func (s *Service) Stats() Stats {
-	return Stats{
-		Enqueued: s.enqueued.Load(),
-		Applied:  s.applied.Load(),
-		Changed:  s.changed.Load(),
-		Batches:  s.batches.Load(),
-		Flushes:  s.flushes.Load(),
-	}
+	var st Stats
+	st.Flushes = s.flushes.Load()
+	st.Batches = s.batches.Load()
+	st.Changed = s.changed.Load()
+	st.Applied = s.applied.Load()
+	st.Enqueued = s.enqueued.Load()
+	return st
 }

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/workload"
+)
+
+// TestStatsDuringTraffic hammers Stats from several goroutines while
+// others drive Enqueue/Flush traffic, under -race in CI. It pins the
+// synchronization contract of the counters: every read is safe, each
+// counter is monotone, and the documented relations hold at every
+// observation — Applied never runs ahead of Enqueued (ops are counted
+// before the writer can see them) and a caller returning from Flush
+// observes its own flush. Every Enqueue here succeeds; a cancelled
+// Enqueue may legitimately take back its tentative count (see the
+// Stats.Enqueued doc), which is the one exception to monotonicity.
+func TestStatsDuringTraffic(t *testing.T) {
+	g := gen.CommunitySocial(2000, 8, 0.2, 4000, 5)
+	s := newService(t, g, Options{QueueCapacity: 64, MaxBatch: 128})
+	defer s.Close()
+
+	ctx := context.Background()
+	ops := workload.Mixed(g, 500, 9).Stream
+	var stop atomic.Bool
+	var writers, readers sync.WaitGroup
+
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 200; i++ {
+				batch := ops[(w*37+i*3)%(len(ops)-4) : (w*37+i*3)%(len(ops)-4)+4]
+				if err := s.Enqueue(ctx, batch...); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%50 == 49 {
+					if err := s.Flush(ctx); err != nil {
+						t.Error(err)
+						return
+					}
+					if got := s.Stats().Flushes; got == 0 {
+						t.Error("completed Flush not visible in Stats")
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var prev Stats
+			for !stop.Load() {
+				st := s.Stats()
+				if st.Applied > st.Enqueued {
+					t.Errorf("Applied %d ahead of Enqueued %d", st.Applied, st.Enqueued)
+					return
+				}
+				if st.Changed > st.Applied {
+					t.Errorf("Changed %d ahead of Applied %d", st.Changed, st.Applied)
+					return
+				}
+				if st.Enqueued < prev.Enqueued || st.Applied < prev.Applied ||
+					st.Changed < prev.Changed || st.Batches < prev.Batches ||
+					st.Flushes < prev.Flushes {
+					t.Errorf("counter went backwards: %+v -> %+v", prev, st)
+					return
+				}
+				prev = st
+			}
+		}()
+	}
+
+	writers.Wait()
+	if err := s.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	stop.Store(true)
+	readers.Wait()
+
+	st := s.Stats()
+	const want = 4 * 200 * 4
+	if st.Enqueued != want {
+		t.Fatalf("Enqueued = %d, want %d", st.Enqueued, want)
+	}
+	if st.Applied != want {
+		t.Fatalf("Applied = %d, want %d (all enqueued ops applied after Flush)", st.Applied, want)
+	}
+}

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# benchgate.sh BASE.txt PR.txt [MAX_REGRESSION_PCT] [BENCH_NAME]
+#
+# Minimal benchstat-style regression gate: extracts the ns/op samples of
+# one benchmark from two `go test -bench` outputs, compares their medians,
+# and fails when the PR median regresses past the threshold. Medians over
+# several -count repetitions keep a single noisy sample (CI neighbours,
+# GC pause) from failing or passing the gate on its own.
+set -euo pipefail
+
+base_file=$1
+pr_file=$2
+max_pct=${3:-15}
+bench=${4:-BenchmarkDynamicUpdate}
+
+median() {
+    # Prints the median ns/op of the named benchmark in a bench output.
+    awk -v bench="$bench" '
+        $1 ~ "^"bench"(-[0-9]+)?$" && $4 == "ns/op" { v[n++] = $3 }
+        END {
+            if (n == 0) { print "NA"; exit }
+            # insertion sort: counts are tiny
+            for (i = 1; i < n; i++) {
+                x = v[i]
+                for (j = i - 1; j >= 0 && v[j] > x; j--) v[j+1] = v[j]
+                v[j+1] = x
+            }
+            if (n % 2) print v[(n-1)/2]
+            else printf "%.2f\n", (v[n/2-1] + v[n/2]) / 2
+        }' "$1"
+}
+
+base_ns=$(median "$base_file")
+pr_ns=$(median "$pr_file")
+
+if [ "$base_ns" = "NA" ] || [ "$pr_ns" = "NA" ]; then
+    echo "benchgate: $bench not found in input (base=$base_ns pr=$pr_ns)" >&2
+    exit 2
+fi
+
+echo "benchgate: $bench median ns/op: base=$base_ns pr=$pr_ns (limit +$max_pct%)"
+awk -v b="$base_ns" -v p="$pr_ns" -v m="$max_pct" 'BEGIN {
+    delta = (p - b) / b * 100
+    printf "benchgate: delta %+.1f%%\n", delta
+    exit (delta > m) ? 1 : 0
+}' || { echo "benchgate: FAIL — $bench regressed more than $max_pct%" >&2; exit 1; }
+echo "benchgate: OK"
