@@ -9,6 +9,15 @@
 //	dkserver -k 4 -alg LP -input graph.txt -addr :8080
 //	dkserver -k 3 -dataset HST
 //	dkserver -k 3 -gen 10000,20000,1        # synthetic community graph
+//	dkserver -k 3 -gen 10000,20000,1 -data /var/lib/dkclique
+//
+// With -data, the service is durable: updates are written ahead to a log
+// under the directory and the engine state is checkpointed periodically
+// and on shutdown. When the directory already holds a store, dkserver
+// ignores the graph flags and resumes the persisted state (checkpoint +
+// WAL replay) instead of re-solving. SIGINT/SIGTERM trigger a graceful
+// shutdown: the listener drains in-flight requests, the update queue
+// drains into the engine, and a final checkpoint lands before exit.
 //
 // Endpoints (JSON):
 //
@@ -19,14 +28,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	dkclique "repro"
@@ -43,46 +56,124 @@ func main() {
 		workers   = flag.Int("workers", 0, "engine worker goroutines (0 = GOMAXPROCS)")
 		queueCap  = flag.Int("queue", 0, "update queue capacity (0 = default)")
 		maxBatch  = flag.Int("batch", 0, "max ops coalesced per engine batch (0 = default)")
+		dataDir   = flag.String("data", "", "durable store directory (WAL + checkpoints); empty = in-memory")
+		fsyncMode = flag.String("fsync", "batch", `WAL sync policy with -data: "batch" or "none"`)
+		ckptEvery = flag.Int("checkpoint", 0, "applied ops between checkpoints with -data (0 = default)")
+		maxOps    = flag.Int("maxops", 8192, "maximum ops accepted per /update request")
+		maxBody   = flag.Int64("maxbody", 1<<20, "maximum /update request body bytes")
+		drain     = flag.Duration("drain", 15*time.Second, "graceful-shutdown timeout for in-flight requests")
 	)
 	flag.Parse()
 
-	g, err := loadGraph(*inputPath, *dsName, *genSpec)
-	if err != nil {
-		fatal(err)
+	var policy dkclique.FsyncPolicy
+	switch *fsyncMode {
+	case "batch":
+		policy = dkclique.FsyncEveryBatch
+	case "none":
+		policy = dkclique.FsyncNone
+	default:
+		fatal(fmt.Errorf(`-fsync wants "batch" or "none", got %q`, *fsyncMode))
 	}
-	log.Printf("graph: n=%d m=%d", g.N(), g.M())
+	opts := dkclique.ServiceOptions{
+		Workers:         *workers,
+		QueueCapacity:   *queueCap,
+		MaxBatch:        *maxBatch,
+		Dir:             *dataDir,
+		Fsync:           policy,
+		CheckpointEvery: *ckptEvery,
+	}
 
-	alg, err := dkclique.ParseAlgorithm(*algName)
-	if err != nil {
-		fatal(err)
+	var svc *dkclique.Service
+	if *dataDir != "" && dkclique.StoreExists(*dataDir) {
+		log.Printf("resuming store in %s", *dataDir)
+		start := time.Now()
+		s, err := dkclique.OpenService(*dataDir, opts)
+		if err != nil {
+			fatal(err)
+		}
+		svc = s
+		snap := svc.Snapshot()
+		st := svc.Stats()
+		log.Printf("recovered: n=%d m=%d |S|=%d version=%d (replayed %d ops) in %s",
+			snap.N(), snap.M(), snap.Size(), snap.Version(), st.Recovered,
+			time.Since(start).Round(time.Millisecond))
+	} else {
+		g, err := loadGraph(*inputPath, *dsName, *genSpec)
+		if err != nil {
+			fatal(err)
+		}
+		log.Printf("graph: n=%d m=%d", g.N(), g.M())
+		alg, err := dkclique.ParseAlgorithm(*algName)
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		res, err := dkclique.Find(g, dkclique.Options{K: *k, Algorithm: alg, Workers: *workers})
+		if err != nil {
+			fatal(err)
+		}
+		log.Printf("initial solve: |S|=%d in %s", res.Size(), time.Since(start).Round(time.Millisecond))
+		svc, err = dkclique.NewService(g, *k, res.Cliques, opts)
+		if err != nil {
+			fatal(err)
+		}
+		if *dataDir != "" {
+			log.Printf("durable store initialised in %s (fsync=%s)", *dataDir, *fsyncMode)
+		}
 	}
-	start := time.Now()
-	res, err := dkclique.Find(g, dkclique.Options{K: *k, Algorithm: alg, Workers: *workers})
-	if err != nil {
-		fatal(err)
-	}
-	log.Printf("initial solve: |S|=%d in %s", res.Size(), time.Since(start).Round(time.Millisecond))
 
-	svc, err := dkclique.NewService(g, *k, res.Cliques, dkclique.ServiceOptions{
-		Workers:       *workers,
-		QueueCapacity: *queueCap,
-		MaxBatch:      *maxBatch,
-	})
-	if err != nil {
-		fatal(err)
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: newHandler(svc, svc.Snapshot().N(), limits{maxOps: *maxOps, maxBody: *maxBody}),
+		// Bounded timeouts so a slow or hostile peer (slowloris drip-feeds,
+		// abandoned connections) cannot pin handler goroutines forever.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
-	defer svc.Close()
 
-	log.Printf("serving on %s", *addr)
-	if err := http.ListenAndServe(*addr, newHandler(svc, g.N())); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("serving on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		svc.Close()
 		fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal behaviour: a second signal kills
+		log.Printf("signal received; draining connections (limit %s)", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("listener shutdown: %v", err)
+		}
+		// Close drains the update queue into the engine and, with -data,
+		// writes the final checkpoint — nothing accepted is lost.
+		if err := svc.Close(); err != nil {
+			fatal(fmt.Errorf("service close: %w", err))
+		}
+		log.Printf("shutdown complete")
 	}
+}
+
+// limits bounds what a single /update request may carry; both guard the
+// process against hostile or buggy clients (an unbounded body is an OOM
+// lever, an unbounded op list an engine-stall lever).
+type limits struct {
+	maxOps  int
+	maxBody int64
 }
 
 // newHandler builds the HTTP API over a running service. n is the node-id
 // bound used to validate update requests (the engine panics on
 // out-of-range ids by design, so the API rejects them up front).
-func newHandler(svc *dkclique.Service, n int) http.Handler {
+func newHandler(svc *dkclique.Service, n int, lim limits) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /snapshot", func(w http.ResponseWriter, r *http.Request) {
 		snap := svc.Snapshot()
@@ -127,6 +218,10 @@ func newHandler(svc *dkclique.Service, n int) http.Handler {
 			Changed:    st.Changed,
 			Batches:    st.Batches,
 			Flushes:    st.Flushes,
+			Recovered:  st.Recovered,
+			Ckpts:      st.Checkpoints,
+			WALBatches: st.WALBatches,
+			WALBytes:   st.WALBytes,
 			Insertions: es.Insertions,
 			Deletions:  es.Deletions,
 			Swaps:      es.Swaps,
@@ -134,13 +229,30 @@ func newHandler(svc *dkclique.Service, n int) http.Handler {
 		})
 	})
 	mux.HandleFunc("POST /update", func(w http.ResponseWriter, r *http.Request) {
+		// Bound the body before a byte is parsed: a hostile multi-gigabyte
+		// payload must die at the transport, not as a decoded slice.
+		r.Body = http.MaxBytesReader(w, r.Body, lim.maxBody)
 		var req updateRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeError(w, http.StatusBadRequest,
+					fmt.Sprintf("request body exceeds %d bytes", lim.maxBody))
+				return
+			}
+			// Covers malformed JSON and non-integer coordinates alike: the
+			// decoder rejects fractional, out-of-range, and non-numeric
+			// u/v values before they can reach the engine.
 			writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
 			return
 		}
 		if len(req.Ops) == 0 {
 			writeError(w, http.StatusBadRequest, "no ops")
+			return
+		}
+		if len(req.Ops) > lim.maxOps {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("%d ops exceeds the per-request limit of %d", len(req.Ops), lim.maxOps))
 			return
 		}
 		ops := make([]dkclique.Update, len(req.Ops))
@@ -199,6 +311,10 @@ type statsResponse struct {
 	Changed    uint64  `json:"changed"`
 	Batches    uint64  `json:"batches"`
 	Flushes    uint64  `json:"flushes"`
+	Recovered  uint64  `json:"recovered,omitempty"`
+	Ckpts      uint64  `json:"checkpoints,omitempty"`
+	WALBatches uint64  `json:"wal_batches,omitempty"`
+	WALBytes   uint64  `json:"wal_bytes,omitempty"`
 	Insertions int     `json:"insertions"`
 	Deletions  int     `json:"deletions"`
 	Swaps      int     `json:"swaps"`

@@ -7,11 +7,16 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
 	dkclique "repro"
 )
+
+// testLimits mirrors the flag defaults, scaled down enough for the limit
+// tests to trip them without multi-megabyte request bodies.
+var testLimits = limits{maxOps: 64, maxBody: 1 << 16}
 
 func testHandler(t *testing.T) (http.Handler, *dkclique.Graph) {
 	t.Helper()
@@ -28,7 +33,7 @@ func testHandler(t *testing.T) (http.Handler, *dkclique.Graph) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { svc.Close() })
-	return newHandler(svc, g.N()), g
+	return newHandler(svc, g.N(), testLimits), g
 }
 
 func getJSON(t *testing.T, srv *httptest.Server, path string, out any) int {
@@ -126,6 +131,119 @@ func TestEndpoints(t *testing.T) {
 	}
 	if _, code := postUpdate(t, srv, `{not json`); code != http.StatusBadRequest {
 		t.Fatalf("bad json status %d", code)
+	}
+}
+
+// TestUpdateLimits checks the hostile-payload guards: fractional ids,
+// oversized op lists, and oversized bodies are all 400s, not engine food.
+func TestUpdateLimits(t *testing.T) {
+	h, _ := testHandler(t)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	if _, code := postUpdate(t, srv, `{"ops":[{"insert":true,"u":1.5,"v":2}]}`); code != http.StatusBadRequest {
+		t.Fatalf("fractional id status %d", code)
+	}
+	if _, code := postUpdate(t, srv, `{"ops":[{"insert":true,"u":1e12,"v":2}]}`); code != http.StatusBadRequest {
+		t.Fatalf("overflowing id status %d", code)
+	}
+
+	var many bytes.Buffer
+	many.WriteString(`{"ops":[`)
+	for i := 0; i <= testLimits.maxOps; i++ {
+		if i > 0 {
+			many.WriteByte(',')
+		}
+		fmt.Fprintf(&many, `{"insert":true,"u":%d,"v":%d}`, i%50, (i+1)%50)
+	}
+	many.WriteString(`]}`)
+	if _, code := postUpdate(t, srv, many.String()); code != http.StatusBadRequest {
+		t.Fatalf("too-many-ops status %d", code)
+	}
+
+	huge := `{"ops":[{"insert":true,"u":1,"v":2}],"pad":"` +
+		strings.Repeat("x", int(testLimits.maxBody)) + `"}`
+	if _, code := postUpdate(t, srv, huge); code != http.StatusBadRequest {
+		t.Fatalf("oversized body status %d", code)
+	}
+}
+
+// TestDurableShutdownRecover is the end-to-end acceptance path: a durable
+// service takes flushed traffic over HTTP, shuts down gracefully, and a
+// restarted server serves the byte-identical recovered state.
+func TestDurableShutdownRecover(t *testing.T) {
+	dir := t.TempDir()
+	g, err := dkclique.Generate(dkclique.CommunitySocial(300, 8, 0.3, 700, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dkclique.Find(g, dkclique.Options{K: 3, Algorithm: dkclique.LP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := dkclique.NewService(g, 3, res.Cliques, dkclique.ServiceOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newHandler(svc, g.N(), testLimits))
+
+	var before snapshotResponse
+	getJSON(t, srv, "/snapshot", &before)
+	c := before.Cliques[0]
+	// A flushed delete plus an unflushed insert: the graceful path must
+	// keep both (Close drains the queue before the final checkpoint).
+	if _, code := postUpdate(t, srv,
+		fmt.Sprintf(`{"ops":[{"insert":false,"u":%d,"v":%d}],"flush":true}`, c[0], c[1])); code != http.StatusAccepted {
+		t.Fatalf("update status %d", code)
+	}
+	if _, code := postUpdate(t, srv,
+		fmt.Sprintf(`{"ops":[{"insert":true,"u":%d,"v":%d}]}`, c[0], c[1])); code != http.StatusAccepted {
+		t.Fatalf("update status %d", code)
+	}
+	// Graceful shutdown: stop the listener, then Close (drain + final
+	// checkpoint) — the same sequence main runs on SIGTERM.
+	srv.Close()
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := svc.Snapshot()
+
+	re, err := dkclique.OpenService(dir, dkclique.ServiceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	srv2 := httptest.NewServer(newHandler(re, re.Snapshot().N(), testLimits))
+	defer srv2.Close()
+
+	var after snapshotResponse
+	if code := getJSON(t, srv2, "/snapshot", &after); code != http.StatusOK {
+		t.Fatalf("recovered /snapshot status %d", code)
+	}
+	if after.Version != want.Version() || after.Size != want.Size() ||
+		after.Nodes != want.N() || after.Edges != want.M() {
+		t.Fatalf("recovered header %+v != pre-shutdown (v=%d size=%d n=%d m=%d)",
+			after, want.Version(), want.Size(), want.N(), want.M())
+	}
+	if len(after.Cliques) != len(want.Cliques()) {
+		t.Fatalf("recovered %d cliques, want %d", len(after.Cliques), len(want.Cliques()))
+	}
+	for i, cl := range want.Cliques() {
+		for j, u := range cl {
+			if after.Cliques[i][j] != u {
+				t.Fatalf("clique %d differs: %v vs %v", i, after.Cliques[i], cl)
+			}
+		}
+	}
+	// The delete was re-inserted before shutdown, so the recovered graph
+	// equals the original and the served set must be valid on it.
+	if err := dkclique.Verify(g, 3, after.Cliques); err != nil {
+		t.Fatalf("recovered set invalid: %v", err)
+	}
+	// The recovered server stays writable.
+	if _, code := postUpdate(t, srv2,
+		fmt.Sprintf(`{"ops":[{"insert":false,"u":%d,"v":%d}],"flush":true}`, c[0], c[1])); code != http.StatusAccepted {
+		t.Fatalf("post-recovery update status %d", code)
 	}
 }
 

@@ -127,6 +127,12 @@ type Engine struct {
 	orderCliques [][]int32
 	snap         atomic.Pointer[Snapshot]
 
+	// ver0 seeds the version counter of the first published snapshot
+	// (ver0 + 1). Zero for fresh engines; LoadCheckpoint sets it so a
+	// recovered engine resumes the persisted version sequence and replayed
+	// updates land on exactly the version numbers they had pre-crash.
+	ver0 uint64
+
 	// nodePages is the currently published paged membership index;
 	// nodeDirty/nodeDirtyB track which pages the updates since the last
 	// publish touched, so publication refreshes only those (snapshot.go).
@@ -172,23 +178,7 @@ func NewWorkers(g *graph.Graph, k int, initial [][]int32, workers int) (*Engine,
 	if k < 3 {
 		return nil, fmt.Errorf("dynamic: k must be >= 3, got %d", k)
 	}
-	n := g.N()
-	e := &Engine{
-		g:           graph.DynamicFrom(g),
-		k:           k,
-		workers:     workers,
-		cliques:     make(map[int32][]int32, len(initial)),
-		nodeClique:  make([]int32, n),
-		cands:       make(map[int32]*candidate),
-		candsByOwn:  make(map[int32]*idSet),
-		candsByNode: make([]idSet, n),
-		esc:         newEnumScratch(k),
-	}
-	e.view = e.g.View()
-	e.candDedup = newCandDedup()
-	for i := range e.nodeClique {
-		e.nodeClique[i] = free
-	}
+	e := newEngineShell(graph.DynamicFrom(g), k, workers)
 	for _, c := range initial {
 		if len(c) != k {
 			return nil, fmt.Errorf("dynamic: initial clique has %d members, want %d", len(c), k)
@@ -218,6 +208,30 @@ func NewWorkers(g *graph.Graph, k int, initial [][]int32, workers int) (*Engine,
 	e.stats.IndexBuild = time.Since(start)
 	e.publish()
 	return e, nil
+}
+
+// newEngineShell builds an engine around an existing dynamic graph with
+// an empty result set and candidate index. Shared by the public
+// constructors and the checkpoint loader.
+func newEngineShell(dg *graph.Dynamic, k, workers int) *Engine {
+	n := dg.N()
+	e := &Engine{
+		g:           dg,
+		k:           k,
+		workers:     workers,
+		cliques:     make(map[int32][]int32),
+		nodeClique:  make([]int32, n),
+		cands:       make(map[int32]*candidate),
+		candsByOwn:  make(map[int32]*idSet),
+		candsByNode: make([]idSet, n),
+		esc:         newEnumScratch(k),
+	}
+	e.view = e.g.View()
+	e.candDedup = newCandDedup()
+	for i := range e.nodeClique {
+		e.nodeClique[i] = free
+	}
+	return e
 }
 
 // completeMaximal extends S with disjoint k-cliques drawn from the free

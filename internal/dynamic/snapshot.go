@@ -228,7 +228,7 @@ func (e *Engine) publish() {
 	prev := e.snap.Load()
 	n, m := e.g.N(), e.g.M()
 	s := e.nextSnapshot()
-	*s = Snapshot{sgen: e.sgen, k: e.k, n: n, m: m, stats: e.stats, version: 1}
+	*s = Snapshot{sgen: e.sgen, k: e.k, n: n, m: m, stats: e.stats, version: e.ver0 + 1}
 	if prev != nil {
 		s.version = prev.version + 1
 	}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/gen"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -58,10 +59,26 @@ func BenchmarkSnapshotRead(b *testing.B) {
 // previous completes (reads answer from the snapshot, writes enqueue to
 // the single writer). ns/op is per client operation.
 func BenchmarkServeMixed(b *testing.B) {
+	benchmarkServeMixed(b, false)
+}
+
+// BenchmarkServeMixedDurable is BenchmarkServeMixed with the write-ahead
+// log on (fsync-off policy), isolating the WAL-append overhead on the
+// write path. CheckpointEvery is pushed out of reach so the rows measure
+// logging, not checkpoint rollovers.
+func BenchmarkServeMixedDurable(b *testing.B) {
+	benchmarkServeMixed(b, true)
+}
+
+func benchmarkServeMixed(b *testing.B, durable bool) {
 	g := gen.CommunitySocial(20000, 10, 0.2, 40000, 17)
 	for _, readFrac := range []float64{0.5, 0.9, 0.99} {
 		b.Run(fmt.Sprintf("reads=%.0f%%", readFrac*100), func(b *testing.B) {
-			s := newService(b, g, Options{})
+			var opt Options
+			if durable {
+				opt = Options{Dir: b.TempDir(), Fsync: wal.SyncNone, CheckpointEvery: 1 << 30}
+			}
+			s := newService(b, g, opt)
 			defer s.Close()
 			ctx := context.Background()
 			streams := workload.ReadWriteClients(g, 16, 4096, readFrac, 31)

@@ -1,0 +1,331 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"syscall"
+
+	"repro/internal/dynamic"
+	"repro/internal/wal"
+	"repro/internal/workload"
+)
+
+// Durable store. When Options.Dir is set, the service fronts its
+// in-memory engine with a write-ahead log and periodic checkpoints so a
+// crash or restart loses nothing that was flushed:
+//
+//   - The writer goroutine appends every drained batch to the WAL
+//     *before* handing it to ApplyBatch; under wal.SyncEveryBatch the
+//     append fsyncs, under wal.SyncNone the sync is deferred to the next
+//     Flush (so Flush returning still means "durable").
+//   - Every CheckpointEvery applied ops — and on Close — the engine state
+//     is checkpointed: the checkpoint is written to a temp file, fsynced,
+//     atomically renamed over checkpoint.dkc, the directory synced, and a
+//     fresh WAL generation started; the previous generation's log is then
+//     deleted. The engine canonicalizes its candidate index at the same
+//     boundary, which is what makes recovery byte-identical (see
+//     dynamic.CanonicalizeIndex).
+//   - Open loads the checkpoint, replays the matching WAL generation's
+//     intact record prefix through ApplyBatch (a torn tail from a crash
+//     mid-append is truncated away), and resumes appending.
+//
+// Store layout inside Dir:
+//
+//	checkpoint.dkc   store header (magic, WAL generation) + engine checkpoint
+//	wal-<gen>.log    the WAL covering updates applied since that checkpoint
+//
+// A WAL failure fail-stops the service: the op that could not be logged is
+// not applied, the error sticks, and every later Enqueue/Flush/Close
+// returns it — an un-logged mutation must never be acked.
+
+// storeMagic heads checkpoint.dkc; the trailing digit is the layout
+// version.
+var storeMagic = [8]byte{'D', 'K', 'C', 'Q', 'S', 'R', 'V', '1'}
+
+// checkpointName is the checkpoint file inside a store directory.
+const checkpointName = "checkpoint.dkc"
+
+// durable is the writer-owned durability state of a Service.
+type durable struct {
+	dir       string
+	policy    wal.SyncPolicy
+	every     int // applied ops between checkpoints
+	log       *wal.Log
+	lock      *os.File // flock-held LOCK file; exclusivity for the store
+	gen       int64
+	sinceCkpt int
+}
+
+// lockStore takes the store's exclusive advisory lock (flock on a LOCK
+// file), so two processes can never append to the same WAL or race
+// checkpoint renames — the second opener fails fast instead of silently
+// corrupting the log mid-file. The lock dies with the process, so a
+// crashed owner never wedges recovery.
+func lockStore(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("serve: store %s is in use by another process: %w", dir, err)
+	}
+	return f, nil
+}
+
+// unlock releases the store lock; idempotent.
+func (d *durable) unlock() {
+	if d.lock != nil {
+		d.lock.Close()
+		d.lock = nil
+	}
+}
+
+func walPath(dir string, gen int64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%d.log", gen))
+}
+
+// StoreExists reports whether dir holds a durable store a previous
+// service created (its checkpoint file is present).
+func StoreExists(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, checkpointName))
+	return err == nil
+}
+
+// syncDir fsyncs a directory so a just-renamed or just-created entry
+// survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// writeCheckpointFile atomically installs a checkpoint of eng, tagged
+// with the WAL generation that will cover updates applied after it.
+func writeCheckpointFile(dir string, gen int64, eng *dynamic.Engine) error {
+	tmp := filepath.Join(dir, "checkpoint.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	// No buffering layer here: WriteCheckpoint buffers internally, and the
+	// two header writes below are one-off.
+	var hdr [16]byte
+	copy(hdr[:8], storeMagic[:])
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(gen))
+	if _, err = f.Write(hdr[:]); err == nil {
+		err = eng.WriteCheckpoint(f)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, checkpointName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// initStore creates a fresh durable store for a newly built engine: an
+// initial checkpoint (generation 1) plus an empty WAL. It refuses to
+// clobber an existing store — Open resumes those.
+func initStore(opt Options, eng *dynamic.Engine) (*durable, error) {
+	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	lock, err := lockStore(opt.Dir)
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*durable, error) {
+		lock.Close()
+		return nil, err
+	}
+	if StoreExists(opt.Dir) {
+		return fail(fmt.Errorf("serve: %s already holds a store; use Open to resume it", opt.Dir))
+	}
+	const gen = 1
+	if err := writeCheckpointFile(opt.Dir, gen, eng); err != nil {
+		return fail(err)
+	}
+	lg, err := wal.Create(walPath(opt.Dir, gen), opt.Fsync)
+	if err != nil {
+		return fail(err)
+	}
+	if err := syncDir(opt.Dir); err != nil {
+		lg.Close()
+		return fail(err)
+	}
+	return &durable{dir: opt.Dir, policy: opt.Fsync, every: opt.CheckpointEvery, log: lg, lock: lock, gen: gen}, nil
+}
+
+// Open resumes a durable service from dir: it loads the checkpoint,
+// replays the WAL suffix through ApplyBatch to reconstruct the engine
+// exactly as it stood when the previous process last logged a batch, and
+// starts the writer. Options.Dir is ignored (dir wins); the remaining
+// options tune the resumed service as in New.
+func Open(dir string, opt Options) (*Service, error) {
+	opt = opt.withDefaults()
+	opt.Dir = dir
+	lock, err := lockStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			lock.Close()
+		}
+	}()
+	f, err := os.Open(filepath.Join(dir, checkpointName))
+	if err != nil {
+		return nil, fmt.Errorf("serve: open store: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("serve: store header: %w", err)
+	}
+	if magic != storeMagic {
+		return nil, fmt.Errorf("serve: %s is not a dkclique store (magic %q)", dir, magic)
+	}
+	var gen int64
+	if err := binary.Read(br, binary.LittleEndian, &gen); err != nil {
+		return nil, fmt.Errorf("serve: store header: %w", err)
+	}
+	if gen < 1 {
+		return nil, fmt.Errorf("serve: corrupt store generation %d", gen)
+	}
+	eng, err := dynamic.LoadCheckpoint(br, opt.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("serve: load checkpoint: %w", err)
+	}
+	n := eng.Graph().N()
+	recovered := uint64(0)
+	wp := walPath(dir, gen)
+	valid, err := wal.Replay(wp, func(ops []workload.Op) error {
+		for _, op := range ops {
+			if int(op.U) >= n || int(op.V) >= n {
+				return fmt.Errorf("serve: wal op (%d,%d) out of range for %d nodes", op.U, op.V, n)
+			}
+		}
+		eng.ApplyBatch(ops)
+		recovered += uint64(len(ops))
+		return nil
+	})
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, err
+	}
+	// A crash can land between the checkpoint rename and the creation of
+	// its WAL generation; a missing (or headerless) log simply means no
+	// updates survived it, so start the generation's log fresh. Resume
+	// truncates any torn tail beyond the intact prefix.
+	lg, err := wal.Resume(wp, valid, opt.Fsync)
+	if err != nil {
+		return nil, err
+	}
+	removeStaleWALs(dir, gen)
+	s := wrapEngine(eng, opt)
+	s.dur = &durable{dir: dir, policy: opt.Fsync, every: opt.CheckpointEvery, log: lg, lock: lock, gen: gen}
+	s.recovered.Store(recovered)
+	s.start(opt.MaxBatch)
+	ok = true
+	return s, nil
+}
+
+// removeStaleWALs deletes log files of generations other than gen — left
+// behind when a crash interrupted a checkpoint's cleanup. Best effort.
+func removeStaleWALs(dir string, gen int64) {
+	matches, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	keep := walPath(dir, gen)
+	for _, m := range matches {
+		if m != keep {
+			os.Remove(m)
+		}
+	}
+}
+
+// appendWAL logs one about-to-be-applied batch. Called by the writer
+// goroutine only.
+func (s *Service) appendWAL(ops []workload.Op) error {
+	nb, err := s.dur.log.Append(ops)
+	if err != nil {
+		return err
+	}
+	s.walBatches.Add(1)
+	s.walBytes.Add(uint64(nb))
+	return nil
+}
+
+// maybeCheckpoint rolls the store over to a new checkpoint + WAL
+// generation once enough ops have been applied since the last one.
+// Called by the writer goroutine between ApplyBatch calls.
+func (s *Service) maybeCheckpoint(applied int) error {
+	s.dur.sinceCkpt += applied
+	if s.dur.sinceCkpt < s.dur.every {
+		return nil
+	}
+	return s.checkpoint(false)
+}
+
+// checkpoint writes a checkpoint and starts the next WAL generation.
+// final (Close) skips the new generation and the index canonicalization —
+// the checkpoint alone carries the whole state, so recovery replays
+// nothing and the dying engine needs no further determinism upkeep.
+// Called with the writer quiescent: either on the writer goroutine itself
+// or from Close after the writer exited.
+func (s *Service) checkpoint(final bool) error {
+	if err := s.dur.log.Sync(); err != nil {
+		return err
+	}
+	gen := s.dur.gen + 1
+	if err := writeCheckpointFile(s.dur.dir, gen, s.eng); err != nil {
+		return err
+	}
+	old := s.dur.gen
+	s.dur.gen = gen
+	s.dur.sinceCkpt = 0
+	s.checkpoints.Add(1)
+	// Drop the reference before closing so an error below never leaves a
+	// closed log behind for Close to re-close.
+	lg := s.dur.log
+	s.dur.log = nil
+	if err := lg.Close(); err != nil {
+		return err
+	}
+	if final {
+		os.Remove(walPath(s.dur.dir, old))
+		return nil
+	}
+	lg, err := wal.Create(walPath(s.dur.dir, gen), s.dur.policy)
+	if err != nil {
+		return err
+	}
+	s.dur.log = lg
+	if err := syncDir(s.dur.dir); err != nil {
+		return err
+	}
+	os.Remove(walPath(s.dur.dir, old))
+	s.eng.CanonicalizeIndex()
+	return nil
+}

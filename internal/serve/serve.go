@@ -16,16 +16,24 @@
 // Close stops the writer after draining the queue. Backpressure comes
 // from the bounded queue — when it is full, Enqueue blocks until the
 // writer catches up or the context is cancelled.
+//
+// Setting Options.Dir makes the service durable: drained batches are
+// written ahead to a log before application and the engine state is
+// checkpointed periodically and on Close, so Open can rebuild the exact
+// pre-crash engine from the last checkpoint plus the log suffix. See
+// durable.go for the store protocol.
 package serve
 
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/dynamic"
 	"repro/internal/graph"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -44,6 +52,21 @@ type Options struct {
 	// MaxBatch caps how many ops one ApplyBatch call coalesces. Default
 	// 4096.
 	MaxBatch int
+	// Dir, when non-empty, makes the service durable: every drained batch
+	// is appended to a write-ahead log under Dir before it is applied, and
+	// the engine is checkpointed there periodically and on Close. New
+	// initialises a fresh store and refuses a directory that already holds
+	// one; Open resumes an existing store.
+	Dir string
+	// Fsync selects when WAL appends reach stable storage (see
+	// wal.SyncPolicy). The default, SyncEveryBatch, fsyncs per applied
+	// batch; SyncNone defers to the OS but still syncs on Flush and
+	// checkpoints, so Flush returning always means durable.
+	Fsync wal.SyncPolicy
+	// CheckpointEvery is the number of applied ops between checkpoints of
+	// a durable service. Default 1 << 17. Each checkpoint truncates the
+	// WAL, bounding both recovery replay time and disk growth.
+	CheckpointEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -52,6 +75,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 4096
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 1 << 17
 	}
 	return o
 }
@@ -76,6 +102,17 @@ type Stats struct {
 	Batches uint64
 	// Flushes counts completed Flush calls.
 	Flushes uint64
+	// Recovered counts ops replayed from the WAL when the service was
+	// resumed with Open; zero for fresh services. Replayed ops are not
+	// re-counted in Enqueued/Applied.
+	Recovered uint64
+	// Checkpoints counts checkpoints written (including the initial one a
+	// fresh durable store starts with and the final one Close writes).
+	Checkpoints uint64
+	// WALBatches / WALBytes count write-ahead-log appends and their size.
+	// Zero for non-durable services.
+	WALBatches uint64
+	WALBytes   uint64
 }
 
 // item is one unit of the writer's input queue: ops to apply and/or a
@@ -91,6 +128,7 @@ type item struct {
 type Service struct {
 	eng *dynamic.Engine
 	k   int
+	n   int // node-id bound for op validation
 
 	in   chan item
 	quit chan struct{} // closed by Close to stop the writer
@@ -98,32 +136,80 @@ type Service struct {
 
 	closeOnce sync.Once
 	closed    atomic.Bool
+	closeErr  error
 
-	enqueued atomic.Uint64
-	applied  atomic.Uint64
-	changed  atomic.Uint64
-	batches  atomic.Uint64
-	flushes  atomic.Uint64
+	// dur is the durability state (nil for in-memory services); werr
+	// latches the first WAL/checkpoint failure, after which the service is
+	// fail-stopped: no further op is applied and Enqueue/Flush/Close
+	// surface the error. An un-logged mutation must never be acked.
+	dur  *durable
+	werr atomic.Pointer[error]
+
+	enqueued    atomic.Uint64
+	applied     atomic.Uint64
+	changed     atomic.Uint64
+	batches     atomic.Uint64
+	flushes     atomic.Uint64
+	recovered   atomic.Uint64
+	checkpoints atomic.Uint64
+	walBatches  atomic.Uint64
+	walBytes    atomic.Uint64
 }
 
 // New builds a Service over a starting graph and initial clique set
 // (normally a static Find result; nil is completed greedily) and starts
 // the writer goroutine. Callers must Close the service to stop it.
+//
+// With Options.Dir set, New also initialises a durable store there (an
+// initial checkpoint plus an empty WAL) and fails if the directory
+// already holds one — resume those with Open instead.
 func New(g *graph.Graph, k int, initial [][]int32, opt Options) (*Service, error) {
 	opt = opt.withDefaults()
 	eng, err := dynamic.NewWorkers(g, k, initial, opt.Workers)
 	if err != nil {
 		return nil, err
 	}
-	s := &Service{
+	s := wrapEngine(eng, opt)
+	if opt.Dir != "" {
+		dur, err := initStore(opt, eng)
+		if err != nil {
+			return nil, err
+		}
+		s.dur = dur
+		s.checkpoints.Add(1)
+	}
+	s.start(opt.MaxBatch)
+	return s, nil
+}
+
+// wrapEngine builds the Service shell around an engine without starting
+// the writer; New and Open attach durability state in between.
+func wrapEngine(eng *dynamic.Engine, opt Options) *Service {
+	return &Service{
 		eng:  eng,
-		k:    k,
+		k:    eng.K(),
+		n:    eng.Graph().N(),
 		in:   make(chan item, opt.QueueCapacity),
 		quit: make(chan struct{}),
 		done: make(chan struct{}),
 	}
-	go s.run(opt.MaxBatch)
-	return s, nil
+}
+
+// start launches the writer goroutine.
+func (s *Service) start(maxBatch int) { go s.run(maxBatch) }
+
+// Err returns the sticky durability error that fail-stopped the service,
+// or nil. Always nil for in-memory services.
+func (s *Service) Err() error {
+	if p := s.werr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// fail latches the first durability error.
+func (s *Service) fail(err error) {
+	s.werr.CompareAndSwap(nil, &err)
 }
 
 // run is the single writer: it blocks for the next queue item, then
@@ -139,12 +225,39 @@ func (s *Service) run(maxBatch int) {
 		// writer (and snapshot freshness) for an unbounded mega-batch.
 		for off := 0; off < len(buf); off += maxBatch {
 			end := min(off+maxBatch, len(buf))
-			changed := s.eng.ApplyBatch(buf[off:end])
+			chunk := buf[off:end]
+			if s.dur != nil {
+				// Write-ahead: the batch reaches the log before the engine.
+				// On a log failure the service fail-stops — this chunk and
+				// everything after it is discarded, never applied, so the
+				// durable state stays a prefix-exact image of the engine.
+				if s.Err() != nil {
+					break
+				}
+				if err := s.appendWAL(chunk); err != nil {
+					s.fail(err)
+					break
+				}
+			}
+			changed := s.eng.ApplyBatch(chunk)
 			s.applied.Add(uint64(end - off))
 			s.changed.Add(uint64(changed))
 			s.batches.Add(1)
+			if s.dur != nil {
+				if err := s.maybeCheckpoint(end - off); err != nil {
+					s.fail(err)
+					break
+				}
+			}
 		}
 		buf = buf[:0]
+		// Acking a flush promises durability: under deferred-sync policies
+		// force the log down before waking anyone.
+		if s.dur != nil && len(pendingFlush) > 0 && s.Err() == nil {
+			if err := s.dur.log.Sync(); err != nil {
+				s.fail(err)
+			}
+		}
 		for _, f := range pendingFlush {
 			// Count before waking the flusher: a caller returning from
 			// Flush must observe its own flush in Stats.
@@ -198,12 +311,26 @@ func (s *Service) run(maxBatch int) {
 // blocks when the queue is full until space frees, the context is
 // cancelled, or the service closes. Ops whose Enqueue races with Close
 // may be discarded; Flush before Close for a full-drain guarantee.
+//
+// Every op is validated up front: self-loops and out-of-range node ids
+// are rejected with an error before anything is accepted. (The engine
+// panics on out-of-range ids by design, and the WAL only persists
+// well-formed edge ops — an invalid op that slipped into the log would
+// read back as corruption and truncate acked records behind it.)
 func (s *Service) Enqueue(ctx context.Context, ops ...workload.Op) error {
 	if len(ops) == 0 {
 		return nil
 	}
+	for _, op := range ops {
+		if op.U < 0 || op.V < 0 || int(op.U) >= s.n || int(op.V) >= s.n || op.U == op.V {
+			return fmt.Errorf("serve: invalid edge op (%d,%d) for %d nodes", op.U, op.V, s.n)
+		}
+	}
 	if s.closed.Load() {
 		return ErrClosed
+	}
+	if err := s.Err(); err != nil {
+		return err
 	}
 	// Copy before queueing: Enqueue returns on acceptance, before the
 	// writer reads the ops, so retaining the caller's slice would race
@@ -235,11 +362,16 @@ func (s *Service) Enqueue(ctx context.Context, ops ...workload.Op) error {
 	}
 }
 
-// Flush blocks until every op enqueued before the call has been applied,
-// the context is cancelled, or the service closes.
+// Flush blocks until every op enqueued before the call has been applied
+// — and, for a durable service, synced to the write-ahead log — or until
+// the context is cancelled or the service closes. A nil return is the
+// durability ack: those ops survive a crash.
 func (s *Service) Flush(ctx context.Context) error {
 	if s.closed.Load() {
 		return ErrClosed
+	}
+	if err := s.Err(); err != nil {
+		return err
 	}
 	marker := make(chan struct{})
 	select {
@@ -251,7 +383,7 @@ func (s *Service) Flush(ctx context.Context) error {
 	}
 	select {
 	case <-marker:
-		return nil
+		return s.Err()
 	case <-ctx.Done():
 		return ctx.Err()
 	case <-s.done:
@@ -259,7 +391,7 @@ func (s *Service) Flush(ctx context.Context) error {
 		// without reaching ours, report closure.
 		select {
 		case <-marker:
-			return nil
+			return s.Err()
 		default:
 			return ErrClosed
 		}
@@ -267,15 +399,36 @@ func (s *Service) Flush(ctx context.Context) error {
 }
 
 // Close stops the writer after draining the queue and waits for it to
-// exit. Further Enqueue/Flush calls return ErrClosed; the read path keeps
-// answering from the last published snapshot. Close is idempotent.
+// exit; a durable service then writes a final checkpoint (so a clean
+// shutdown leaves an empty WAL and instant recovery) and closes its log.
+// Further Enqueue/Flush calls return ErrClosed; the read path keeps
+// answering from the last published snapshot. Close is idempotent and
+// returns the first durability error the service hit, if any.
 func (s *Service) Close() error {
 	s.closeOnce.Do(func() {
 		s.closed.Store(true)
 		close(s.quit)
 		<-s.done
+		if s.dur == nil {
+			return
+		}
+		// The writer has exited; its durability state is ours now.
+		if err := s.Err(); err != nil {
+			s.closeErr = err
+		} else if err := s.checkpoint(true); err != nil {
+			s.fail(err)
+			s.closeErr = err
+		}
+		// Whatever happened above, drop the log fd and the store lock: a
+		// failed final checkpoint must not leak either (the WAL it leaves
+		// behind is exactly what recovery replays).
+		if s.dur.log != nil {
+			s.dur.log.Close()
+			s.dur.log = nil
+		}
+		s.dur.unlock()
 	})
-	return nil
+	return s.closeErr
 }
 
 // Snapshot returns the latest published result snapshot — one atomic
@@ -314,5 +467,9 @@ func (s *Service) Stats() Stats {
 	st.Changed = s.changed.Load()
 	st.Applied = s.applied.Load()
 	st.Enqueued = s.enqueued.Load()
+	st.Recovered = s.recovered.Load()
+	st.Checkpoints = s.checkpoints.Load()
+	st.WALBatches = s.walBatches.Load()
+	st.WALBytes = s.walBytes.Load()
 	return st
 }

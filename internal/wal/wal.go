@@ -1,0 +1,254 @@
+// Package wal implements the write-ahead log fronting the serving
+// layer's in-memory engine: an append-only file of length-prefixed,
+// CRC-checked records, one record per applied engine batch, so a crash
+// loses nothing that was flushed and recovery replays exactly the batch
+// sequence the writer executed.
+//
+// File layout:
+//
+//	[8]  magic "DKCQWAL1"
+//	then records, back to back:
+//	[4]  payload length L (little-endian uint32)
+//	[4]  CRC-32 (IEEE) of the payload
+//	[L]  payload: [4] op count C, then C × ([1] insert flag, [4] u, [4] v)
+//
+// Replay tolerates a truncated or corrupted tail — the expected shape of
+// a crash mid-append: decoding stops at the first record whose header is
+// incomplete, whose payload is short, or whose CRC does not match, and
+// the byte offset of the intact prefix is returned so the caller can
+// truncate the tail and resume appending. Corruption *before* the tail
+// cannot be distinguished from a torn tail by the log alone; the caller's
+// checkpoint/replay protocol bounds how much a mid-file flip can silently
+// drop to the ops after it, and those were never acked durable by a sync
+// that their own record did not precede.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/workload"
+)
+
+// magic identifies a WAL file; the trailing digit is the format version.
+var magic = [8]byte{'D', 'K', 'C', 'Q', 'W', 'A', 'L', '1'}
+
+const (
+	// HeaderSize is the fixed file header length; a log shorter than this
+	// has no intact prefix and must be recreated rather than resumed.
+	HeaderSize = 8
+	recHdrSize = 8 // payload length + CRC
+	opSize     = 9 // insert flag + two int32 endpoints
+
+	// maxRecordPayload bounds a single record so a corrupted length prefix
+	// cannot demand an absurd allocation or swallow the rest of the file.
+	maxRecordPayload = 1 << 28
+)
+
+// SyncPolicy selects when appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncEveryBatch fsyncs after every Append: each acked batch survives
+	// a machine crash. The default, and the slowest.
+	SyncEveryBatch SyncPolicy = iota
+	// SyncNone never fsyncs on Append; the OS flushes at its leisure.
+	// Explicit Sync calls (the serving layer issues one per Flush and on
+	// Close) still force the data down, so "flushed implies durable"
+	// holds under both policies — SyncNone only weakens un-flushed ops.
+	SyncNone
+)
+
+// Log is an open write-ahead log positioned for appending. It is not safe
+// for concurrent use; the serving layer's single writer owns it.
+type Log struct {
+	f      *os.File
+	policy SyncPolicy
+	size   int64
+	buf    []byte
+	dirty  bool // bytes appended since the last fsync
+}
+
+// Create creates (or truncates) a log at path, writes the header and
+// syncs it, so even an immediately-crashed store leaves a replayable
+// empty log behind.
+func Create(path string, policy SyncPolicy) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(magic[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Log{f: f, policy: policy, size: HeaderSize}, nil
+}
+
+// Resume opens an existing log for appending after a replay reported
+// valid intact bytes: the torn tail beyond valid is truncated away first,
+// so later records never follow garbage. A valid below HeaderSize means
+// not even the header survived — the file is recreated from scratch.
+func Resume(path string, valid int64, policy SyncPolicy) (*Log, error) {
+	if valid < HeaderSize {
+		return Create(path, policy)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Log{f: f, policy: policy, size: valid}, nil
+}
+
+// encode frames one batch as a record in the log's reusable buffer.
+func (l *Log) encode(ops []workload.Op) []byte {
+	b := l.buf[:0]
+	b = binary.LittleEndian.AppendUint32(b, uint32(4+opSize*len(ops)))
+	b = append(b, 0, 0, 0, 0) // CRC placeholder
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(ops)))
+	for _, op := range ops {
+		flag := byte(0)
+		if op.Insert {
+			flag = 1
+		}
+		b = append(b, flag)
+		b = binary.LittleEndian.AppendUint32(b, uint32(op.U))
+		b = binary.LittleEndian.AppendUint32(b, uint32(op.V))
+	}
+	binary.LittleEndian.PutUint32(b[4:8], crc32.ChecksumIEEE(b[recHdrSize:]))
+	l.buf = b
+	return b
+}
+
+// Append writes one batch record and, under SyncEveryBatch, syncs it. It
+// returns the number of bytes appended. An error leaves the log unusable
+// for further appends (the file may hold a torn record, which replay
+// tolerates); callers should fail-stop.
+func (l *Log) Append(ops []workload.Op) (int, error) {
+	if payload := 4 + opSize*len(ops); payload > maxRecordPayload {
+		return 0, fmt.Errorf("wal: batch of %d ops exceeds the record bound", len(ops))
+	}
+	b := l.encode(ops)
+	if _, err := l.f.Write(b); err != nil {
+		return 0, err
+	}
+	l.size += int64(len(b))
+	l.dirty = true
+	if l.policy == SyncEveryBatch {
+		if err := l.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	return len(b), nil
+}
+
+// Sync forces appended records to stable storage. A no-op when nothing
+// was appended since the last sync.
+func (l *Log) Sync() error {
+	if !l.dirty {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.dirty = false
+	return nil
+}
+
+// Close syncs and closes the log.
+func (l *Log) Close() error {
+	serr := l.Sync()
+	cerr := l.f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// Size returns the current file size in bytes (header + appended records).
+func (l *Log) Size() int64 { return l.size }
+
+// Replay reads the log at path and calls fn once per intact record, in
+// append order, with the decoded batch. It returns the byte offset of the
+// intact prefix: a torn or corrupted tail ends the replay without error,
+// so the returned offset is what Resume should truncate to. A missing
+// file surfaces as an fs.ErrNotExist error; an error from fn aborts the
+// replay and is returned as is.
+func Replay(path string, fn func(ops []workload.Op) error) (int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	return decode(data, fn)
+}
+
+// decode is the pure replay core over an in-memory image (exercised
+// directly by FuzzWALDecode). It returns the length of the intact prefix.
+func decode(data []byte, fn func(ops []workload.Op) error) (int64, error) {
+	if len(data) < HeaderSize || [8]byte(data[:HeaderSize]) != magic {
+		return 0, nil
+	}
+	off := int64(HeaderSize)
+	var ops []workload.Op
+	for {
+		rest := data[off:]
+		if len(rest) < recHdrSize {
+			return off, nil
+		}
+		payload := int64(binary.LittleEndian.Uint32(rest[0:4]))
+		if payload > maxRecordPayload || payload < 4 || int64(len(rest)) < recHdrSize+payload {
+			return off, nil
+		}
+		body := rest[recHdrSize : recHdrSize+payload]
+		if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(rest[4:8]) {
+			return off, nil
+		}
+		count := int64(binary.LittleEndian.Uint32(body[0:4]))
+		if 4+count*opSize != payload {
+			return off, nil
+		}
+		ops = ops[:0]
+		ok := true
+		for i := int64(0); i < count; i++ {
+			rec := body[4+i*opSize:]
+			op := workload.Op{
+				Insert: rec[0] == 1,
+				U:      int32(binary.LittleEndian.Uint32(rec[1:5])),
+				V:      int32(binary.LittleEndian.Uint32(rec[5:9])),
+			}
+			// The writer only logs validated edge ops; anything else here
+			// is corruption that happened to pass the CRC. Treat it like a
+			// torn tail rather than handing garbage to the engine.
+			if rec[0] > 1 || op.U < 0 || op.V < 0 || op.U == op.V {
+				ok = false
+				break
+			}
+			ops = append(ops, op)
+		}
+		if !ok {
+			return off, nil
+		}
+		if err := fn(ops); err != nil {
+			return off, err
+		}
+		off += recHdrSize + payload
+	}
+}

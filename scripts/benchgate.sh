@@ -6,12 +6,29 @@
 # and fails when the PR median regresses past the threshold. Medians over
 # several -count repetitions keep a single noisy sample (CI neighbours,
 # GC pause) from failing or passing the gate on its own.
+#
+# The gate fails loudly — never vacuously: a missing/empty input file, a
+# bench run that ended in FAIL, or an input with zero samples of the
+# target benchmark all exit non-zero with a diagnostic, so a broken bench
+# binary can't slide a regression through as "no data, no problem".
 set -euo pipefail
+
+die() { echo "benchgate: $*" >&2; exit 2; }
+
+[ $# -ge 2 ] || die "usage: benchgate.sh BASE.txt PR.txt [MAX_REGRESSION_PCT] [BENCH_NAME]"
 
 base_file=$1
 pr_file=$2
 max_pct=${3:-15}
 bench=${4:-BenchmarkDynamicUpdate}
+
+for f in "$base_file" "$pr_file"; do
+    [ -e "$f" ] || die "bench output $f does not exist — did the bench binary build/run at all?"
+    [ -s "$f" ] || die "bench output $f is empty — the bench run produced nothing"
+    if grep -q '^FAIL' "$f"; then
+        die "bench output $f contains a FAIL line — the bench run errored; refusing to compare"
+    fi
+done
 
 median() {
     # Prints the median ns/op of the named benchmark in a bench output.
@@ -33,10 +50,8 @@ median() {
 base_ns=$(median "$base_file")
 pr_ns=$(median "$pr_file")
 
-if [ "$base_ns" = "NA" ] || [ "$pr_ns" = "NA" ]; then
-    echo "benchgate: $bench not found in input (base=$base_ns pr=$pr_ns)" >&2
-    exit 2
-fi
+[ "$base_ns" != "NA" ] || die "no $bench ns/op samples in $base_file — wrong -bench filter or a stale/failed base binary"
+[ "$pr_ns" != "NA" ] || die "no $bench ns/op samples in $pr_file — wrong -bench filter or the PR bench run failed"
 
 echo "benchgate: $bench median ns/op: base=$base_ns pr=$pr_ns (limit +$max_pct%)"
 awk -v b="$base_ns" -v p="$pr_ns" -v m="$max_pct" 'BEGIN {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dynamic"
 	"repro/internal/serve"
+	"repro/internal/wal"
 )
 
 // ResultSnapshot is an immutable point-in-time view of a maintained
@@ -15,9 +16,24 @@ import (
 // indefinitely and queries on it are wait-free and allocation-free.
 type ResultSnapshot = dynamic.Snapshot
 
-// ServiceOptions tunes NewService; the zero value picks sensible
-// defaults (GOMAXPROCS workers, queue capacity 1024, batch cap 4096).
+// ServiceOptions tunes NewService and OpenService; the zero value picks
+// sensible defaults (GOMAXPROCS workers, queue capacity 1024, batch cap
+// 4096, in-memory only). Setting Dir makes the service durable: updates
+// are written ahead to a log before application and the engine state is
+// checkpointed every CheckpointEvery applied ops and on Close, so
+// OpenService can rebuild the exact pre-crash state.
 type ServiceOptions = serve.Options
+
+// FsyncPolicy selects when WAL appends of a durable service reach stable
+// storage: FsyncEveryBatch (the default) syncs per applied batch,
+// FsyncNone leaves it to the OS but still syncs on Flush and at
+// checkpoints — under both policies a returned Flush means durable.
+type FsyncPolicy = wal.SyncPolicy
+
+const (
+	FsyncEveryBatch FsyncPolicy = wal.SyncEveryBatch
+	FsyncNone       FsyncPolicy = wal.SyncNone
+)
 
 // ServiceStats counts service activity: ops enqueued, applied and
 // changed, writer batches, and completed flushes.
@@ -56,9 +72,30 @@ func NewService(g *Graph, k int, initial [][]int32, opt ServiceOptions) (*Servic
 	return &Service{s: s}, nil
 }
 
+// OpenService resumes a durable service from the store a previous
+// NewService(…, ServiceOptions{Dir: dir}) run left behind: it loads the
+// latest checkpoint, replays the write-ahead-log suffix, and serves the
+// reconstructed state — byte-identical to the pre-shutdown (or pre-crash)
+// snapshot for every flushed update, including the version counter. The
+// dir argument wins over opt.Dir; the remaining options tune the resumed
+// service as in NewService.
+func OpenService(dir string, opt ServiceOptions) (*Service, error) {
+	s, err := serve.Open(dir, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Service{s: s}, nil
+}
+
+// StoreExists reports whether dir holds a durable service store (so
+// callers can choose between OpenService and NewService at boot).
+func StoreExists(dir string) bool { return serve.StoreExists(dir) }
+
 // Enqueue queues edge updates for the writer and returns once accepted
 // (not yet applied — Flush waits for application). It blocks while the
 // queue is full, until the context is cancelled or the service closes.
+// Self-loops and out-of-range node ids are rejected with an error before
+// anything is accepted.
 func (s *Service) Enqueue(ctx context.Context, ops ...Update) error {
 	return s.s.Enqueue(ctx, ops...)
 }
@@ -93,3 +130,10 @@ func (s *Service) K() int { return s.s.K() }
 // Stats returns the service's activity counters; the engine's own
 // counters travel with each snapshot (Snapshot().Stats()).
 func (s *Service) Stats() ServiceStats { return s.s.Stats() }
+
+// Err returns the sticky durability error that fail-stopped a durable
+// service (a WAL append or checkpoint failure), or nil. Once set, no
+// further update is applied and Enqueue/Flush/Close return it; reads keep
+// answering from the last applied snapshot. Always nil for in-memory
+// services.
+func (s *Service) Err() error { return s.s.Err() }
