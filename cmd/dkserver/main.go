@@ -19,18 +19,19 @@
 // shutdown: the listener drains in-flight requests, the update queue
 // drains into the engine, and a final checkpoint lands before exit.
 //
-// Endpoints (JSON):
+// Endpoints (served by internal/httpapi; every GET also answers with
+// compact binary frames under "Accept: application/x-dkclique-frame",
+// and /snapshot bodies are cached against the snapshot version):
 //
 //	GET  /snapshot            point-in-time result set; ?cliques=0 omits members
 //	GET  /clique/{node}       the clique covering a node, if any
+//	GET  /cliques?nodes=1,2,3 batched lookup against one snapshot, deduplicated
 //	GET  /stats               service + engine counters
 //	POST /update              {"ops":[{"insert":true,"u":1,"v":2},...],"flush":true}
 package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -43,6 +44,7 @@ import (
 	"time"
 
 	dkclique "repro"
+	"repro/internal/httpapi"
 )
 
 func main() {
@@ -59,7 +61,7 @@ func main() {
 		dataDir   = flag.String("data", "", "durable store directory (WAL + checkpoints); empty = in-memory")
 		fsyncMode = flag.String("fsync", "batch", `WAL sync policy with -data: "batch" or "none"`)
 		ckptEvery = flag.Int("checkpoint", 0, "applied ops between checkpoints with -data (0 = default)")
-		maxOps    = flag.Int("maxops", 8192, "maximum ops accepted per /update request")
+		maxOps    = flag.Int("maxops", 8192, "maximum ops per /update request and nodes per /cliques batch")
 		maxBody   = flag.Int64("maxbody", 1<<20, "maximum /update request body bytes")
 		drain     = flag.Duration("drain", 15*time.Second, "graceful-shutdown timeout for in-flight requests")
 	)
@@ -124,7 +126,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: newHandler(svc, svc.Snapshot().N(), limits{maxOps: *maxOps, maxBody: *maxBody}),
+		Handler: httpapi.New(svc, httpapi.Options{MaxOps: *maxOps, MaxBody: *maxBody}),
 		// Bounded timeouts so a slow or hostile peer (slowloris drip-feeds,
 		// abandoned connections) cannot pin handler goroutines forever.
 		ReadHeaderTimeout: 5 * time.Second,
@@ -160,193 +162,6 @@ func main() {
 		}
 		log.Printf("shutdown complete")
 	}
-}
-
-// limits bounds what a single /update request may carry; both guard the
-// process against hostile or buggy clients (an unbounded body is an OOM
-// lever, an unbounded op list an engine-stall lever).
-type limits struct {
-	maxOps  int
-	maxBody int64
-}
-
-// newHandler builds the HTTP API over a running service. n is the node-id
-// bound used to validate update requests (the engine panics on
-// out-of-range ids by design, so the API rejects them up front).
-func newHandler(svc *dkclique.Service, n int, lim limits) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /snapshot", func(w http.ResponseWriter, r *http.Request) {
-		snap := svc.Snapshot()
-		resp := snapshotResponse{
-			Version: snap.Version(),
-			K:       snap.K(),
-			Nodes:   snap.N(),
-			Edges:   snap.M(),
-			Size:    snap.Size(),
-		}
-		if r.URL.Query().Get("cliques") != "0" {
-			resp.Cliques = snap.Cliques()
-		}
-		writeJSON(w, http.StatusOK, resp)
-	})
-	mux.HandleFunc("GET /clique/{node}", func(w http.ResponseWriter, r *http.Request) {
-		u, err := strconv.ParseInt(r.PathValue("node"), 10, 32)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad node id")
-			return
-		}
-		snap := svc.Snapshot()
-		c := snap.CliqueOf(int32(u))
-		writeJSON(w, http.StatusOK, cliqueResponse{
-			Node:    int32(u),
-			Version: snap.Version(),
-			Covered: c != nil,
-			Clique:  c,
-		})
-	})
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		snap := svc.Snapshot()
-		st := svc.Stats()
-		es := snap.Stats()
-		writeJSON(w, http.StatusOK, statsResponse{
-			Version:    snap.Version(),
-			Size:       snap.Size(),
-			Nodes:      snap.N(),
-			Edges:      snap.M(),
-			Enqueued:   st.Enqueued,
-			Applied:    st.Applied,
-			Changed:    st.Changed,
-			Batches:    st.Batches,
-			Flushes:    st.Flushes,
-			Recovered:  st.Recovered,
-			Ckpts:      st.Checkpoints,
-			WALBatches: st.WALBatches,
-			WALBytes:   st.WALBytes,
-			Insertions: es.Insertions,
-			Deletions:  es.Deletions,
-			Swaps:      es.Swaps,
-			IndexMS:    float64(es.IndexBuild.Microseconds()) / 1000,
-		})
-	})
-	mux.HandleFunc("POST /update", func(w http.ResponseWriter, r *http.Request) {
-		// Bound the body before a byte is parsed: a hostile multi-gigabyte
-		// payload must die at the transport, not as a decoded slice.
-		r.Body = http.MaxBytesReader(w, r.Body, lim.maxBody)
-		var req updateRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			var tooBig *http.MaxBytesError
-			if errors.As(err, &tooBig) {
-				writeError(w, http.StatusBadRequest,
-					fmt.Sprintf("request body exceeds %d bytes", lim.maxBody))
-				return
-			}
-			// Covers malformed JSON and non-integer coordinates alike: the
-			// decoder rejects fractional, out-of-range, and non-numeric
-			// u/v values before they can reach the engine.
-			writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
-			return
-		}
-		if len(req.Ops) == 0 {
-			writeError(w, http.StatusBadRequest, "no ops")
-			return
-		}
-		if len(req.Ops) > lim.maxOps {
-			writeError(w, http.StatusBadRequest,
-				fmt.Sprintf("%d ops exceeds the per-request limit of %d", len(req.Ops), lim.maxOps))
-			return
-		}
-		ops := make([]dkclique.Update, len(req.Ops))
-		for i, op := range req.Ops {
-			if op.U < 0 || int(op.U) >= n || op.V < 0 || int(op.V) >= n || op.U == op.V {
-				writeError(w, http.StatusBadRequest,
-					fmt.Sprintf("op %d: invalid edge (%d,%d) for %d nodes", i, op.U, op.V, n))
-				return
-			}
-			ops[i] = dkclique.Update{Insert: op.Insert, U: op.U, V: op.V}
-		}
-		if err := svc.Enqueue(r.Context(), ops...); err != nil {
-			writeError(w, http.StatusServiceUnavailable, err.Error())
-			return
-		}
-		if req.Flush {
-			if err := svc.Flush(r.Context()); err != nil {
-				writeError(w, http.StatusServiceUnavailable, err.Error())
-				return
-			}
-		}
-		snap := svc.Snapshot()
-		writeJSON(w, http.StatusAccepted, updateResponse{
-			Enqueued: len(ops),
-			Flushed:  req.Flush,
-			Version:  snap.Version(),
-			Size:     snap.Size(),
-		})
-	})
-	return mux
-}
-
-type snapshotResponse struct {
-	Version uint64    `json:"version"`
-	K       int       `json:"k"`
-	Nodes   int       `json:"nodes"`
-	Edges   int       `json:"edges"`
-	Size    int       `json:"size"`
-	Cliques [][]int32 `json:"cliques,omitempty"`
-}
-
-type cliqueResponse struct {
-	Node    int32   `json:"node"`
-	Version uint64  `json:"version"`
-	Covered bool    `json:"covered"`
-	Clique  []int32 `json:"clique,omitempty"`
-}
-
-type statsResponse struct {
-	Version    uint64  `json:"version"`
-	Size       int     `json:"size"`
-	Nodes      int     `json:"nodes"`
-	Edges      int     `json:"edges"`
-	Enqueued   uint64  `json:"enqueued"`
-	Applied    uint64  `json:"applied"`
-	Changed    uint64  `json:"changed"`
-	Batches    uint64  `json:"batches"`
-	Flushes    uint64  `json:"flushes"`
-	Recovered  uint64  `json:"recovered,omitempty"`
-	Ckpts      uint64  `json:"checkpoints,omitempty"`
-	WALBatches uint64  `json:"wal_batches,omitempty"`
-	WALBytes   uint64  `json:"wal_bytes,omitempty"`
-	Insertions int     `json:"insertions"`
-	Deletions  int     `json:"deletions"`
-	Swaps      int     `json:"swaps"`
-	IndexMS    float64 `json:"index_build_ms"`
-}
-
-type updateRequest struct {
-	Ops []struct {
-		Insert bool  `json:"insert"`
-		U      int32 `json:"u"`
-		V      int32 `json:"v"`
-	} `json:"ops"`
-	Flush bool `json:"flush"`
-}
-
-type updateResponse struct {
-	Enqueued int    `json:"enqueued"`
-	Flushed  bool   `json:"flushed"`
-	Version  uint64 `json:"version"`
-	Size     int    `json:"size"`
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("dkserver: encode response: %v", err)
-	}
-}
-
-func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
 }
 
 func loadGraph(path, ds, gen string) (*dkclique.Graph, error) {

@@ -12,11 +12,12 @@ import (
 	"testing"
 
 	dkclique "repro"
+	"repro/internal/httpapi"
 )
 
-// testLimits mirrors the flag defaults, scaled down enough for the limit
-// tests to trip them without multi-megabyte request bodies.
-var testLimits = limits{maxOps: 64, maxBody: 1 << 16}
+// testOptions mirrors the flag defaults, scaled down enough for the
+// limit tests to trip them without multi-megabyte request bodies.
+var testOptions = httpapi.Options{MaxOps: 64, MaxBody: 1 << 16}
 
 func testHandler(t *testing.T) (http.Handler, *dkclique.Graph) {
 	t.Helper()
@@ -33,7 +34,7 @@ func testHandler(t *testing.T) (http.Handler, *dkclique.Graph) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { svc.Close() })
-	return newHandler(svc, g.N(), testLimits), g
+	return httpapi.New(svc, testOptions), g
 }
 
 func getJSON(t *testing.T, srv *httptest.Server, path string, out any) int {
@@ -49,24 +50,26 @@ func getJSON(t *testing.T, srv *httptest.Server, path string, out any) int {
 	return resp.StatusCode
 }
 
-func postUpdate(t *testing.T, srv *httptest.Server, body string) (updateResponse, int) {
+func postUpdate(t *testing.T, srv *httptest.Server, body string) (httpapi.UpdateResponse, int) {
 	t.Helper()
 	resp, err := http.Post(srv.URL+"/update", "application/json", bytes.NewBufferString(body))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var out updateResponse
+	var out httpapi.UpdateResponse
 	_ = json.NewDecoder(resp.Body).Decode(&out)
 	return out, resp.StatusCode
 }
 
+// TestEndpoints drives the JSON API end to end through the public
+// dkclique.Service — the exact wiring the dkserver binary runs.
 func TestEndpoints(t *testing.T) {
 	h, g := testHandler(t)
 	srv := httptest.NewServer(h)
 	defer srv.Close()
 
-	var snap snapshotResponse
+	var snap httpapi.SnapshotResponse
 	if code := getJSON(t, srv, "/snapshot", &snap); code != http.StatusOK {
 		t.Fatalf("/snapshot status %d", code)
 	}
@@ -80,14 +83,14 @@ func TestEndpoints(t *testing.T) {
 		t.Fatalf("served set invalid: %v", err)
 	}
 
-	var lean snapshotResponse
+	var lean httpapi.SnapshotResponse
 	getJSON(t, srv, "/snapshot?cliques=0", &lean)
 	if lean.Cliques != nil {
 		t.Fatal("?cliques=0 must omit members")
 	}
 
 	covered := snap.Cliques[0][0]
-	var cq cliqueResponse
+	var cq httpapi.CliqueResponse
 	if code := getJSON(t, srv, fmt.Sprintf("/clique/%d", covered), &cq); code != http.StatusOK {
 		t.Fatalf("/clique status %d", code)
 	}
@@ -97,6 +100,24 @@ func TestEndpoints(t *testing.T) {
 	var bad map[string]string
 	if code := getJSON(t, srv, "/clique/xyz", &bad); code != http.StatusBadRequest {
 		t.Fatalf("bad node id status %d", code)
+	}
+	// Out-of-range ids are client errors, not "covered": false.
+	if code := getJSON(t, srv, fmt.Sprintf("/clique/%d", g.N()), &bad); code != http.StatusBadRequest {
+		t.Fatalf("out-of-range node status %d", code)
+	}
+	if code := getJSON(t, srv, "/clique/-1", &bad); code != http.StatusBadRequest {
+		t.Fatalf("negative node status %d", code)
+	}
+
+	// Batched lookup: one clique's members resolve to one shared entry.
+	c0 := snap.Cliques[0]
+	var batch httpapi.CliquesResponse
+	path := fmt.Sprintf("/cliques?nodes=%d,%d,%d", c0[0], c0[1], c0[2])
+	if code := getJSON(t, srv, path, &batch); code != http.StatusOK {
+		t.Fatalf("/cliques status %d", code)
+	}
+	if len(batch.Cliques) != 1 || len(batch.Results) != 3 {
+		t.Fatalf("batched response = %+v", batch)
 	}
 
 	// Delete one edge of the covered clique (flushed) and watch the
@@ -111,7 +132,7 @@ func TestEndpoints(t *testing.T) {
 		t.Fatalf("version did not advance: %d -> %d", snap.Version, out.Version)
 	}
 
-	var stats statsResponse
+	var stats httpapi.StatsResponse
 	if code := getJSON(t, srv, "/stats", &stats); code != http.StatusOK {
 		t.Fatalf("/stats status %d", code)
 	}
@@ -150,7 +171,7 @@ func TestUpdateLimits(t *testing.T) {
 
 	var many bytes.Buffer
 	many.WriteString(`{"ops":[`)
-	for i := 0; i <= testLimits.maxOps; i++ {
+	for i := 0; i <= testOptions.MaxOps; i++ {
 		if i > 0 {
 			many.WriteByte(',')
 		}
@@ -162,7 +183,7 @@ func TestUpdateLimits(t *testing.T) {
 	}
 
 	huge := `{"ops":[{"insert":true,"u":1,"v":2}],"pad":"` +
-		strings.Repeat("x", int(testLimits.maxBody)) + `"}`
+		strings.Repeat("x", int(testOptions.MaxBody)) + `"}`
 	if _, code := postUpdate(t, srv, huge); code != http.StatusBadRequest {
 		t.Fatalf("oversized body status %d", code)
 	}
@@ -185,9 +206,9 @@ func TestDurableShutdownRecover(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newHandler(svc, g.N(), testLimits))
+	srv := httptest.NewServer(httpapi.New(svc, testOptions))
 
-	var before snapshotResponse
+	var before httpapi.SnapshotResponse
 	getJSON(t, srv, "/snapshot", &before)
 	c := before.Cliques[0]
 	// A flushed delete plus an unflushed insert: the graceful path must
@@ -213,10 +234,10 @@ func TestDurableShutdownRecover(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer re.Close()
-	srv2 := httptest.NewServer(newHandler(re, re.Snapshot().N(), testLimits))
+	srv2 := httptest.NewServer(httpapi.New(re, testOptions))
 	defer srv2.Close()
 
-	var after snapshotResponse
+	var after httpapi.SnapshotResponse
 	if code := getJSON(t, srv2, "/snapshot", &after); code != http.StatusOK {
 		t.Fatalf("recovered /snapshot status %d", code)
 	}
@@ -297,7 +318,7 @@ func TestSnapshotUnderUpdateTraffic(t *testing.T) {
 					readErrs <- err
 					return
 				}
-				var snap snapshotResponse
+				var snap httpapi.SnapshotResponse
 				err = json.NewDecoder(resp.Body).Decode(&snap)
 				resp.Body.Close()
 				if err != nil {

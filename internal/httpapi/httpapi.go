@@ -1,0 +1,439 @@
+// Package httpapi is the HTTP front end over a serving-layer Service:
+// the read endpoints (/snapshot, /clique/{node}, batched /cliques,
+// /stats) and the JSON write endpoint (/update) that cmd/dkserver
+// exposes. It was carved out of the dkserver binary so the wire-speed
+// read path is testable and benchmarkable without a process boundary.
+//
+// Every read endpoint serves two representations, negotiated by the
+// request's Accept header: JSON (the default) and the compact binary
+// frames of internal/wire (Accept: application/x-dkclique-frame). The
+// /snapshot bodies — the only responses whose size grows with |S| — are
+// memoized against the snapshot's MVCC version in all four variants
+// (JSON/binary × full/lean), so the read-dominated steady state answers
+// with a pre-encoded byte slice: no marshalling, no allocation, one
+// atomic load to validate freshness. Invalidation is free because the
+// engine bumps the version on every published update.
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/dynamic"
+	"repro/internal/serve"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// Service is the serving surface the API runs over. Both
+// *serve.Service and the public dkclique.Service satisfy it.
+type Service interface {
+	// Snapshot returns the latest published result snapshot.
+	Snapshot() *dynamic.Snapshot
+	// Stats returns the service activity counters.
+	Stats() serve.Stats
+	// K returns the clique size.
+	K() int
+	// Enqueue queues edge updates for the single writer.
+	Enqueue(ctx context.Context, ops ...workload.Op) error
+	// Flush blocks until everything enqueued before it has been applied.
+	Flush(ctx context.Context) error
+}
+
+// Options bounds and tunes a handler; the zero value picks the dkserver
+// flag defaults.
+type Options struct {
+	// MaxOps caps the ops accepted per /update request and the node ids
+	// per batched /cliques lookup. Default 8192.
+	MaxOps int
+	// MaxBody caps the /update request body in bytes. Default 1 MiB.
+	MaxBody int64
+	// DisableCache turns the snapshot-version response cache off, so
+	// every /snapshot re-encodes its body. Exists for the end-to-end
+	// benchmarks that measure the uncached baseline; production handlers
+	// leave it false.
+	DisableCache bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxOps <= 0 {
+		o.MaxOps = 8192
+	}
+	if o.MaxBody <= 0 {
+		o.MaxBody = 1 << 20
+	}
+	return o
+}
+
+// handler is the API over one Service.
+type handler struct {
+	svc Service
+	opt Options
+	mux *http.ServeMux
+
+	// Snapshot response caches, one per representation. Each memoizes the
+	// fully encoded body against the snapshot version that produced it.
+	snapJSONFull bodyCache
+	snapJSONLean bodyCache
+	snapBinFull  bodyCache
+	snapBinLean  bodyCache
+}
+
+// New builds the HTTP API over a running service.
+func New(svc Service, opt Options) http.Handler {
+	h := &handler{svc: svc, opt: opt.withDefaults(), mux: http.NewServeMux()}
+	h.mux.HandleFunc("GET /snapshot", h.getSnapshot)
+	h.mux.HandleFunc("GET /clique/{node}", h.getClique)
+	h.mux.HandleFunc("GET /cliques", h.getCliques)
+	h.mux.HandleFunc("GET /stats", h.getStats)
+	h.mux.HandleFunc("POST /update", h.postUpdate)
+	return h
+}
+
+func (h *handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// wantBinary reports whether the client asked for binary frames.
+func wantBinary(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), wire.ContentType)
+}
+
+// getSnapshot serves the point-in-time result set. The encoded body is
+// memoized per (version, representation): the common read-dominated
+// steady state is one atomic cache load plus a memcpy onto the wire.
+func (h *handler) getSnapshot(w http.ResponseWriter, r *http.Request) {
+	snap := h.svc.Snapshot()
+	lean := r.URL.Query().Get("cliques") == "0"
+	bin := wantBinary(r)
+	if h.opt.DisableCache {
+		writeBody(w, http.StatusOK, contentType(bin), encodeSnapshot(nil, snap, lean, bin))
+		return
+	}
+	cache := &h.snapJSONFull
+	switch {
+	case bin && lean:
+		cache = &h.snapBinLean
+	case bin:
+		cache = &h.snapBinFull
+	case lean:
+		cache = &h.snapJSONLean
+	}
+	body := cache.get(snap.Version(), func() []byte {
+		return encodeSnapshot(nil, snap, lean, bin)
+	})
+	writeBody(w, http.StatusOK, contentType(bin), body)
+}
+
+// encodeSnapshot builds a snapshot body in the requested representation,
+// appending to b.
+func encodeSnapshot(b []byte, snap *dynamic.Snapshot, lean, bin bool) []byte {
+	if bin {
+		var cliques [][]int32
+		if !lean {
+			cliques = snap.Cliques()
+		}
+		return wire.AppendSnapshotFrame(b, snap.Version(), snap.K(), snap.N(), snap.M(),
+			snap.Size(), cliques, !lean)
+	}
+	resp := SnapshotResponse{
+		Version: snap.Version(),
+		K:       snap.K(),
+		Nodes:   snap.N(),
+		Edges:   snap.M(),
+		Size:    snap.Size(),
+	}
+	if !lean {
+		resp.Cliques = snap.Cliques()
+	}
+	return appendJSON(b, &resp)
+}
+
+// getClique serves one point lookup. Out-of-range ids are a client
+// error, mirroring the up-front validation of /update — before this
+// check a node id of 10^9 flowed into CliqueOf and came back as a
+// misleading "covered": false.
+func (h *handler) getClique(w http.ResponseWriter, r *http.Request) {
+	u, err := strconv.ParseInt(r.PathValue("node"), 10, 32)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, "bad node id")
+		return
+	}
+	snap := h.svc.Snapshot()
+	if u < 0 || u >= int64(snap.N()) {
+		writeError(w, r, http.StatusBadRequest,
+			fmt.Sprintf("node %d out of range for %d nodes", u, snap.N()))
+		return
+	}
+	c := snap.CliqueOf(int32(u))
+	if wantBinary(r) {
+		buf := getBuf()
+		defer putBuf(buf)
+		*buf = wire.AppendCliqueFrame((*buf)[:0], snap.Version(), int32(u), snap.K(), c)
+		writeBody(w, http.StatusOK, wire.ContentType, *buf)
+		return
+	}
+	writeJSON(w, http.StatusOK, CliqueResponse{
+		Node:    int32(u),
+		Version: snap.Version(),
+		Covered: c != nil,
+		Clique:  c,
+	})
+}
+
+// getCliques resolves a batched lookup — GET /cliques?nodes=1,2,3 —
+// against one snapshot: one round trip, one consistent version, shared
+// cliques deduplicated in the response (each distinct clique appears
+// once; per-node results point into the clique list by index, -1 for
+// uncovered nodes).
+func (h *handler) getCliques(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("nodes")
+	if q == "" {
+		writeError(w, r, http.StatusBadRequest, "nodes parameter required (nodes=1,2,3)")
+		return
+	}
+	snap := h.svc.Snapshot()
+	n := snap.N()
+	var (
+		cliques [][]int32
+		lookups []wire.Lookup
+		// Disjointness makes a clique's smallest member a unique key, so
+		// dedup needs no digesting — first member -> index in cliques.
+		seen map[int32]int32
+	)
+	for count := 0; len(q) > 0; count++ {
+		if count == h.opt.MaxOps {
+			writeError(w, r, http.StatusBadRequest,
+				fmt.Sprintf("more than %d nodes in one batch", h.opt.MaxOps))
+			return
+		}
+		var tok string
+		if i := strings.IndexByte(q, ','); i >= 0 {
+			tok, q = q[:i], q[i+1:]
+		} else {
+			tok, q = q, ""
+		}
+		u, err := strconv.ParseInt(tok, 10, 32)
+		if err != nil {
+			writeError(w, r, http.StatusBadRequest, "bad node id "+strconv.Quote(tok))
+			return
+		}
+		if u < 0 || u >= int64(n) {
+			writeError(w, r, http.StatusBadRequest,
+				fmt.Sprintf("node %d out of range for %d nodes", u, n))
+			return
+		}
+		idx := int32(-1)
+		if c := snap.CliqueOf(int32(u)); c != nil {
+			if seen == nil {
+				seen = make(map[int32]int32)
+			}
+			var ok bool
+			if idx, ok = seen[c[0]]; !ok {
+				idx = int32(len(cliques))
+				cliques = append(cliques, c)
+				seen[c[0]] = idx
+			}
+		}
+		lookups = append(lookups, wire.Lookup{Node: int32(u), Clique: idx})
+	}
+	if wantBinary(r) {
+		buf := getBuf()
+		defer putBuf(buf)
+		*buf = wire.AppendCliquesFrame((*buf)[:0], snap.Version(), snap.K(), cliques, lookups)
+		writeBody(w, http.StatusOK, wire.ContentType, *buf)
+		return
+	}
+	results := make([]LookupResult, len(lookups))
+	for i, l := range lookups {
+		results[i] = LookupResult{Node: l.Node, Clique: l.Clique}
+	}
+	writeJSON(w, http.StatusOK, CliquesResponse{
+		Version: snap.Version(),
+		K:       snap.K(),
+		Cliques: cliques,
+		Results: results,
+	})
+}
+
+// getStats serves the service + engine counters. Deliberately uncached:
+// several counters (Enqueued, Flushes) move without a snapshot
+// publication, so version-keyed memoization would serve stale numbers.
+func (h *handler) getStats(w http.ResponseWriter, r *http.Request) {
+	snap := h.svc.Snapshot()
+	st := h.svc.Stats()
+	es := snap.Stats()
+	if wantBinary(r) {
+		ws := wire.Stats{
+			Size: uint64(snap.Size()), Nodes: uint64(snap.N()), Edges: uint64(snap.M()),
+			Enqueued: st.Enqueued, Applied: st.Applied, Changed: st.Changed,
+			Batches: st.Batches, Flushes: st.Flushes,
+			Recovered: st.Recovered, Checkpoints: st.Checkpoints,
+			WALBatches: st.WALBatches, WALBytes: st.WALBytes,
+			Insertions: uint64(es.Insertions), Deletions: uint64(es.Deletions),
+			Swaps:        uint64(es.Swaps),
+			IndexBuildUS: uint64(es.IndexBuild.Microseconds()),
+		}
+		buf := getBuf()
+		defer putBuf(buf)
+		*buf = wire.AppendStatsFrame((*buf)[:0], snap.Version(), &ws)
+		writeBody(w, http.StatusOK, wire.ContentType, *buf)
+		return
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Version:    snap.Version(),
+		Size:       snap.Size(),
+		Nodes:      snap.N(),
+		Edges:      snap.M(),
+		Enqueued:   st.Enqueued,
+		Applied:    st.Applied,
+		Changed:    st.Changed,
+		Batches:    st.Batches,
+		Flushes:    st.Flushes,
+		Recovered:  st.Recovered,
+		Ckpts:      st.Checkpoints,
+		WALBatches: st.WALBatches,
+		WALBytes:   st.WALBytes,
+		Insertions: es.Insertions,
+		Deletions:  es.Deletions,
+		Swaps:      es.Swaps,
+		IndexMS:    float64(es.IndexBuild.Microseconds()) / 1000,
+	})
+}
+
+// postUpdate accepts a JSON batch of edge updates, validates it up
+// front (the engine panics on out-of-range ids by design) and enqueues
+// it; with "flush": true it waits for application before answering.
+func (h *handler) postUpdate(w http.ResponseWriter, r *http.Request) {
+	// Bound the body before a byte is parsed: a hostile multi-gigabyte
+	// payload must die at the transport, not as a decoded slice.
+	r.Body = http.MaxBytesReader(w, r.Body, h.opt.MaxBody)
+	var req UpdateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, r, http.StatusBadRequest,
+				fmt.Sprintf("request body exceeds %d bytes", h.opt.MaxBody))
+			return
+		}
+		// Covers malformed JSON and non-integer coordinates alike: the
+		// decoder rejects fractional, out-of-range, and non-numeric
+		// u/v values before they can reach the engine.
+		writeError(w, r, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeError(w, r, http.StatusBadRequest, "no ops")
+		return
+	}
+	if len(req.Ops) > h.opt.MaxOps {
+		writeError(w, r, http.StatusBadRequest,
+			fmt.Sprintf("%d ops exceeds the per-request limit of %d", len(req.Ops), h.opt.MaxOps))
+		return
+	}
+	n := h.svc.Snapshot().N()
+	ops := make([]workload.Op, len(req.Ops))
+	for i, op := range req.Ops {
+		if op.U < 0 || int(op.U) >= n || op.V < 0 || int(op.V) >= n || op.U == op.V {
+			writeError(w, r, http.StatusBadRequest,
+				fmt.Sprintf("op %d: invalid edge (%d,%d) for %d nodes", i, op.U, op.V, n))
+			return
+		}
+		ops[i] = workload.Op{Insert: op.Insert, U: op.U, V: op.V}
+	}
+	if err := h.svc.Enqueue(r.Context(), ops...); err != nil {
+		writeError(w, r, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	if req.Flush {
+		if err := h.svc.Flush(r.Context()); err != nil {
+			writeError(w, r, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+	}
+	snap := h.svc.Snapshot()
+	writeJSON(w, http.StatusAccepted, UpdateResponse{
+		Enqueued: len(ops),
+		Flushed:  req.Flush,
+		Version:  snap.Version(),
+		Size:     snap.Size(),
+	})
+}
+
+// SnapshotResponse is the JSON body of GET /snapshot.
+type SnapshotResponse struct {
+	Version uint64    `json:"version"`
+	K       int       `json:"k"`
+	Nodes   int       `json:"nodes"`
+	Edges   int       `json:"edges"`
+	Size    int       `json:"size"`
+	Cliques [][]int32 `json:"cliques,omitempty"`
+}
+
+// CliqueResponse is the JSON body of GET /clique/{node}.
+type CliqueResponse struct {
+	Node    int32   `json:"node"`
+	Version uint64  `json:"version"`
+	Covered bool    `json:"covered"`
+	Clique  []int32 `json:"clique,omitempty"`
+}
+
+// CliquesResponse is the JSON body of the batched GET /cliques lookup:
+// the deduplicated cliques the queried nodes belong to, plus one result
+// per queried node pointing into Cliques by index (-1 = uncovered).
+type CliquesResponse struct {
+	Version uint64         `json:"version"`
+	K       int            `json:"k"`
+	Cliques [][]int32      `json:"cliques"`
+	Results []LookupResult `json:"results"`
+}
+
+// LookupResult resolves one queried node of a batched lookup.
+type LookupResult struct {
+	Node   int32 `json:"node"`
+	Clique int32 `json:"clique"`
+}
+
+// StatsResponse is the JSON body of GET /stats.
+type StatsResponse struct {
+	Version    uint64  `json:"version"`
+	Size       int     `json:"size"`
+	Nodes      int     `json:"nodes"`
+	Edges      int     `json:"edges"`
+	Enqueued   uint64  `json:"enqueued"`
+	Applied    uint64  `json:"applied"`
+	Changed    uint64  `json:"changed"`
+	Batches    uint64  `json:"batches"`
+	Flushes    uint64  `json:"flushes"`
+	Recovered  uint64  `json:"recovered,omitempty"`
+	Ckpts      uint64  `json:"checkpoints,omitempty"`
+	WALBatches uint64  `json:"wal_batches,omitempty"`
+	WALBytes   uint64  `json:"wal_bytes,omitempty"`
+	Insertions int     `json:"insertions"`
+	Deletions  int     `json:"deletions"`
+	Swaps      int     `json:"swaps"`
+	IndexMS    float64 `json:"index_build_ms"`
+}
+
+// UpdateRequest is the JSON body of POST /update.
+type UpdateRequest struct {
+	Ops []struct {
+		Insert bool  `json:"insert"`
+		U      int32 `json:"u"`
+		V      int32 `json:"v"`
+	} `json:"ops"`
+	Flush bool `json:"flush"`
+}
+
+// UpdateResponse is the JSON body of a successful POST /update.
+type UpdateResponse struct {
+	Enqueued int    `json:"enqueued"`
+	Flushed  bool   `json:"flushed"`
+	Version  uint64 `json:"version"`
+	Size     int    `json:"size"`
+}

@@ -1,0 +1,210 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"reflect"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	cliques := [][]int32{{0, 3, 9}, {1, 4, 5}, {2, 7, 8}}
+	b := AppendSnapshotFrame(nil, 42, 3, 10, 20, len(cliques), cliques, true)
+	f, n, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(b) {
+		t.Fatalf("consumed %d of %d bytes", n, len(b))
+	}
+	if f.Type != FrameSnapshot || f.Version != 42 || f.K != 3 || f.Nodes != 10 ||
+		f.Edges != 20 || f.Size != 3 || !f.HasCliques {
+		t.Fatalf("frame = %+v", f)
+	}
+	if !reflect.DeepEqual(f.Cliques, cliques) {
+		t.Fatalf("cliques = %v, want %v", f.Cliques, cliques)
+	}
+
+	lean := AppendSnapshotFrame(nil, 43, 3, 10, 20, len(cliques), nil, false)
+	f, _, err = Decode(lean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.HasCliques || f.Cliques != nil || f.Size != 3 {
+		t.Fatalf("lean frame = %+v", f)
+	}
+	if len(lean) >= len(b) {
+		t.Fatalf("lean frame (%d bytes) not smaller than full (%d)", len(lean), len(b))
+	}
+}
+
+func TestCliqueRoundTrip(t *testing.T) {
+	b := AppendCliqueFrame(nil, 7, 5, 3, []int32{1, 5, 9})
+	f, _, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != FrameClique || f.Version != 7 || f.Node != 5 || f.K != 3 || !f.Covered {
+		t.Fatalf("frame = %+v", f)
+	}
+	if !reflect.DeepEqual(f.Members, []int32{1, 5, 9}) {
+		t.Fatalf("members = %v", f.Members)
+	}
+
+	b = AppendCliqueFrame(nil, 8, 6, 3, nil)
+	f, _, err = Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Covered || f.Members != nil {
+		t.Fatalf("uncovered frame = %+v", f)
+	}
+}
+
+func TestCliquesRoundTrip(t *testing.T) {
+	cliques := [][]int32{{1, 2, 3}, {4, 5, 6}}
+	lookups := []Lookup{{Node: 1, Clique: 0}, {Node: 2, Clique: 0}, {Node: 5, Clique: 1}, {Node: 9, Clique: -1}}
+	b := AppendCliquesFrame(nil, 99, 3, cliques, lookups)
+	f, _, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != FrameCliques || f.Version != 99 || f.K != 3 {
+		t.Fatalf("frame = %+v", f)
+	}
+	if !reflect.DeepEqual(f.Cliques, cliques) || !reflect.DeepEqual(f.Lookups, lookups) {
+		t.Fatalf("decoded %v / %v", f.Cliques, f.Lookups)
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	st := &Stats{
+		Size: 1, Nodes: 2, Edges: 3, Enqueued: 4, Applied: 5, Changed: 6,
+		Batches: 7, Flushes: 8, Recovered: 9, Checkpoints: 10,
+		WALBatches: 11, WALBytes: 12, Insertions: 13, Deletions: 14,
+		Swaps: 15, IndexBuildUS: 16,
+	}
+	b := AppendStatsFrame(nil, 123, st)
+	f, _, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != FrameStats || f.Version != 123 || !reflect.DeepEqual(f.Stats, st) {
+		t.Fatalf("frame = %+v, stats = %+v", f, f.Stats)
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	b := AppendErrorFrame(nil, 400, "bad node id")
+	f, _, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != FrameError || f.Status != 400 || f.Message != "bad node id" {
+		t.Fatalf("frame = %+v", f)
+	}
+}
+
+// TestBackToBackFrames checks that consumed-byte accounting lets a
+// caller decode a concatenated stream.
+func TestBackToBackFrames(t *testing.T) {
+	b := AppendCliqueFrame(nil, 1, 0, 3, []int32{0, 1, 2})
+	b = AppendErrorFrame(b, 404, "nope")
+	f1, n1, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, n2, err := Decode(b[n1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1.Type != FrameClique || f2.Type != FrameError || n1+n2 != len(b) {
+		t.Fatalf("frames %v / %v, %d+%d of %d bytes", f1.Type, f2.Type, n1, n2, len(b))
+	}
+}
+
+// TestDecodeRejects drives the decoder through the malformed-input
+// space: truncations, flipped bits, bad flags and lying lengths must
+// error (or report ErrShort), never panic, never mis-decode.
+func TestDecodeRejects(t *testing.T) {
+	valid := AppendCliqueFrame(nil, 7, 5, 3, []int32{1, 5, 9})
+
+	// Every truncation of a valid frame is ErrShort or a clean error.
+	for i := 0; i < len(valid); i++ {
+		if _, _, err := Decode(valid[:i]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded", i)
+		}
+	}
+
+	// A flipped payload byte fails the CRC.
+	flip := bytes.Clone(valid)
+	flip[len(flip)-1] ^= 1
+	if _, _, err := Decode(flip); !errors.Is(err, ErrBadCRC) {
+		t.Fatalf("flipped payload byte: %v", err)
+	}
+
+	// Bad magic.
+	bad := bytes.Clone(valid)
+	bad[0] = 'X'
+	if _, _, err := Decode(bad); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: %v", err)
+	}
+
+	// Nonzero reserved byte.
+	res := bytes.Clone(valid)
+	res[6] = 1
+	if _, _, err := Decode(res); err == nil || errors.Is(err, ErrShort) {
+		t.Fatalf("nonzero reserved: %v", err)
+	}
+
+	// Unknown frame type (CRC re-stamped so only the type is wrong).
+	unk := bytes.Clone(valid)
+	unk[4] = 99
+	if _, _, err := Decode(unk); err == nil {
+		t.Fatal("unknown type decoded")
+	}
+
+	// A covered flag of 2 with a correct CRC.
+	cov := bytes.Clone(valid)
+	cov[HeaderSize+16] = 2
+	restamp(cov)
+	if _, _, err := Decode(cov); err == nil {
+		t.Fatal("covered=2 decoded")
+	}
+
+	// A batched lookup pointing past the clique list.
+	oob := AppendCliquesFrame(nil, 1, 3, [][]int32{{0, 1, 2}}, []Lookup{{Node: 0, Clique: 1}})
+	if _, _, err := Decode(oob); err == nil {
+		t.Fatal("out-of-range clique index decoded")
+	}
+
+	// A hostile length prefix must be bounded before allocation.
+	huge := bytes.Clone(valid)
+	binary.LittleEndian.PutUint32(huge[8:12], 1<<30)
+	if _, _, err := Decode(huge); err == nil || errors.Is(err, ErrShort) {
+		t.Fatalf("oversized length prefix: %v", err)
+	}
+}
+
+// restamp recomputes the payload CRC of a frame image after a test
+// mutated the payload.
+func restamp(b []byte) {
+	binary.LittleEndian.PutUint32(b[12:16], crc32.ChecksumIEEE(b[HeaderSize:]))
+}
+
+// TestEncodeReusesBuffer pins the zero-allocation encode contract: with
+// a warm buffer, appending a frame allocates nothing.
+func TestEncodeReusesBuffer(t *testing.T) {
+	cliques := [][]int32{{0, 1, 2}, {3, 4, 5}}
+	buf := make([]byte, 0, 4096)
+	allocs := testing.AllocsPerRun(100, func() {
+		b := AppendSnapshotFrame(buf[:0], 1, 3, 10, 20, len(cliques), cliques, true)
+		b = AppendCliqueFrame(b[:0], 1, 0, 3, cliques[0])
+		_ = AppendStatsFrame(b[:0], 1, &Stats{})
+	})
+	if allocs != 0 {
+		t.Fatalf("encode into a warm buffer allocates %.1f times per run", allocs)
+	}
+}

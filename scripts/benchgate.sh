@@ -1,11 +1,19 @@
 #!/usr/bin/env bash
 # benchgate.sh BASE.txt PR.txt [MAX_REGRESSION_PCT] [BENCH_NAME]
+# benchgate.sh --speedup PR.txt MIN_RATIO FAST_BENCH SLOW_BENCH
 #
 # Minimal benchstat-style regression gate: extracts the ns/op samples of
 # one benchmark from two `go test -bench` outputs, compares their medians,
 # and fails when the PR median regresses past the threshold. Medians over
 # several -count repetitions keep a single noisy sample (CI neighbours,
 # GC pause) from failing or passing the gate on its own.
+#
+# --speedup gates a ratio within ONE bench output instead: the median of
+# SLOW_BENCH divided by the median of FAST_BENCH must be at least
+# MIN_RATIO. This is how a new optimisation is gated when the base
+# commit's bench binary predates the benchmark (base-vs-PR comparison is
+# impossible: no base samples exist) — e.g. the wire read path gates
+# cached /snapshot against the uncached JSON encode from the same run.
 #
 # The gate fails loudly — never vacuously: a missing/empty input file, a
 # bench run that ended in FAIL, or an input with zero samples of the
@@ -15,24 +23,17 @@ set -euo pipefail
 
 die() { echo "benchgate: $*" >&2; exit 2; }
 
-[ $# -ge 2 ] || die "usage: benchgate.sh BASE.txt PR.txt [MAX_REGRESSION_PCT] [BENCH_NAME]"
-
-base_file=$1
-pr_file=$2
-max_pct=${3:-15}
-bench=${4:-BenchmarkDynamicUpdate}
-
-for f in "$base_file" "$pr_file"; do
-    [ -e "$f" ] || die "bench output $f does not exist — did the bench binary build/run at all?"
-    [ -s "$f" ] || die "bench output $f is empty — the bench run produced nothing"
-    if grep -q '^FAIL' "$f"; then
-        die "bench output $f contains a FAIL line — the bench run errored; refusing to compare"
+check_file() {
+    [ -e "$1" ] || die "bench output $1 does not exist — did the bench binary build/run at all?"
+    [ -s "$1" ] || die "bench output $1 is empty — the bench run produced nothing"
+    if grep -q '^FAIL' "$1"; then
+        die "bench output $1 contains a FAIL line — the bench run errored; refusing to compare"
     fi
-done
+}
 
 median() {
-    # Prints the median ns/op of the named benchmark in a bench output.
-    awk -v bench="$bench" '
+    # median FILE BENCH: prints the median ns/op of BENCH in FILE.
+    awk -v bench="$2" '
         $1 ~ "^"bench"(-[0-9]+)?$" && $4 == "ns/op" { v[n++] = $3 }
         END {
             if (n == 0) { print "NA"; exit }
@@ -47,8 +48,38 @@ median() {
         }' "$1"
 }
 
-base_ns=$(median "$base_file")
-pr_ns=$(median "$pr_file")
+if [ "${1:-}" = "--speedup" ]; then
+    shift
+    [ $# -ge 4 ] || die "usage: benchgate.sh --speedup PR.txt MIN_RATIO FAST_BENCH SLOW_BENCH"
+    file=$1 min_ratio=$2 fast=$3 slow=$4
+    check_file "$file"
+    fast_ns=$(median "$file" "$fast")
+    slow_ns=$(median "$file" "$slow")
+    [ "$fast_ns" != "NA" ] || die "no $fast ns/op samples in $file — wrong -bench filter or the bench run failed"
+    [ "$slow_ns" != "NA" ] || die "no $slow ns/op samples in $file — wrong -bench filter or the bench run failed"
+    echo "benchgate: median ns/op: $slow=$slow_ns $fast=$fast_ns (want >= ${min_ratio}x)"
+    awk -v s="$slow_ns" -v f="$fast_ns" -v m="$min_ratio" 'BEGIN {
+        ratio = s / f
+        printf "benchgate: speedup %.1fx\n", ratio
+        exit (ratio < m) ? 1 : 0
+    }' || { echo "benchgate: FAIL — $fast is less than ${min_ratio}x faster than $slow" >&2; exit 1; }
+    echo "benchgate: OK"
+    exit 0
+fi
+
+[ $# -ge 2 ] || die "usage: benchgate.sh BASE.txt PR.txt [MAX_REGRESSION_PCT] [BENCH_NAME]"
+
+base_file=$1
+pr_file=$2
+max_pct=${3:-15}
+bench=${4:-BenchmarkDynamicUpdate}
+
+for f in "$base_file" "$pr_file"; do
+    check_file "$f"
+done
+
+base_ns=$(median "$base_file" "$bench")
+pr_ns=$(median "$pr_file" "$bench")
 
 [ "$base_ns" != "NA" ] || die "no $bench ns/op samples in $base_file — wrong -bench filter or a stale/failed base binary"
 [ "$pr_ns" != "NA" ] || die "no $bench ns/op samples in $pr_file — wrong -bench filter or the PR bench run failed"

@@ -1,0 +1,52 @@
+package dkclique
+
+import "repro/internal/wire"
+
+// WireContentType is the media type that selects the compact binary
+// read protocol on dkserver's GET endpoints: send it in the Accept
+// header and the response body is a single length-prefixed, CRC-checked
+// frame instead of JSON. The same value comes back as the response
+// Content-Type.
+const WireContentType = wire.ContentType
+
+// WireFrame is one decoded frame of the binary read protocol. Type
+// selects which of the remaining fields are meaningful — see the
+// WireFrame* constants and the field docs on the underlying type.
+type WireFrame = wire.Frame
+
+// WireFrameType discriminates the frame payloads.
+type WireFrameType = wire.FrameType
+
+// The frame types a server answers with: a full or lean snapshot of the
+// result set, a point lookup, a batched lookup, the service counters,
+// and an error carrying an HTTP-equivalent status code.
+const (
+	WireFrameSnapshot WireFrameType = wire.FrameSnapshot
+	WireFrameClique   WireFrameType = wire.FrameClique
+	WireFrameCliques  WireFrameType = wire.FrameCliques
+	WireFrameStats    WireFrameType = wire.FrameStats
+	WireFrameError    WireFrameType = wire.FrameError
+)
+
+// WireLookup resolves one node of a batched lookup frame: the index of
+// its clique in the frame's Cliques list, or -1 when uncovered.
+type WireLookup = wire.Lookup
+
+// WireStats is the counter block of a stats frame.
+type WireStats = wire.Stats
+
+// ErrWireShort is returned by DecodeWireFrame when data holds only a
+// prefix of a frame — callers reading from a stream should wait for
+// more bytes rather than fail.
+var ErrWireShort = wire.ErrShort
+
+// DecodeWireFrame decodes the first complete frame in data, returning
+// the frame and the number of bytes consumed — Go clients of dkserver's
+// binary endpoints decode response bodies (or a streamed concatenation
+// of frames) with it. Decoding never panics: truncated, corrupt or
+// hostile input returns an error, with truncation reported as
+// ErrWireShort so callers reading from a stream know to wait for more
+// bytes.
+func DecodeWireFrame(data []byte) (*WireFrame, int, error) {
+	return wire.Decode(data)
+}

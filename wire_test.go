@@ -1,0 +1,81 @@
+package dkclique
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/httpapi"
+)
+
+// TestPublicWireSurface drives the exported binary-protocol surface the
+// way an external Go client would: a served Service behind the HTTP
+// API, a frame negotiated via WireContentType, decoded with
+// DecodeWireFrame.
+func TestPublicWireSurface(t *testing.T) {
+	g, err := FromEdges(6, [][2]int32{
+		{0, 1}, {1, 2}, {0, 2},
+		{3, 4}, {4, 5}, {3, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(g, 3, nil, ServiceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if err := svc.Enqueue(context.Background(), Update{Insert: true, U: 0, V: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(httpapi.New(svc, httpapi.Options{}))
+	defer srv.Close()
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/snapshot", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", WireContentType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != WireContentType {
+		t.Fatalf("content type %q", ct)
+	}
+	body := make([]byte, 0, 256)
+	buf := make([]byte, 512)
+	for {
+		n, err := resp.Body.Read(buf)
+		body = append(body, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+
+	// A prefix is reported as short, not as an error or a panic.
+	if _, _, err := DecodeWireFrame(body[:len(body)/2]); !errors.Is(err, ErrWireShort) {
+		t.Fatalf("half a frame decoded to %v, want ErrWireShort", err)
+	}
+	f, n, err := DecodeWireFrame(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(body) || f.Type != WireFrameSnapshot {
+		t.Fatalf("consumed %d of %d, type %d", n, len(body), f.Type)
+	}
+	snap := svc.Snapshot()
+	if f.Version != snap.Version() || f.Size != snap.Size() || f.K != 3 {
+		t.Fatalf("frame version=%d size=%d k=%d, snapshot version=%d size=%d",
+			f.Version, f.Size, f.K, snap.Version(), snap.Size())
+	}
+	if len(f.Cliques) != f.Size {
+		t.Fatalf("%d cliques in a size-%d frame", len(f.Cliques), f.Size)
+	}
+}
