@@ -10,6 +10,7 @@
 //	dkserver -k 3 -dataset HST
 //	dkserver -k 3 -gen 10000,20000,1        # synthetic community graph
 //	dkserver -k 3 -gen 10000,20000,1 -data /var/lib/dkclique
+//	dkserver -k 3 -dataset HST -tcp :8081   # + raw TCP frame transport
 //
 // With -data, the service is durable: updates are written ahead to a log
 // under the directory and the engine state is checkpointed periodically
@@ -28,6 +29,13 @@
 //	GET  /cliques?nodes=1,2,3 batched lookup against one snapshot, deduplicated
 //	GET  /stats               service + engine counters
 //	POST /update              {"ops":[{"insert":true,"u":1,"v":2},...],"flush":true}
+//
+// With -tcp ADDR a second, wire-native transport listens alongside HTTP:
+// persistent connections speaking internal/wire request/response frames
+// with pipelining, plus a subscribe mode that pushes snapshot deltas
+// (see internal/framesrv and workload.FrameClient). Both transports
+// serve snapshot bodies from one shared version-keyed cache, and a
+// graceful shutdown drains both listeners before the final checkpoint.
 package main
 
 import (
@@ -35,6 +43,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -44,12 +53,15 @@ import (
 	"time"
 
 	dkclique "repro"
+	"repro/internal/framesrv"
 	"repro/internal/httpapi"
+	"repro/internal/respcache"
 )
 
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		tcpAddr   = flag.String("tcp", "", "raw TCP frame-transport listen address (empty = disabled)")
 		inputPath = flag.String("input", "", "edge-list file to read")
 		dsName    = flag.String("dataset", "", "built-in dataset name instead of -input")
 		genSpec   = flag.String("gen", "", "generate a community graph: NODES,EDGES,SEED")
@@ -124,9 +136,14 @@ func main() {
 		}
 	}
 
+	// One snapshot-body cache shared across transports: the HTTP handler
+	// and the TCP frame server answer a given version from the same
+	// pre-encoded bytes.
+	cache := new(respcache.Snapshot)
+
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: httpapi.New(svc, httpapi.Options{MaxOps: *maxOps, MaxBody: *maxBody}),
+		Handler: httpapi.New(svc, httpapi.Options{MaxOps: *maxOps, MaxBody: *maxBody, Cache: cache}),
 		// Bounded timeouts so a slow or hostile peer (slowloris drip-feeds,
 		// abandoned connections) cannot pin handler goroutines forever.
 		ReadHeaderTimeout: 5 * time.Second,
@@ -137,11 +154,24 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	errc := make(chan error, 1)
+	errc := make(chan error, 2)
 	go func() {
 		log.Printf("serving on %s", *addr)
 		errc <- srv.ListenAndServe()
 	}()
+	var fsrv *framesrv.Server
+	if *tcpAddr != "" {
+		fsrv = framesrv.New(svc, framesrv.Options{MaxOps: *maxOps, Cache: cache})
+		ln, err := net.Listen("tcp", *tcpAddr)
+		if err != nil {
+			svc.Close()
+			fatal(err)
+		}
+		go func() {
+			log.Printf("serving frames on %s", *tcpAddr)
+			errc <- fsrv.Serve(ln)
+		}()
+	}
 
 	select {
 	case err := <-errc:
@@ -152,9 +182,21 @@ func main() {
 		log.Printf("signal received; draining connections (limit %s)", *drain)
 		sctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
+		// Drain both listeners concurrently within the one deadline.
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			if fsrv == nil {
+				return
+			}
+			if err := fsrv.Shutdown(sctx); err != nil {
+				log.Printf("frame listener shutdown: %v", err)
+			}
+		}()
 		if err := srv.Shutdown(sctx); err != nil {
 			log.Printf("listener shutdown: %v", err)
 		}
+		<-done
 		// Close drains the update queue into the engine and, with -data,
 		// writes the final checkpoint — nothing accepted is lost.
 		if err := svc.Close(); err != nil {

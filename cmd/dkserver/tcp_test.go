@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	dkclique "repro"
+	"repro/internal/framesrv"
+	"repro/internal/httpapi"
+	"repro/internal/respcache"
+)
+
+// TestTCPTransportWiring drives the exact dual-transport wiring main()
+// assembles — public dkclique.Service, one shared respcache.Snapshot,
+// HTTP handler and frame server mounted on it — and pins the
+// cross-transport contract: both answer a snapshot version with the
+// same pre-encoded bytes, the subscribe stream works through the public
+// request encoders, and shutdown drains cleanly.
+func TestTCPTransportWiring(t *testing.T) {
+	g, err := dkclique.Generate(dkclique.CommunitySocial(400, 8, 0.3, 800, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dkclique.Find(g, dkclique.Options{K: 3, Algorithm: dkclique.LP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := dkclique.NewService(g, 3, res.Cliques, dkclique.ServiceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+
+	cache := new(respcache.Snapshot)
+	hsrv := httptest.NewServer(httpapi.New(svc, httpapi.Options{Cache: cache}))
+	t.Cleanup(hsrv.Close)
+	fsrv := framesrv.New(svc, framesrv.Options{Cache: cache, DrainGrace: 100 * time.Millisecond})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- fsrv.Serve(ln) }()
+
+	// HTTP binary snapshot body.
+	req, err := http.NewRequest(http.MethodGet, hsrv.URL+"/snapshot", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", dkclique.WireContentType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The TCP transport must answer the same version with the identical
+	// bytes (shared cache — not merely an equivalent encoding).
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if _, err := conn.Write(dkclique.EncodeWireSnapshotRequest(nil, true)); err != nil {
+		t.Fatal(err)
+	}
+	tcpBody := make([]byte, len(httpBody))
+	if _, err := io.ReadFull(conn, tcpBody); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(httpBody, tcpBody) {
+		t.Fatalf("TCP snapshot body differs from the HTTP one (%d bytes each)", len(httpBody))
+	}
+	f, _, err := dkclique.DecodeWireFrame(tcpBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != dkclique.WireFrameSnapshot || f.Version != svc.Snapshot().Version() {
+		t.Fatalf("frame type %d version %d", f.Type, f.Version)
+	}
+
+	// Subscribe through the public encoders: the first delta carries the
+	// whole snapshot from the empty base.
+	sub, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	sub.SetDeadline(time.Now().Add(10 * time.Second))
+	if _, err := sub.Write(dkclique.EncodeWireSubscribeRequest(nil)); err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	chunk := make([]byte, 4096)
+	for {
+		n, err := sub.Read(chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = append(buf, chunk[:n]...)
+		d, _, derr := dkclique.DecodeWireFrame(buf)
+		if errors.Is(derr, dkclique.ErrWireShort) {
+			continue
+		}
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		if d.Type != dkclique.WireFrameDelta || d.FromVersion != 0 {
+			t.Fatalf("first streamed frame: type %d from %d", d.Type, d.FromVersion)
+		}
+		if len(d.AddedIDs) != svc.Size() {
+			t.Fatalf("base delta adds %d cliques, snapshot has %d", len(d.AddedIDs), svc.Size())
+		}
+		break
+	}
+
+	// Graceful shutdown: the subscriber is hung up on, Serve returns
+	// ErrServerClosed, the listener stops accepting.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := fsrv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-served; err != framesrv.ErrServerClosed {
+		t.Fatalf("Serve returned %v", err)
+	}
+	if _, err := sub.Read(chunk); err == nil {
+		t.Fatal("subscribe stream still alive after Shutdown")
+	}
+}

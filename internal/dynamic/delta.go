@@ -1,0 +1,70 @@
+package dynamic
+
+// Snapshot deltas. Clique ids are allocated monotonically and never
+// reused, and a clique's member slice is immutable from installation to
+// removal — so the id lists of two snapshots fully determine what
+// changed between them: an id present only in the newer snapshot is an
+// installed clique, one present only in the older a dissolved one, and
+// a shared id is byte-for-byte the same clique. Diffing is one merge
+// walk over the two sorted id arrays; no member comparison is needed.
+//
+// This is what the TCP subscribe stream (internal/framesrv) sends
+// instead of full snapshots: applying the delta from snapshot a to
+// snapshot b onto a's (id, members) list reproduces b's list exactly —
+// same ids, same order, same member bytes — so a delta consumer can
+// re-materialize any snapshot frame byte-identically.
+
+// Delta lists the cliques removed and added between two snapshots.
+// Added member slices are shared with the target snapshot and must not
+// be modified.
+type Delta struct {
+	// RemovedIDs holds the ids of cliques in the older snapshot that are
+	// gone from the newer one, ascending.
+	RemovedIDs []int32
+	// AddedIDs holds the ids of cliques new in the newer snapshot,
+	// ascending; Added is parallel to it.
+	AddedIDs []int32
+	Added    [][]int32
+}
+
+// Empty reports whether the delta carries no S-change (the versions may
+// still differ — edge updates move M without moving S).
+func (d Delta) Empty() bool { return len(d.RemovedIDs) == 0 && len(d.AddedIDs) == 0 }
+
+// DiffFrom computes the delta that turns from's clique set into s's.
+// A nil from means "diff against the empty set": every clique of s is
+// added — the base frame of a delta subscription. from must be an
+// earlier (or the same) snapshot of the same engine; the result shares
+// member slices with s.
+func (s *Snapshot) DiffFrom(from *Snapshot) Delta {
+	var d Delta
+	if from != nil && from.sgen == s.sgen {
+		// Same S-generation: the arrays are shared, nothing moved.
+		return d
+	}
+	var fromIDs []int32
+	if from != nil {
+		fromIDs = from.ids
+	}
+	i, j := 0, 0
+	for i < len(fromIDs) && j < len(s.ids) {
+		switch {
+		case fromIDs[i] == s.ids[j]:
+			i++
+			j++
+		case fromIDs[i] < s.ids[j]:
+			d.RemovedIDs = append(d.RemovedIDs, fromIDs[i])
+			i++
+		default:
+			d.AddedIDs = append(d.AddedIDs, s.ids[j])
+			d.Added = append(d.Added, s.cliques[j])
+			j++
+		}
+	}
+	d.RemovedIDs = append(d.RemovedIDs, fromIDs[i:]...)
+	for ; j < len(s.ids); j++ {
+		d.AddedIDs = append(d.AddedIDs, s.ids[j])
+		d.Added = append(d.Added, s.cliques[j])
+	}
+	return d
+}

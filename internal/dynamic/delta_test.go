@@ -1,0 +1,115 @@
+package dynamic
+
+import (
+	"math/rand"
+	"reflect"
+	"slices"
+	"testing"
+)
+
+// applyDelta replays a delta onto a sorted (id -> members) model — the
+// client-side reconstruction the subscribe stream relies on.
+func applyDelta(ids []int32, cliques [][]int32, d Delta) ([]int32, [][]int32) {
+	for _, id := range d.RemovedIDs {
+		pos, ok := slices.BinarySearch(ids, id)
+		if !ok {
+			panic("removed id not present")
+		}
+		ids = slices.Delete(ids, pos, pos+1)
+		cliques = slices.Delete(cliques, pos, pos+1)
+	}
+	for i, id := range d.AddedIDs {
+		pos, ok := slices.BinarySearch(ids, id)
+		if ok {
+			panic("added id already present")
+		}
+		ids = slices.Insert(ids, pos, id)
+		cliques = slices.Insert(cliques, pos, d.Added[i])
+	}
+	return ids, cliques
+}
+
+// TestDiffFromReconstructs drives a random update stream and checks that
+// replaying every consecutive delta from the empty base reproduces each
+// snapshot's clique list exactly — the invariant the TCP delta stream
+// is built on.
+func TestDiffFromReconstructs(t *testing.T) {
+	g := randomGraph(60, 0.25, 11)
+	eng, err := New(g, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+
+	var prev *Snapshot
+	var ids []int32
+	var cliques [][]int32
+	step := func() {
+		snap := eng.Snapshot()
+		d := snap.DiffFrom(prev)
+		ids, cliques = applyDelta(ids, cliques, d)
+		if len(cliques) != snap.Size() {
+			t.Fatalf("reconstructed %d cliques, snapshot has %d", len(cliques), snap.Size())
+		}
+		if !reflect.DeepEqual(cliques, snap.Cliques()) {
+			t.Fatalf("reconstruction diverged:\n got %v\nwant %v", cliques, snap.Cliques())
+		}
+		if prev != nil && d.Empty() && snap.SChanged() != prev.SChanged() && snap.sgen != prev.sgen {
+			t.Fatalf("empty delta across an S-change (sgen %d -> %d)", prev.sgen, snap.sgen)
+		}
+		prev = snap
+	}
+	step() // base: everything added from the empty set
+
+	for i := 0; i < 400; i++ {
+		u := int32(rng.Intn(g.N()))
+		v := int32(rng.Intn(g.N()))
+		if u == v {
+			continue
+		}
+		if rng.Intn(2) == 0 {
+			eng.InsertEdge(u, v)
+		} else {
+			eng.DeleteEdge(u, v)
+		}
+		step()
+	}
+}
+
+// TestSnapshotSChanged pins the S-change version stamp: it advances to
+// the publishing version exactly when the clique set moves and is
+// carried forward unchanged otherwise.
+func TestSnapshotSChanged(t *testing.T) {
+	g := randomGraph(40, 0.3, 7)
+	eng, err := New(g, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := eng.Snapshot()
+	if snap.SChanged() > snap.Version() {
+		t.Fatalf("schanged %d beyond version %d", snap.SChanged(), snap.Version())
+	}
+	prev := snap
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		u := int32(rng.Intn(g.N()))
+		v := int32(rng.Intn(g.N()))
+		if u == v {
+			continue
+		}
+		if rng.Intn(2) == 0 {
+			eng.InsertEdge(u, v)
+		} else {
+			eng.DeleteEdge(u, v)
+		}
+		snap = eng.Snapshot()
+		moved := !snap.DiffFrom(prev).Empty()
+		switch {
+		case moved && snap.SChanged() != snap.Version():
+			t.Fatalf("S moved at version %d but schanged is %d", snap.Version(), snap.SChanged())
+		case !moved && snap.SChanged() != prev.SChanged():
+			t.Fatalf("S unchanged but schanged moved %d -> %d", prev.SChanged(), snap.SChanged())
+		}
+		prev = snap
+	}
+}

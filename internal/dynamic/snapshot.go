@@ -28,9 +28,10 @@ import (
 // data that a later update can mutate; the slices they expose are shared
 // with the snapshot and must not be modified by callers.
 type Snapshot struct {
-	version uint64
-	sgen    uint64 // S-change generation, for copy-on-write reuse
-	k       int
+	version  uint64
+	sgen     uint64 // S-change generation, for copy-on-write reuse
+	schanged uint64 // version at which S last changed (<= version)
+	k        int
 	n, m    int
 	ids     []int32   // sorted clique ids, parallel to cliques
 	cliques [][]int32 // sorted members, ascending clique-id order
@@ -64,6 +65,13 @@ func (s *Snapshot) Version() uint64 { return s.version }
 
 // K returns the clique size.
 func (s *Snapshot) K() int { return s.k }
+
+// SChanged returns the version of the last publication that changed the
+// clique set S (always <= Version; equal when this very publication
+// moved S). Version() - SChanged() is the snapshot's age in versions —
+// how many S-preserving publications have passed since the result set
+// last moved.
+func (s *Snapshot) SChanged() uint64 { return s.schanged }
 
 // Size returns |S| at publication time.
 func (s *Snapshot) Size() int { return len(s.cliques) }
@@ -231,6 +239,12 @@ func (e *Engine) publish() {
 	*s = Snapshot{sgen: e.sgen, k: e.k, n: n, m: m, stats: e.stats, version: e.ver0 + 1}
 	if prev != nil {
 		s.version = prev.version + 1
+	}
+	s.schanged = s.version
+	if prev != nil && prev.sgen == e.sgen {
+		// S did not change (an AddNode may still force an array rebuild
+		// below, but the clique set itself stands).
+		s.schanged = prev.schanged
 	}
 	if prev != nil && prev.sgen == e.sgen && prev.n == n {
 		// S did not change: reuse the immutable arrays, stamp new metadata.

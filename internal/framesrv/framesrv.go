@@ -1,0 +1,411 @@
+// Package framesrv is the raw TCP front end over a serving-layer
+// Service: persistent connections speaking the length-prefixed binary
+// frames of internal/wire natively, with none of the HTTP machinery
+// (request parsing, header maps, chunking) between a reader and the
+// pre-encoded bytes.
+//
+// Each connection runs a pipelined request/response loop: the server
+// decodes every complete request frame the last read delivered, writes
+// all the responses into one buffered writer and flushes once per
+// readable batch — so a client that keeps n requests in flight pays the
+// syscall and wakeup cost once per batch, not once per request.
+// Responses come back in request order, each answered against the
+// latest published snapshot at its turn (hence per-connection response
+// versions are monotone). Snapshot bodies are served from the same
+// respcache.Snapshot cache the HTTP handler mounts, so both transports
+// answer a given version with the same pre-encoded bytes.
+//
+// A subscribe request flips the connection into a push stream: the
+// server sends delta frames (cliques removed/added between consecutive
+// published snapshots) starting from the empty base, so the first delta
+// carries the whole current snapshot. Applying the deltas in order
+// reproduces every streamed version's clique set exactly; bursts of
+// publications coalesce naturally into one delta spanning them.
+package framesrv
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/dynamic"
+	"repro/internal/respcache"
+	"repro/internal/serve"
+	"repro/internal/wire"
+)
+
+// Service is the serving surface the frame server runs over. Both
+// *serve.Service and the public dkclique.Service satisfy it.
+type Service interface {
+	// Snapshot returns the latest published result snapshot.
+	Snapshot() *dynamic.Snapshot
+	// Stats returns the service activity counters.
+	Stats() serve.Stats
+	// K returns the clique size.
+	K() int
+	// Published returns the channel closed at the next snapshot publish.
+	Published() <-chan struct{}
+}
+
+// Options tunes a Server; the zero value picks the dkserver defaults.
+type Options struct {
+	// MaxOps caps the node ids per batched lookup request. Default 8192,
+	// matching the HTTP handler.
+	MaxOps int
+	// Cache is the shared snapshot-body cache; pass the same instance to
+	// httpapi.Options.Cache and both transports answer a version from
+	// one set of pre-encoded bytes. Nil gets a private instance.
+	Cache *respcache.Snapshot
+	// DrainGrace is how long Shutdown keeps serving already-connected
+	// clients: each connection's next read deadline is set DrainGrace
+	// into the future, so requests written before (or racing with) the
+	// shutdown are still read and answered. Default 250ms.
+	DrainGrace time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxOps <= 0 {
+		o.MaxOps = 8192
+	}
+	if o.DrainGrace <= 0 {
+		o.DrainGrace = 250 * time.Millisecond
+	}
+	return o
+}
+
+// ErrServerClosed is returned by Serve after Shutdown.
+var ErrServerClosed = errors.New("framesrv: server closed")
+
+// connBuf sizes the per-connection read chunk and write buffer: large
+// enough that a deep pipeline of small requests is one syscall each
+// way, small enough to be irrelevant per connection.
+const connBuf = 32 << 10
+
+// Server serves wire frames over raw TCP connections.
+type Server struct {
+	svc   Service
+	opt   Options
+	cache *respcache.Snapshot
+
+	mu     sync.Mutex
+	lns    map[net.Listener]struct{}
+	conns  map[net.Conn]struct{}
+	closed bool
+	done   chan struct{} // closed by Shutdown; wakes subscribe streams
+	wg     sync.WaitGroup
+}
+
+// New builds a frame server over a running service. Call Serve with one
+// or more listeners to start answering.
+func New(svc Service, opt Options) *Server {
+	opt = opt.withDefaults()
+	cache := opt.Cache
+	if cache == nil {
+		cache = new(respcache.Snapshot)
+	}
+	return &Server{
+		svc:   svc,
+		opt:   opt,
+		cache: cache,
+		lns:   make(map[net.Listener]struct{}),
+		conns: make(map[net.Conn]struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// Serve accepts connections on ln until Shutdown, running each in its
+// own goroutine. It returns ErrServerClosed after a Shutdown, or the
+// first non-transient Accept error.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.lns[ln] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.lns, ln)
+		s.mu.Unlock()
+		ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Shutdown stops the server gracefully: listeners close immediately,
+// every open connection gets DrainGrace to have its already-written
+// requests read and answered (subscribe streams get a final delta
+// flush), and Shutdown returns once all connection goroutines finish.
+// If ctx expires first the remaining connections are force-closed and
+// the context error is returned. Idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.done)
+	}
+	for ln := range s.lns {
+		ln.Close()
+	}
+	deadline := time.Now().Add(s.opt.DrainGrace)
+	for c := range s.conns {
+		c.SetReadDeadline(deadline)
+	}
+	s.mu.Unlock()
+
+	waited := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(waited)
+	}()
+	select {
+	case <-waited:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-waited
+		return ctx.Err()
+	}
+}
+
+func (s *Server) removeConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// serveConn is the pipelined request/response loop of one connection.
+// Every read appends to the accumulation buffer; every complete request
+// frame in it is answered into the buffered writer; one flush ends the
+// batch. A half-received frame just waits for the next read.
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.removeConn(conn)
+		s.wg.Done()
+	}()
+	bw := bufio.NewWriterSize(conn, connBuf)
+	chunk := make([]byte, connBuf)
+	var (
+		buf     []byte // unconsumed request bytes
+		scratch []byte // encode scratch for uncached response bodies
+	)
+	for {
+		n, err := conn.Read(chunk)
+		if n > 0 {
+			buf = append(buf, chunk[:n]...)
+			consumed := 0
+			for consumed < len(buf) {
+				f, m, derr := wire.DecodeRequest(buf[consumed:])
+				if derr != nil {
+					if errors.Is(derr, wire.ErrShort) {
+						break // half a frame; the next read completes it
+					}
+					// Anything structurally invalid is a protocol error:
+					// answer once, then hang up — the stream cannot be
+					// resynchronized.
+					scratch = wire.AppendErrorFrame(scratch[:0], http.StatusBadRequest, derr.Error())
+					bw.Write(scratch)
+					bw.Flush()
+					return
+				}
+				consumed += m
+				if f.Type == wire.FrameReqSubscribe {
+					if consumed != len(buf) {
+						scratch = wire.AppendErrorFrame(scratch[:0], http.StatusBadRequest,
+							"frames after subscribe")
+						bw.Write(scratch)
+						bw.Flush()
+						return
+					}
+					if bw.Flush() != nil {
+						return
+					}
+					s.streamDeltas(conn, bw)
+					return
+				}
+				scratch = s.respond(bw, f, scratch)
+			}
+			buf = append(buf[:0], buf[consumed:]...)
+			if bw.Flush() != nil {
+				return
+			}
+		}
+		if err != nil {
+			// EOF, reset, or the drain deadline Shutdown set: everything
+			// fully received has been answered and flushed; hang up.
+			return
+		}
+	}
+}
+
+// respond answers one request frame into bw, reusing scratch for bodies
+// that are not served from the shared cache. Each request is resolved
+// against the latest snapshot at its turn, so response versions are
+// monotone within a connection.
+func (s *Server) respond(bw *bufio.Writer, f *wire.Frame, scratch []byte) []byte {
+	snap := s.svc.Snapshot()
+	switch f.Type {
+	case wire.FrameReqSnapshot:
+		bw.Write(s.cache.Binary(snap, !f.HasCliques))
+		return scratch
+	case wire.FrameReqClique:
+		u := f.Node
+		if u < 0 || int(u) >= snap.N() {
+			scratch = wire.AppendErrorFrame(scratch[:0], http.StatusBadRequest,
+				fmt.Sprintf("node %d out of range for %d nodes", u, snap.N()))
+		} else {
+			scratch = wire.AppendCliqueFrame(scratch[:0], snap.Version(), u, snap.K(), snap.CliqueOf(u))
+		}
+	case wire.FrameReqCliques:
+		scratch = s.batched(scratch[:0], snap, f.Queried)
+	case wire.FrameReqStats:
+		scratch = s.statsFrame(scratch[:0], snap)
+	}
+	bw.Write(scratch)
+	return scratch
+}
+
+// batched resolves a batched lookup against one snapshot, mirroring the
+// HTTP /cliques handler: shared cliques deduplicated (disjointness makes
+// a clique's smallest member a unique key), per-node results pointing
+// into the clique list by index, -1 for uncovered.
+func (s *Server) batched(b []byte, snap *dynamic.Snapshot, queried []int32) []byte {
+	if len(queried) == 0 {
+		return wire.AppendErrorFrame(b, http.StatusBadRequest, "empty batch")
+	}
+	if len(queried) > s.opt.MaxOps {
+		return wire.AppendErrorFrame(b, http.StatusBadRequest,
+			fmt.Sprintf("more than %d nodes in one batch", s.opt.MaxOps))
+	}
+	n := snap.N()
+	var (
+		cliques [][]int32
+		lookups []wire.Lookup
+		seen    map[int32]int32
+	)
+	for _, u := range queried {
+		if u < 0 || int(u) >= n {
+			return wire.AppendErrorFrame(b, http.StatusBadRequest,
+				fmt.Sprintf("node %d out of range for %d nodes", u, n))
+		}
+		idx := int32(-1)
+		if c := snap.CliqueOf(u); c != nil {
+			if seen == nil {
+				seen = make(map[int32]int32)
+			}
+			var ok bool
+			if idx, ok = seen[c[0]]; !ok {
+				idx = int32(len(cliques))
+				cliques = append(cliques, c)
+				seen[c[0]] = idx
+			}
+		}
+		lookups = append(lookups, wire.Lookup{Node: u, Clique: idx})
+	}
+	return wire.AppendCliquesFrame(b, snap.Version(), snap.K(), cliques, lookups)
+}
+
+// statsFrame encodes the service + engine counters, mirroring the HTTP
+// /stats handler.
+func (s *Server) statsFrame(b []byte, snap *dynamic.Snapshot) []byte {
+	st := s.svc.Stats()
+	es := snap.Stats()
+	ws := wire.Stats{
+		Size: uint64(snap.Size()), Nodes: uint64(snap.N()), Edges: uint64(snap.M()),
+		Enqueued: st.Enqueued, Applied: st.Applied, Changed: st.Changed,
+		Batches: st.Batches, Flushes: st.Flushes,
+		Recovered: st.Recovered, Checkpoints: st.Checkpoints,
+		WALBatches: st.WALBatches, WALBytes: st.WALBytes,
+		Insertions: uint64(es.Insertions), Deletions: uint64(es.Deletions),
+		Swaps:        uint64(es.Swaps),
+		IndexBuildUS: uint64(es.IndexBuild.Microseconds()),
+		QueueDepth:   st.QueueDepth,
+		SnapshotAge:  st.SnapshotAge,
+	}
+	return wire.AppendStatsFrame(b, snap.Version(), &ws)
+}
+
+// streamDeltas is the push mode a subscribe request switches the
+// connection into: one delta frame per observed publication (bursts
+// coalesce into one delta spanning them), starting from the empty base
+// so the first frame carries the whole current snapshot. The stream
+// ends when the client hangs up, sends anything further (a protocol
+// error), or the server shuts down.
+func (s *Server) streamDeltas(conn net.Conn, bw *bufio.Writer) {
+	// The serving loop stopped reading; a watchdog takes over the read
+	// side so a hangup (or a stray frame) ends the stream promptly.
+	conn.SetReadDeadline(time.Time{})
+	gone := make(chan struct{})
+	go func() {
+		var one [1]byte
+		conn.Read(one[:])
+		close(gone)
+	}()
+	var (
+		last    *dynamic.Snapshot
+		scratch []byte
+	)
+	for {
+		// Grab the notification channel BEFORE loading the snapshot: a
+		// publish racing between the two closes the channel already held,
+		// so no publication is ever missed.
+		ch := s.svc.Published()
+		snap := s.svc.Snapshot()
+		if last == nil || snap.Version() > last.Version() {
+			d := snap.DiffFrom(last)
+			var from uint64
+			if last != nil {
+				from = last.Version()
+			}
+			scratch = wire.AppendDeltaFrame(scratch[:0], from, snap.Version(), snap.K(),
+				snap.N(), snap.M(), snap.Size(), d.RemovedIDs, d.AddedIDs, d.Added)
+			if _, err := bw.Write(scratch); err != nil {
+				return
+			}
+			if bw.Flush() != nil {
+				return
+			}
+			last = snap
+		}
+		select {
+		case <-ch:
+		case <-gone:
+			return
+		case <-s.done:
+			return
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package httpapi
+
+import "testing"
+
+// TestAcceptsFrames pins the Accept-header negotiation. The old
+// strings.Contains check mis-handled lists and quality values — most
+// damningly, "application/x-dkclique-frame;q=0" (an explicit refusal)
+// still selected binary.
+func TestAcceptsFrames(t *testing.T) {
+	cases := []struct {
+		accept string
+		want   bool
+	}{
+		{"", false},
+		{"application/json", false},
+		{"application/x-dkclique-frame", true},
+		{"APPLICATION/X-DKCLIQUE-FRAME", true},
+		{"  application/x-dkclique-frame  ", true},
+
+		// Comma-separated media-range lists.
+		{"application/json, application/x-dkclique-frame", true},
+		{"application/x-dkclique-frame, application/json", true},
+		{"text/html,application/xhtml+xml,application/xml;q=0.9", false},
+
+		// Quality values: q=0 is an explicit refusal, anything else accepts.
+		{"application/x-dkclique-frame;q=0", false},
+		{"application/x-dkclique-frame;q=0.0", false},
+		{"application/x-dkclique-frame; q=0", false},
+		{"application/x-dkclique-frame;q=0.5", true},
+		{"application/x-dkclique-frame;q=1", true},
+		{"application/json;q=1, application/x-dkclique-frame;q=0", false},
+		{"application/x-dkclique-frame;q=0, application/json", false},
+
+		// Other parameters must not be mistaken for q, and a malformed q
+		// is treated as absent (lenient: accept).
+		{"application/x-dkclique-frame;version=1", true},
+		{"application/x-dkclique-frame;eq=0", true},
+		{"application/x-dkclique-frame;q=bogus", true},
+		{"application/x-dkclique-frame;q=", true},
+		{"application/x-dkclique-frame;version=1;q=0", false},
+
+		// The media type must match the whole range, not a substring of
+		// it — a parameter or neighbour mentioning the type is not a
+		// request for it.
+		{"application/x-dkclique-frame2", false},
+		{"text/plain;note=application/x-dkclique-frame", false},
+		{"application/x-dkclique", false},
+
+		// Wildcards deliberately do not select binary: JSON stays the
+		// default for generic clients.
+		{"*/*", false},
+		{"application/*", false},
+		{"*/*, application/x-dkclique-frame", true},
+	}
+	for _, c := range cases {
+		if got := acceptsFrames(c.accept); got != c.want {
+			t.Errorf("acceptsFrames(%q) = %v, want %v", c.accept, got, c.want)
+		}
+	}
+}

@@ -7,58 +7,13 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/wire"
 )
 
-// Response-body memoization and the pooled encode paths.
-//
-// The cache exploits the MVCC read protocol underneath: every published
-// snapshot carries a monotone version counter, and a snapshot is
-// immutable forever — so (version, representation) fully determines the
-// encoded body, and a cached body can be served to any number of
-// concurrent readers without copying. The writer bumping the version on
-// every S-changing publish is the whole invalidation story.
-
-// versionedBody is one immutable pre-encoded response body. Never
-// mutated after the pointer is published.
-type versionedBody struct {
-	version uint64
-	body    []byte
-}
-
-// bodyCache memoizes one response representation against the snapshot
-// version. Safe for any number of concurrent readers; builds race
-// benignly (the loser serves its own fresh bytes and the monotone-
-// version CAS keeps a stale build from clobbering a newer one).
-type bodyCache struct {
-	p atomic.Pointer[versionedBody]
-}
-
-// get returns the cached body for version, building and installing it
-// on a miss. build must return a fresh, never-reused slice: the result
-// is shared with every concurrent and future reader of this version.
-func (c *bodyCache) get(version uint64, build func() []byte) []byte {
-	if v := c.p.Load(); v != nil && v.version == version {
-		return v.body
-	}
-	nb := &versionedBody{version: version, body: build()}
-	for {
-		cur := c.p.Load()
-		if cur != nil && cur.version >= version {
-			// A concurrent reader cached this version (serve its copy) or a
-			// newer one (keep it — our snapshot is already stale).
-			if cur.version == version {
-				return cur.body
-			}
-			return nb.body
-		}
-		if c.p.CompareAndSwap(cur, nb) {
-			return nb.body
-		}
-	}
-}
+// Pooled encode paths. (The response-body memoization itself lives in
+// internal/respcache since the raw TCP transport arrived — both front
+// ends serve snapshot bodies from one shared respcache.Snapshot.)
 
 // bufPool holds the scratch buffers of the uncached binary encode paths
 // (point and batched lookups). Pooled as pointers so Put does not

@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/dynamic"
+	"repro/internal/respcache"
 	"repro/internal/serve"
 	"repro/internal/wire"
 	"repro/internal/workload"
@@ -58,6 +59,11 @@ type Options struct {
 	// benchmarks that measure the uncached baseline; production handlers
 	// leave it false.
 	DisableCache bool
+	// Cache is the shared snapshot-body cache. cmd/dkserver passes one
+	// instance to both the HTTP handler and the TCP frame server so the
+	// two transports answer from the same pre-encoded bytes. Nil gets a
+	// private instance.
+	Cache *respcache.Snapshot
 }
 
 func (o Options) withDefaults() Options {
@@ -76,17 +82,19 @@ type handler struct {
 	opt Options
 	mux *http.ServeMux
 
-	// Snapshot response caches, one per representation. Each memoizes the
-	// fully encoded body against the snapshot version that produced it.
-	snapJSONFull bodyCache
-	snapJSONLean bodyCache
-	snapBinFull  bodyCache
-	snapBinLean  bodyCache
+	// cache memoizes the fully encoded /snapshot bodies (one slot per
+	// representation) against the snapshot version that produced them.
+	// Possibly shared with other transports via Options.Cache.
+	cache *respcache.Snapshot
 }
 
 // New builds the HTTP API over a running service.
 func New(svc Service, opt Options) http.Handler {
 	h := &handler{svc: svc, opt: opt.withDefaults(), mux: http.NewServeMux()}
+	h.cache = h.opt.Cache
+	if h.cache == nil {
+		h.cache = new(respcache.Snapshot)
+	}
 	h.mux.HandleFunc("GET /snapshot", h.getSnapshot)
 	h.mux.HandleFunc("GET /clique/{node}", h.getClique)
 	h.mux.HandleFunc("GET /cliques", h.getCliques)
@@ -99,9 +107,68 @@ func (h *handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	h.mux.ServeHTTP(w, r)
 }
 
-// wantBinary reports whether the client asked for binary frames.
+// wantBinary reports whether the client asked for binary frames: the
+// Accept header, parsed as a comma-separated list of media ranges, must
+// contain the frame media type with a nonzero quality. A plain
+// strings.Contains would mis-negotiate lists and quality values —
+// "application/x-dkclique-frame;q=0" explicitly refuses binary, and a
+// parameter or suffix mentioning the type must not select it.
 func wantBinary(r *http.Request) bool {
-	return strings.Contains(r.Header.Get("Accept"), wire.ContentType)
+	return acceptsFrames(r.Header.Get("Accept"))
+}
+
+// acceptsFrames parses an Accept header value. It deliberately ignores
+// wildcards ("*/*", "application/*"): JSON is the default
+// representation, and a generic client that accepts anything should
+// keep getting it.
+func acceptsFrames(accept string) bool {
+	for len(accept) > 0 {
+		var r string
+		if i := strings.IndexByte(accept, ','); i >= 0 {
+			r, accept = accept[:i], accept[i+1:]
+		} else {
+			r, accept = accept, ""
+		}
+		// Split the media type from its parameters (q=..., etc).
+		mediaType := r
+		var params string
+		if i := strings.IndexByte(r, ';'); i >= 0 {
+			mediaType, params = r[:i], r[i+1:]
+		}
+		if !strings.EqualFold(strings.TrimSpace(mediaType), wire.ContentType) {
+			continue
+		}
+		if q, ok := acceptQuality(params); ok && q == 0 {
+			continue // explicitly refused: "…;q=0"
+		}
+		return true
+	}
+	return false
+}
+
+// acceptQuality extracts the q parameter of one media range's parameter
+// list, reporting whether one was present. Malformed q values are
+// treated as absent (quality 1), matching the lenient server behaviour
+// RFC 9110 suggests.
+func acceptQuality(params string) (float64, bool) {
+	for len(params) > 0 {
+		var p string
+		if i := strings.IndexByte(params, ';'); i >= 0 {
+			p, params = params[:i], params[i+1:]
+		} else {
+			p, params = params, ""
+		}
+		key, val, ok := strings.Cut(p, "=")
+		if !ok || !strings.EqualFold(strings.TrimSpace(key), "q") {
+			continue
+		}
+		q, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil || q < 0 || q > 1 {
+			return 0, false
+		}
+		return q, true
+	}
+	return 0, false
 }
 
 // getSnapshot serves the point-in-time result set. The encoded body is
@@ -115,18 +182,18 @@ func (h *handler) getSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeBody(w, http.StatusOK, contentType(bin), encodeSnapshot(nil, snap, lean, bin))
 		return
 	}
-	cache := &h.snapJSONFull
-	switch {
-	case bin && lean:
-		cache = &h.snapBinLean
-	case bin:
-		cache = &h.snapBinFull
-	case lean:
-		cache = &h.snapJSONLean
+	var body []byte
+	if bin {
+		body = h.cache.Binary(snap, lean)
+	} else {
+		cache := &h.cache.JSONFull
+		if lean {
+			cache = &h.cache.JSONLean
+		}
+		body = cache.Get(snap.Version(), func() []byte {
+			return encodeSnapshot(nil, snap, lean, false)
+		})
 	}
-	body := cache.get(snap.Version(), func() []byte {
-		return encodeSnapshot(nil, snap, lean, bin)
-	})
 	writeBody(w, http.StatusOK, contentType(bin), body)
 }
 
@@ -278,6 +345,8 @@ func (h *handler) getStats(w http.ResponseWriter, r *http.Request) {
 			Insertions: uint64(es.Insertions), Deletions: uint64(es.Deletions),
 			Swaps:        uint64(es.Swaps),
 			IndexBuildUS: uint64(es.IndexBuild.Microseconds()),
+			QueueDepth:   st.QueueDepth,
+			SnapshotAge:  st.SnapshotAge,
 		}
 		buf := getBuf()
 		defer putBuf(buf)
@@ -303,6 +372,8 @@ func (h *handler) getStats(w http.ResponseWriter, r *http.Request) {
 		Deletions:  es.Deletions,
 		Swaps:      es.Swaps,
 		IndexMS:    float64(es.IndexBuild.Microseconds()) / 1000,
+		QueueDepth: st.QueueDepth,
+		SnapAge:    st.SnapshotAge,
 	})
 }
 
@@ -418,6 +489,8 @@ type StatsResponse struct {
 	Deletions  int     `json:"deletions"`
 	Swaps      int     `json:"swaps"`
 	IndexMS    float64 `json:"index_build_ms"`
+	QueueDepth uint64  `json:"queue_depth"`
+	SnapAge    uint64  `json:"snapshot_age"`
 }
 
 // UpdateRequest is the JSON body of POST /update.

@@ -1,0 +1,95 @@
+package respcache
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/dynamic"
+	"repro/internal/graph"
+	"repro/internal/wire"
+)
+
+// TestBody pins the memoization contract directly: one build per
+// version, shared bytes afterwards, monotone replacement.
+func TestBody(t *testing.T) {
+	var c Body
+	builds := 0
+	build := func(v uint64) func() []byte {
+		return func() []byte {
+			builds++
+			return []byte(fmt.Sprintf("v%d", v))
+		}
+	}
+	b1 := c.Get(5, build(5))
+	b2 := c.Get(5, build(5))
+	if builds != 1 {
+		t.Fatalf("%d builds for one version", builds)
+	}
+	if &b1[0] != &b2[0] {
+		t.Fatal("second read did not share the cached bytes")
+	}
+	b3 := c.Get(6, build(6))
+	if builds != 2 || string(b3) != "v6" {
+		t.Fatalf("builds=%d body=%q", builds, b3)
+	}
+	// A stale build (an old snapshot still held by a slow reader) must
+	// not clobber the newer cached version.
+	b4 := c.Get(5, build(5))
+	if string(b4) != "v5" {
+		t.Fatalf("stale read served %q", b4)
+	}
+	if got := c.Get(6, func() []byte { t.Fatal("rebuilt a cached version"); return nil }); string(got) != "v6" {
+		t.Fatalf("cache lost version 6: %q", got)
+	}
+}
+
+// TestBodyZeroAlloc is the acceptance-criterion pin: in the cached
+// steady state the per-request body "encode" is an atomic load — zero
+// allocations.
+func TestBodyZeroAlloc(t *testing.T) {
+	var c Body
+	body := []byte("cached response body")
+	c.Get(7, func() []byte { return body })
+	allocs := testing.AllocsPerRun(1000, func() {
+		if b := c.Get(7, func() []byte { t.Fatal("miss"); return nil }); len(b) == 0 {
+			t.Fatal("empty body")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cached body retrieval allocates %.1f times per run", allocs)
+	}
+}
+
+// TestSnapshotBinary checks the shared binary encoder against a direct
+// wire encode — and that the cached bytes are version-keyed, so two
+// transports mounting one Snapshot cache answer byte-identically.
+func TestSnapshotBinary(t *testing.T) {
+	g, err := graph.FromEdges(9, [][2]int32{{0, 1}, {0, 2}, {1, 2}, {3, 4}, {3, 5}, {4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := dynamic.New(g, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := eng.Snapshot()
+
+	var c Snapshot
+	full := c.Binary(snap, false)
+	want := wire.AppendSnapshotFrame(nil, snap.Version(), snap.K(), snap.N(), snap.M(),
+		snap.Size(), snap.Cliques(), true)
+	if !bytes.Equal(full, want) {
+		t.Fatalf("cached full body differs from direct encode:\n got %x\nwant %x", full, want)
+	}
+	lean := c.Binary(snap, true)
+	wantLean := wire.AppendSnapshotFrame(nil, snap.Version(), snap.K(), snap.N(), snap.M(),
+		snap.Size(), nil, false)
+	if !bytes.Equal(lean, wantLean) {
+		t.Fatalf("cached lean body differs from direct encode")
+	}
+	// Second read of the same version shares the cached bytes.
+	if again := c.Binary(snap, false); &again[0] != &full[0] {
+		t.Fatal("second read did not share the cached bytes")
+	}
+}

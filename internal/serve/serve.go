@@ -113,6 +113,17 @@ type Stats struct {
 	// Zero for non-durable services.
 	WALBatches uint64
 	WALBytes   uint64
+	// QueueDepth is the instantaneous update backlog: ops accepted by
+	// Enqueue that the writer has not yet applied. Unlike every field
+	// above it is a gauge, not a cumulative counter — it falls back to
+	// zero whenever the writer catches up.
+	QueueDepth uint64
+	// SnapshotAge is the number of snapshot publications since the clique
+	// set S last changed (0 when the latest publication moved S). A gauge:
+	// it grows while updates leave the result set untouched and resets on
+	// every S-changing publish. This is the freshness signal the TCP
+	// delta-subscribe path keys on.
+	SnapshotAge uint64
 }
 
 // item is one unit of the writer's input queue: ops to apply and/or a
@@ -137,6 +148,12 @@ type Service struct {
 	closeOnce sync.Once
 	closed    atomic.Bool
 	closeErr  error
+
+	// pubMu guards pubCh, the broadcast channel Published hands out;
+	// the writer closes and replaces it after every batch application,
+	// waking every goroutine blocked on an earlier Published() value.
+	pubMu sync.Mutex
+	pubCh chan struct{}
 
 	// dur is the durability state (nil for in-memory services); werr
 	// latches the first WAL/checkpoint failure, after which the service is
@@ -186,12 +203,13 @@ func New(g *graph.Graph, k int, initial [][]int32, opt Options) (*Service, error
 // the writer; New and Open attach durability state in between.
 func wrapEngine(eng *dynamic.Engine, opt Options) *Service {
 	return &Service{
-		eng:  eng,
-		k:    eng.K(),
-		n:    eng.Graph().N(),
-		in:   make(chan item, opt.QueueCapacity),
-		quit: make(chan struct{}),
-		done: make(chan struct{}),
+		eng:   eng,
+		k:     eng.K(),
+		n:     eng.Graph().N(),
+		in:    make(chan item, opt.QueueCapacity),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+		pubCh: make(chan struct{}),
 	}
 }
 
@@ -212,12 +230,37 @@ func (s *Service) fail(err error) {
 	s.werr.CompareAndSwap(nil, &err)
 }
 
+// Published returns a channel that is closed at the next snapshot
+// publication (and on writer exit). The pattern for a push consumer —
+// the TCP delta-subscribe loop is one — is: grab the channel FIRST,
+// then read Snapshot(); if the snapshot is not new, block on the
+// channel. A publication racing between the two calls closes the
+// already-held channel, so no version can slip by unobserved. Each
+// returned channel fires once; call Published again for the next tick.
+func (s *Service) Published() <-chan struct{} {
+	s.pubMu.Lock()
+	ch := s.pubCh
+	s.pubMu.Unlock()
+	return ch
+}
+
+// notifyPublished wakes everything blocked on an earlier Published()
+// channel. Called by the writer after each applied batch group and once
+// on exit (so waiters re-check and observe closure instead of hanging).
+func (s *Service) notifyPublished() {
+	s.pubMu.Lock()
+	close(s.pubCh)
+	s.pubCh = make(chan struct{})
+	s.pubMu.Unlock()
+}
+
 // run is the single writer: it blocks for the next queue item, then
 // greedily collects everything already queued (up to maxBatch ops) and
 // applies it as one ApplyBatch call, so bursts coalesce into few engine
 // batches while an idle service applies single updates immediately.
 func (s *Service) run(maxBatch int) {
 	defer close(s.done)
+	defer s.notifyPublished()
 	buf := make([]workload.Op, 0, maxBatch)
 	var pendingFlush []chan struct{}
 	apply := func() {
@@ -265,6 +308,8 @@ func (s *Service) run(maxBatch int) {
 			close(f)
 		}
 		pendingFlush = pendingFlush[:0]
+		// Wake the delta subscribers after the engine published.
+		s.notifyPublished()
 	}
 	collect := func(it item) {
 		buf = append(buf, it.ops...)
@@ -471,5 +516,12 @@ func (s *Service) Stats() Stats {
 	st.Checkpoints = s.checkpoints.Load()
 	st.WALBatches = s.walBatches.Load()
 	st.WALBytes = s.walBytes.Load()
+	// Gauges. QueueDepth inherits the Applied-before-Enqueued load order
+	// above, so it can transiently over-count an in-flight Enqueue but
+	// never goes negative; SnapshotAge is internally consistent because
+	// both counters come from one immutable snapshot.
+	st.QueueDepth = st.Enqueued - st.Applied
+	snap := s.eng.Snapshot()
+	st.SnapshotAge = snap.Version() - snap.SChanged()
 	return st
 }

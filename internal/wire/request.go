@@ -1,0 +1,145 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Request frames: the client side of the raw TCP transport
+// (internal/framesrv). They share the response framing — magic, type,
+// reserved-zero bytes, length prefix, CRC — but live in a disjoint type
+// range and are decoded only by DecodeRequest, so a server never
+// misparses a response (or vice versa) as anything but a protocol error.
+//
+// Payloads (little-endian, like the responses):
+//
+//	reqsnapshot:  [1] includeCliques (0 = lean header only, 1 = full)
+//	reqclique:    [4] node
+//	reqcliques:   [4] count, count × [4] node
+//	reqstats:     empty
+//	reqsubscribe: empty — the connection becomes a push stream of delta
+//	              frames, starting from the empty base (version 0), so
+//	              the first delta carries the whole current snapshot
+const (
+	// FrameReqSnapshot asks for a snapshot frame (full or lean).
+	FrameReqSnapshot FrameType = 16
+	// FrameReqClique asks for one point lookup.
+	FrameReqClique FrameType = 17
+	// FrameReqCliques asks for a batched lookup over many nodes.
+	FrameReqCliques FrameType = 18
+	// FrameReqStats asks for the service and engine counters.
+	FrameReqStats FrameType = 19
+	// FrameReqSubscribe turns the connection into a delta push stream.
+	FrameReqSubscribe FrameType = 20
+)
+
+// AppendSnapshotRequest appends a snapshot request; include selects the
+// full member list over the lean header-only variant.
+func AppendSnapshotRequest(b []byte, include bool) []byte {
+	b, mark := beginFrame(b, FrameReqSnapshot)
+	if include {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return endFrame(b, mark)
+}
+
+// AppendCliqueRequest appends a point-lookup request for one node.
+func AppendCliqueRequest(b []byte, node int32) []byte {
+	b, mark := beginFrame(b, FrameReqClique)
+	b = binary.LittleEndian.AppendUint32(b, uint32(node))
+	return endFrame(b, mark)
+}
+
+// AppendCliquesRequest appends a batched-lookup request resolving nodes
+// against one snapshot.
+func AppendCliquesRequest(b []byte, nodes []int32) []byte {
+	b, mark := beginFrame(b, FrameReqCliques)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(nodes)))
+	b = appendMembers(b, nodes)
+	return endFrame(b, mark)
+}
+
+// AppendStatsRequest appends a stats request.
+func AppendStatsRequest(b []byte) []byte {
+	b, mark := beginFrame(b, FrameReqStats)
+	return endFrame(b, mark)
+}
+
+// AppendSubscribeRequest appends a subscribe request. After answering
+// it the server pushes delta frames until the connection closes; any
+// frame the client sends after it is a protocol error.
+func AppendSubscribeRequest(b []byte) []byte {
+	b, mark := beginFrame(b, FrameReqSubscribe)
+	return endFrame(b, mark)
+}
+
+// DecodeRequest parses the first request frame of data, with the same
+// contract as Decode: it never panics, a frame cut short returns
+// ErrShort, anything structurally invalid — including a well-formed
+// response frame — returns a permanent error. Decoded slices are fresh
+// copies, independent of data.
+func DecodeRequest(data []byte) (*Frame, int, error) {
+	typ, payload, n, err := decodeHeader(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	f := &Frame{Type: typ}
+	switch typ {
+	case FrameReqSnapshot:
+		err = f.decodeSnapshotRequest(payload)
+	case FrameReqClique:
+		err = f.decodeCliqueRequest(payload)
+	case FrameReqCliques:
+		err = f.decodeCliquesRequest(payload)
+	case FrameReqStats, FrameReqSubscribe:
+		if len(payload) != 0 {
+			err = fmt.Errorf("wire: %d payload bytes on a bodyless request", len(payload))
+		}
+	default:
+		err = fmt.Errorf("wire: unknown request frame type %d", typ)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	return f, n, nil
+}
+
+func (f *Frame) decodeSnapshotRequest(p []byte) error {
+	if len(p) != 1 {
+		return fmt.Errorf("wire: snapshot request payload of %d bytes, want 1", len(p))
+	}
+	switch p[0] {
+	case 0:
+	case 1:
+		f.HasCliques = true
+	default:
+		return fmt.Errorf("wire: snapshot request include flag is %d", p[0])
+	}
+	return nil
+}
+
+func (f *Frame) decodeCliqueRequest(p []byte) error {
+	if len(p) != 4 {
+		return fmt.Errorf("wire: clique request payload of %d bytes, want 4", len(p))
+	}
+	f.Node = int32(binary.LittleEndian.Uint32(p))
+	return nil
+}
+
+func (f *Frame) decodeCliquesRequest(p []byte) error {
+	if len(p) < 4 {
+		return fmt.Errorf("wire: batched request payload of %d bytes below the fixed part", len(p))
+	}
+	n := int(int32(binary.LittleEndian.Uint32(p[0:4])))
+	if n < 0 {
+		return fmt.Errorf("wire: negative batched request count")
+	}
+	rest := p[4:]
+	if int64(len(rest)) != 4*int64(n) {
+		return fmt.Errorf("wire: %d node bytes for a batch of %d", len(rest), n)
+	}
+	f.Queried = decodeIDs(rest, n)
+	return nil
+}

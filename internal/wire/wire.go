@@ -28,8 +28,16 @@
 //	cliques:  [8] version, [4] k, [4] ncliques, [4] nlookups,
 //	          ncliques × k × [4] members,
 //	          nlookups × ([4] node, [4] clique index or -1)
-//	stats:    [8] version, 16 × [8] counters (see Stats)
+//	stats:    [8] version, 18 × [8] counters (see Stats)
 //	error:    [4] HTTP status, then the UTF-8 message
+//	delta:    [8] fromVersion, [8] toVersion, [4] k, [4] nodes, [4] edges,
+//	          [4] size, [4] nRemoved, [4] nAdded,
+//	          nRemoved × [4] removed clique id,
+//	          nAdded × ([4] clique id, k × [4] members)
+//
+// Request frames (see request.go) mirror the responses and share the
+// header; DecodeRequest accepts only them, Decode only responses, so a
+// confused peer is a protocol error rather than a misparse.
 //
 // The decoder never panics on hostile input: every length is bounds-
 // checked against the payload before a byte is read, flag bytes must be
@@ -79,6 +87,12 @@ const (
 	FrameStats FrameType = 4
 	// FrameError carries an HTTP status code and a message.
 	FrameError FrameType = 5
+	// FrameDelta carries the difference between two snapshots: the
+	// cliques removed and added between fromVersion and toVersion, keyed
+	// by their stable engine clique ids. Applying a delta stream to an
+	// empty base reproduces the target snapshot exactly (see the payload
+	// doc above and internal/framesrv for the streaming protocol).
+	FrameDelta FrameType = 6
 )
 
 // Decode errors. ErrShort means the input ends before the frame does —
@@ -98,8 +112,10 @@ type Lookup struct {
 }
 
 // Stats is the counter block of a stats frame. IndexBuildUS is the
-// engine's cumulative index-build time in microseconds; everything else
-// mirrors the JSON /stats fields.
+// engine's cumulative index-build time in microseconds; QueueDepth and
+// SnapshotAge are instantaneous gauges (ops accepted but not yet applied,
+// and versions published since S last changed); everything else mirrors
+// the JSON /stats fields.
 type Stats struct {
 	Size, Nodes, Edges           uint64
 	Enqueued, Applied, Changed   uint64
@@ -108,11 +124,12 @@ type Stats struct {
 	WALBatches, WALBytes         uint64
 	Insertions, Deletions, Swaps uint64
 	IndexBuildUS                 uint64
+	QueueDepth, SnapshotAge      uint64
 }
 
 // statsFields is the number of 8-byte counters a stats payload carries
 // after the version.
-const statsFields = 16
+const statsFields = 18
 
 // Frame is one decoded frame. Only the fields of the decoded Type are
 // meaningful; slices alias the input buffer's decoded copies and belong
@@ -138,6 +155,17 @@ type Frame struct {
 
 	// Batched-lookup resolution, indices into Cliques.
 	Lookups []Lookup
+
+	// Delta frame fields: the version the delta starts from (Version is
+	// the version it produces), the ids of the cliques removed, and the
+	// ids of the cliques added — whose members are carried in Cliques,
+	// parallel to AddedIDs.
+	FromVersion uint64
+	RemovedIDs  []int32
+	AddedIDs    []int32
+
+	// Queried holds the node ids of a batched-lookup request frame.
+	Queried []int32
 
 	// Stats frame counters.
 	Stats *Stats
@@ -235,8 +263,34 @@ func AppendStatsFrame(b []byte, version uint64, st *Stats) []byte {
 		st.WALBatches, st.WALBytes,
 		st.Insertions, st.Deletions, st.Swaps,
 		st.IndexBuildUS,
+		st.QueueDepth, st.SnapshotAge,
 	} {
 		b = binary.LittleEndian.AppendUint64(b, v)
+	}
+	return endFrame(b, mark)
+}
+
+// AppendDeltaFrame appends a delta frame describing the S-change between
+// the snapshots at fromVersion and toVersion: removed lists the ids of
+// dissolved cliques, addedIDs/added (parallel, each clique exactly k
+// members) the installed ones. k, nodes, edges and size describe the
+// target snapshot, so a consumer tracking deltas always knows the full
+// snapshot header.
+func AppendDeltaFrame(b []byte, fromVersion, toVersion uint64, k, nodes, edges, size int,
+	removed, addedIDs []int32, added [][]int32) []byte {
+	b, mark := beginFrame(b, FrameDelta)
+	b = binary.LittleEndian.AppendUint64(b, fromVersion)
+	b = binary.LittleEndian.AppendUint64(b, toVersion)
+	b = binary.LittleEndian.AppendUint32(b, uint32(k))
+	b = binary.LittleEndian.AppendUint32(b, uint32(nodes))
+	b = binary.LittleEndian.AppendUint32(b, uint32(edges))
+	b = binary.LittleEndian.AppendUint32(b, uint32(size))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(removed)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(addedIDs)))
+	b = appendMembers(b, removed)
+	for i, id := range addedIDs {
+		b = binary.LittleEndian.AppendUint32(b, uint32(id))
+		b = appendMembers(b, added[i])
 	}
 	return endFrame(b, mark)
 }
@@ -263,29 +317,11 @@ func appendMembers(b []byte, members []int32) []byte {
 // more and retry), anything structurally invalid returns a permanent
 // error. Decoded slices are fresh copies, independent of data.
 func Decode(data []byte) (*Frame, int, error) {
-	if len(data) < HeaderSize {
-		return nil, 0, ErrShort
-	}
-	if [4]byte(data[0:4]) != magic {
-		return nil, 0, ErrBadMagic
-	}
-	typ := FrameType(data[4])
-	if data[5] != 0 || data[6] != 0 || data[7] != 0 {
-		return nil, 0, fmt.Errorf("wire: nonzero reserved bytes")
-	}
-	plen := int64(binary.LittleEndian.Uint32(data[8:12]))
-	if plen > MaxPayload {
-		return nil, 0, fmt.Errorf("wire: payload of %d bytes exceeds the frame bound", plen)
-	}
-	if int64(len(data)) < HeaderSize+plen {
-		return nil, 0, ErrShort
-	}
-	payload := data[HeaderSize : HeaderSize+plen]
-	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[12:16]) {
-		return nil, 0, ErrBadCRC
+	typ, payload, n, err := decodeHeader(data)
+	if err != nil {
+		return nil, 0, err
 	}
 	f := &Frame{Type: typ}
-	var err error
 	switch typ {
 	case FrameSnapshot:
 		err = f.decodeSnapshot(payload)
@@ -297,13 +333,43 @@ func Decode(data []byte) (*Frame, int, error) {
 		err = f.decodeStats(payload)
 	case FrameError:
 		err = f.decodeError(payload)
+	case FrameDelta:
+		err = f.decodeDelta(payload)
 	default:
 		err = fmt.Errorf("wire: unknown frame type %d", typ)
 	}
 	if err != nil {
 		return nil, 0, err
 	}
-	return f, HeaderSize + int(plen), nil
+	return f, n, nil
+}
+
+// decodeHeader validates the fixed frame header (magic, reserved bytes,
+// bounded payload length, CRC) and returns the frame type, its payload
+// and the total consumed length. Shared by Decode and DecodeRequest.
+func decodeHeader(data []byte) (FrameType, []byte, int, error) {
+	if len(data) < HeaderSize {
+		return 0, nil, 0, ErrShort
+	}
+	if [4]byte(data[0:4]) != magic {
+		return 0, nil, 0, ErrBadMagic
+	}
+	typ := FrameType(data[4])
+	if data[5] != 0 || data[6] != 0 || data[7] != 0 {
+		return 0, nil, 0, fmt.Errorf("wire: nonzero reserved bytes")
+	}
+	plen := int64(binary.LittleEndian.Uint32(data[8:12]))
+	if plen > MaxPayload {
+		return 0, nil, 0, fmt.Errorf("wire: payload of %d bytes exceeds the frame bound", plen)
+	}
+	if int64(len(data)) < HeaderSize+plen {
+		return 0, nil, 0, ErrShort
+	}
+	payload := data[HeaderSize : HeaderSize+plen]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[12:16]) {
+		return 0, nil, 0, ErrBadCRC
+	}
+	return typ, payload, HeaderSize + int(plen), nil
 }
 
 func (f *Frame) decodeSnapshot(p []byte) error {
@@ -417,6 +483,46 @@ func (f *Frame) decodeStats(p []byte) error {
 		WALBatches: v[10], WALBytes: v[11],
 		Insertions: v[12], Deletions: v[13], Swaps: v[14],
 		IndexBuildUS: v[15],
+		QueueDepth: v[16], SnapshotAge: v[17],
+	}
+	return nil
+}
+
+func (f *Frame) decodeDelta(p []byte) error {
+	if len(p) < 40 {
+		return fmt.Errorf("wire: delta payload of %d bytes below the fixed part", len(p))
+	}
+	f.FromVersion = binary.LittleEndian.Uint64(p[0:8])
+	f.Version = binary.LittleEndian.Uint64(p[8:16])
+	f.K = int(int32(binary.LittleEndian.Uint32(p[16:20])))
+	f.Nodes = int(int32(binary.LittleEndian.Uint32(p[20:24])))
+	f.Edges = int(int32(binary.LittleEndian.Uint32(p[24:28])))
+	f.Size = int(int32(binary.LittleEndian.Uint32(p[28:32])))
+	nr := int(int32(binary.LittleEndian.Uint32(p[32:36])))
+	na := int(int32(binary.LittleEndian.Uint32(p[36:40])))
+	if f.K < 0 || f.Nodes < 0 || f.Edges < 0 || f.Size < 0 || nr < 0 || na < 0 {
+		return fmt.Errorf("wire: negative delta dimensions")
+	}
+	rest := p[40:]
+	remBytes := 4 * int64(nr)
+	addBytes := int64(na) * (4 + 4*int64(f.K))
+	if int64(len(rest)) != remBytes+addBytes {
+		return fmt.Errorf("wire: delta payload of %d bytes for %d removed + %d added × k=%d",
+			len(rest), nr, na, f.K)
+	}
+	f.RemovedIDs = decodeIDs(rest[:remBytes], nr)
+	f.AddedIDs = make([]int32, na)
+	f.Cliques = make([][]int32, na)
+	// One flat allocation for all added members, as in decodeCliqueList.
+	flat := make([]int32, na*f.K)
+	for i := 0; i < na; i++ {
+		off := remBytes + int64(i)*(4+4*int64(f.K))
+		f.AddedIDs[i] = int32(binary.LittleEndian.Uint32(rest[off : off+4]))
+		c := flat[i*f.K : (i+1)*f.K : (i+1)*f.K]
+		for j := range c {
+			c[j] = int32(binary.LittleEndian.Uint32(rest[off+4+4*int64(j):]))
+		}
+		f.Cliques[i] = c
 	}
 	return nil
 }

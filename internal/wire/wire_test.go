@@ -84,7 +84,7 @@ func TestStatsRoundTrip(t *testing.T) {
 		Size: 1, Nodes: 2, Edges: 3, Enqueued: 4, Applied: 5, Changed: 6,
 		Batches: 7, Flushes: 8, Recovered: 9, Checkpoints: 10,
 		WALBatches: 11, WALBytes: 12, Insertions: 13, Deletions: 14,
-		Swaps: 15, IndexBuildUS: 16,
+		Swaps: 15, IndexBuildUS: 16, QueueDepth: 17, SnapshotAge: 18,
 	}
 	b := AppendStatsFrame(nil, 123, st)
 	f, _, err := Decode(b)
@@ -206,5 +206,76 @@ func TestEncodeReusesBuffer(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("encode into a warm buffer allocates %.1f times per run", allocs)
+	}
+}
+
+// TestDeltaRoundTrip pins the delta frame codec: removed ids, added
+// (id, members) pairs, and the target-snapshot header all survive.
+func TestDeltaRoundTrip(t *testing.T) {
+	removed := []int32{3, 9}
+	addedIDs := []int32{12, 15}
+	added := [][]int32{{0, 1, 2}, {4, 5, 6}}
+	b := AppendDeltaFrame(nil, 7, 11, 3, 100, 200, 5, removed, addedIDs, added)
+	f, n, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(b) || f.Type != FrameDelta || f.FromVersion != 7 || f.Version != 11 ||
+		f.K != 3 || f.Nodes != 100 || f.Edges != 200 || f.Size != 5 {
+		t.Fatalf("frame = %+v (consumed %d of %d)", f, n, len(b))
+	}
+	if !reflect.DeepEqual(f.RemovedIDs, removed) || !reflect.DeepEqual(f.AddedIDs, addedIDs) ||
+		!reflect.DeepEqual(f.Cliques, added) {
+		t.Fatalf("decoded %v / %v / %v", f.RemovedIDs, f.AddedIDs, f.Cliques)
+	}
+	// An empty delta (version-only advance) round-trips too.
+	e := AppendDeltaFrame(nil, 11, 12, 3, 100, 201, 5, nil, nil, nil)
+	fe, _, err := Decode(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fe.RemovedIDs) != 0 || len(fe.AddedIDs) != 0 || fe.Edges != 201 {
+		t.Fatalf("empty delta = %+v", fe)
+	}
+}
+
+// TestRequestRoundTrip pins the request codec and the decoder split:
+// every request type round-trips through DecodeRequest, and neither
+// decoder accepts the other side's frames.
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := [][]byte{
+		AppendSnapshotRequest(nil, true),
+		AppendSnapshotRequest(nil, false),
+		AppendCliqueRequest(nil, 42),
+		AppendCliquesRequest(nil, []int32{1, 2, 3}),
+		AppendStatsRequest(nil),
+		AppendSubscribeRequest(nil),
+	}
+	for i, b := range reqs {
+		f, n, err := DecodeRequest(b)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if n != len(b) {
+			t.Fatalf("request %d consumed %d of %d bytes", i, n, len(b))
+		}
+		if _, _, err := Decode(b); err == nil {
+			t.Fatalf("Decode accepted request type %d", f.Type)
+		}
+	}
+	full, _, _ := DecodeRequest(reqs[0])
+	lean, _, _ := DecodeRequest(reqs[1])
+	if !full.HasCliques || lean.HasCliques {
+		t.Fatalf("include flags: full=%v lean=%v", full.HasCliques, lean.HasCliques)
+	}
+	if f, _, _ := DecodeRequest(reqs[2]); f.Node != 42 {
+		t.Fatalf("clique request node = %d", f.Node)
+	}
+	if f, _, _ := DecodeRequest(reqs[3]); !reflect.DeepEqual(f.Queried, []int32{1, 2, 3}) {
+		t.Fatalf("batched request nodes = %v", f.Queried)
+	}
+	// Responses are not requests.
+	if _, _, err := DecodeRequest(AppendErrorFrame(nil, 404, "x")); err == nil {
+		t.Fatal("DecodeRequest accepted a response frame")
 	}
 }

@@ -1,0 +1,299 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"slices"
+
+	"repro/internal/wire"
+)
+
+// FrameClient is a closed-loop/pipelined client for the raw TCP frame
+// transport (internal/framesrv) — the wire-native counterpart of
+// HTTPClient. The Send* methods append request frames to an outgoing
+// buffer without touching the network; Flush writes the whole batch in
+// one syscall; RecvRaw/Recv consume responses in request order. The
+// closed-loop helpers (Snapshot, CliqueOf, Cliques, Stats) bundle
+// send+flush+receive for one request at a time.
+//
+// Like HTTPClient, the Raw receive path drains responses rather than
+// decoding them — frame headers are parsed to find boundaries and
+// payloads are discarded — so benchmarks measure the server, not the
+// client's parser. Recv fully decodes, for tests and the subscribe
+// stream.
+//
+// Not safe for concurrent use; give each goroutine its own client.
+type FrameClient struct {
+	conn    net.Conn
+	br      *bufio.Reader
+	out     []byte // accumulated request frames, written by Flush
+	resp    []byte // decode scratch for Recv
+	pending int    // requests flushed or buffered but not yet received
+}
+
+// DialFrame connects a frame client to a framesrv address.
+func DialFrame(addr string) (*FrameClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewFrameClient(conn), nil
+}
+
+// NewFrameClient wraps an established connection.
+func NewFrameClient(conn net.Conn) *FrameClient {
+	return &FrameClient{conn: conn, br: bufio.NewReaderSize(conn, 64<<10)}
+}
+
+// Close hangs up.
+func (c *FrameClient) Close() error { return c.conn.Close() }
+
+// Pending returns the number of requests sent (or buffered) whose
+// responses have not been received yet.
+func (c *FrameClient) Pending() int { return c.pending }
+
+// SendSnapshot buffers a snapshot request; full selects the whole
+// member list over the lean header-only variant.
+func (c *FrameClient) SendSnapshot(full bool) {
+	c.out = wire.AppendSnapshotRequest(c.out, full)
+	c.pending++
+}
+
+// SendCliqueOf buffers a point-lookup request.
+func (c *FrameClient) SendCliqueOf(node int32) {
+	c.out = wire.AppendCliqueRequest(c.out, node)
+	c.pending++
+}
+
+// SendCliques buffers a batched-lookup request.
+func (c *FrameClient) SendCliques(nodes []int32) {
+	c.out = wire.AppendCliquesRequest(c.out, nodes)
+	c.pending++
+}
+
+// SendStats buffers a stats request.
+func (c *FrameClient) SendStats() {
+	c.out = wire.AppendStatsRequest(c.out)
+	c.pending++
+}
+
+// Flush writes every buffered request in one syscall.
+func (c *FrameClient) Flush() error {
+	if len(c.out) == 0 {
+		return nil
+	}
+	_, err := c.conn.Write(c.out)
+	c.out = c.out[:0]
+	return err
+}
+
+// RecvRaw consumes the next response frame without decoding it: the
+// header is parsed for the boundary, the payload discarded. It returns
+// the frame type and total frame size. An error frame is decoded and
+// returned as an error (the frame is consumed).
+func (c *FrameClient) RecvRaw() (wire.FrameType, int, error) {
+	typ, plen, err := c.readHeader()
+	if err != nil {
+		return 0, 0, err
+	}
+	if typ == wire.FrameError {
+		return typ, 0, c.readError(plen)
+	}
+	if err := discard(c.br, plen); err != nil {
+		return 0, 0, err
+	}
+	c.pending--
+	return typ, wire.HeaderSize + plen, nil
+}
+
+// Recv consumes and fully decodes the next response frame. Error frames
+// come back as an error, like RecvRaw.
+func (c *FrameClient) Recv() (*wire.Frame, error) {
+	_, plen, err := c.readHeader()
+	if err != nil {
+		return nil, err
+	}
+	need := wire.HeaderSize + plen
+	if cap(c.resp) < need {
+		c.resp = make([]byte, need)
+	}
+	c.resp = c.resp[:need]
+	if _, err := io.ReadFull(c.br, c.resp[wire.HeaderSize:]); err != nil {
+		return nil, err
+	}
+	f, _, err := wire.Decode(c.resp)
+	if err != nil {
+		return nil, err
+	}
+	c.pending--
+	if f.Type == wire.FrameError {
+		return nil, fmt.Errorf("server error %d: %s", f.Status, f.Message)
+	}
+	return f, nil
+}
+
+// readHeader reads one frame header into the decode scratch and returns
+// the frame type and payload length.
+func (c *FrameClient) readHeader() (wire.FrameType, int, error) {
+	if cap(c.resp) < wire.HeaderSize {
+		c.resp = make([]byte, wire.HeaderSize, 4096)
+	}
+	c.resp = c.resp[:wire.HeaderSize]
+	if _, err := io.ReadFull(c.br, c.resp); err != nil {
+		return 0, 0, err
+	}
+	plen := int(binary.LittleEndian.Uint32(c.resp[8:12]))
+	if plen > wire.MaxPayload {
+		return 0, 0, fmt.Errorf("frame payload of %d bytes exceeds the limit", plen)
+	}
+	return wire.FrameType(c.resp[4]), plen, nil
+}
+
+// readError decodes an error frame's payload into a Go error.
+func (c *FrameClient) readError(plen int) error {
+	need := wire.HeaderSize + plen
+	if cap(c.resp) < need {
+		buf := make([]byte, need)
+		copy(buf, c.resp[:wire.HeaderSize])
+		c.resp = buf
+	}
+	c.resp = c.resp[:need]
+	if _, err := io.ReadFull(c.br, c.resp[wire.HeaderSize:]); err != nil {
+		return err
+	}
+	c.pending--
+	f, _, err := wire.Decode(c.resp)
+	if err != nil {
+		return err
+	}
+	return fmt.Errorf("server error %d: %s", f.Status, f.Message)
+}
+
+// discard drops n payload bytes from the read buffer.
+func discard(br *bufio.Reader, n int) error {
+	for n > 0 {
+		d, err := br.Discard(n)
+		n -= d
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot fetches the point-in-time result set closed-loop and reports
+// the frame size; full=false asks for the lean header-only variant.
+func (c *FrameClient) Snapshot(full bool) (int, error) {
+	c.SendSnapshot(full)
+	if err := c.Flush(); err != nil {
+		return 0, err
+	}
+	_, n, err := c.RecvRaw()
+	return n, err
+}
+
+// CliqueOf fetches the point lookup for one node closed-loop.
+func (c *FrameClient) CliqueOf(node int32) (int, error) {
+	c.SendCliqueOf(node)
+	if err := c.Flush(); err != nil {
+		return 0, err
+	}
+	_, n, err := c.RecvRaw()
+	return n, err
+}
+
+// Cliques fetches the batched lookup for nodes closed-loop.
+func (c *FrameClient) Cliques(nodes []int32) (int, error) {
+	c.SendCliques(nodes)
+	if err := c.Flush(); err != nil {
+		return 0, err
+	}
+	_, n, err := c.RecvRaw()
+	return n, err
+}
+
+// Stats fetches the counters closed-loop.
+func (c *FrameClient) Stats() (int, error) {
+	c.SendStats()
+	if err := c.Flush(); err != nil {
+		return 0, err
+	}
+	_, n, err := c.RecvRaw()
+	return n, err
+}
+
+// Subscribe switches the connection into the delta push stream. After
+// it returns, Recv yields delta frames (feed them to a Replica) until
+// the connection closes; sending anything else is a protocol error.
+func (c *FrameClient) Subscribe() error {
+	c.out = wire.AppendSubscribeRequest(c.out)
+	return c.Flush()
+}
+
+// Replica is the client-side materialization of a delta stream: apply
+// every delta frame in order (starting from the zero Replica) and the
+// replica holds exactly the server's clique set at the delta's target
+// version — SnapshotFrame re-encodes it byte-identically to the
+// server's own full binary snapshot body of that version.
+type Replica struct {
+	version uint64
+	k       int
+	n, m    int
+	size    int
+	ids     []int32
+	cliques [][]int32
+}
+
+// Version returns the snapshot version the replica currently mirrors.
+func (r *Replica) Version() uint64 { return r.version }
+
+// Size returns the number of cliques the replica currently holds.
+func (r *Replica) Size() int { return r.size }
+
+// Cliques returns the replica's clique list in the server's canonical
+// (ascending clique id) order. Shared storage — do not modify.
+func (r *Replica) Cliques() [][]int32 { return r.cliques }
+
+// Apply advances the replica by one delta frame. The delta must start
+// exactly at the replica's version (the stream guarantees this); any
+// mismatch, unknown removed id or duplicate added id is an error and
+// leaves the replica unusable.
+func (r *Replica) Apply(f *wire.Frame) error {
+	if f.Type != wire.FrameDelta {
+		return fmt.Errorf("replica: frame type %d is not a delta", f.Type)
+	}
+	if f.FromVersion != r.version {
+		return fmt.Errorf("replica: delta from version %d onto replica at %d", f.FromVersion, r.version)
+	}
+	for _, id := range f.RemovedIDs {
+		pos, ok := slices.BinarySearch(r.ids, id)
+		if !ok {
+			return fmt.Errorf("replica: delta removes unknown clique id %d", id)
+		}
+		r.ids = slices.Delete(r.ids, pos, pos+1)
+		r.cliques = slices.Delete(r.cliques, pos, pos+1)
+	}
+	for i, id := range f.AddedIDs {
+		pos, ok := slices.BinarySearch(r.ids, id)
+		if ok {
+			return fmt.Errorf("replica: delta adds duplicate clique id %d", id)
+		}
+		r.ids = slices.Insert(r.ids, pos, id)
+		r.cliques = slices.Insert(r.cliques, pos, f.Cliques[i])
+	}
+	if len(r.cliques) != f.Size {
+		return fmt.Errorf("replica: %d cliques after delta, frame says %d", len(r.cliques), f.Size)
+	}
+	r.version, r.k, r.n, r.m, r.size = f.Version, f.K, f.Nodes, f.Edges, f.Size
+	return nil
+}
+
+// SnapshotFrame appends the full binary snapshot frame for the
+// replica's current state — byte-identical to the server's cached
+// /snapshot body of the same version.
+func (r *Replica) SnapshotFrame(b []byte) []byte {
+	return wire.AppendSnapshotFrame(b, r.version, r.k, r.n, r.m, r.size, r.cliques, true)
+}

@@ -131,6 +131,14 @@ func (s *Service) K() int { return s.s.K() }
 // counters travel with each snapshot (Snapshot().Stats()).
 func (s *Service) Stats() ServiceStats { return s.s.Stats() }
 
+// Published returns a channel that is closed the next time the writer
+// publishes a snapshot (or the service stops). Each call returns the
+// current-generation channel: grab it before loading Snapshot, and a
+// publish racing between the two calls closes the channel you already
+// hold — no notification is ever missed. Used by push consumers (the
+// TCP delta stream) to wait for changes without polling.
+func (s *Service) Published() <-chan struct{} { return s.s.Published() }
+
 // Err returns the sticky durability error that fail-stopped a durable
 // service (a WAL append or checkpoint failure), or nil. Once set, no
 // further update is applied and Enqueue/Flush/Close return it; reads keep

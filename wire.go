@@ -19,14 +19,59 @@ type WireFrameType = wire.FrameType
 
 // The frame types a server answers with: a full or lean snapshot of the
 // result set, a point lookup, a batched lookup, the service counters,
-// and an error carrying an HTTP-equivalent status code.
+// an error carrying an HTTP-equivalent status code, and — on the raw
+// TCP transport's subscribe stream — a snapshot delta (the cliques
+// removed and added between two published versions).
 const (
 	WireFrameSnapshot WireFrameType = wire.FrameSnapshot
 	WireFrameClique   WireFrameType = wire.FrameClique
 	WireFrameCliques  WireFrameType = wire.FrameCliques
 	WireFrameStats    WireFrameType = wire.FrameStats
 	WireFrameError    WireFrameType = wire.FrameError
+	WireFrameDelta    WireFrameType = wire.FrameDelta
 )
+
+// The request frame types a client of the raw TCP transport (dkserver
+// -tcp) sends; they live in a type range disjoint from the responses.
+// Encode them with the EncodeWire*Request helpers and decode server
+// responses with DecodeWireFrame.
+const (
+	WireFrameReqSnapshot  WireFrameType = wire.FrameReqSnapshot
+	WireFrameReqClique    WireFrameType = wire.FrameReqClique
+	WireFrameReqCliques   WireFrameType = wire.FrameReqCliques
+	WireFrameReqStats     WireFrameType = wire.FrameReqStats
+	WireFrameReqSubscribe WireFrameType = wire.FrameReqSubscribe
+)
+
+// EncodeWireSnapshotRequest appends a snapshot request frame to b;
+// include selects the full member list over the lean header-only
+// variant.
+func EncodeWireSnapshotRequest(b []byte, include bool) []byte {
+	return wire.AppendSnapshotRequest(b, include)
+}
+
+// EncodeWireCliqueRequest appends a point-lookup request frame to b.
+func EncodeWireCliqueRequest(b []byte, node int32) []byte {
+	return wire.AppendCliqueRequest(b, node)
+}
+
+// EncodeWireCliquesRequest appends a batched-lookup request frame to b.
+func EncodeWireCliquesRequest(b []byte, nodes []int32) []byte {
+	return wire.AppendCliquesRequest(b, nodes)
+}
+
+// EncodeWireStatsRequest appends a stats request frame to b.
+func EncodeWireStatsRequest(b []byte) []byte {
+	return wire.AppendStatsRequest(b)
+}
+
+// EncodeWireSubscribeRequest appends a subscribe request frame to b:
+// the server turns the connection into a push stream of delta frames,
+// starting from the empty base, so the first delta carries the whole
+// current snapshot.
+func EncodeWireSubscribeRequest(b []byte) []byte {
+	return wire.AppendSubscribeRequest(b)
+}
 
 // WireLookup resolves one node of a batched lookup frame: the index of
 // its clique in the frame's Cliques list, or -1 when uncovered.
