@@ -26,6 +26,7 @@ package framesrv
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -218,6 +219,12 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	bw := bufio.NewWriterSize(conn, connBuf)
 	chunk := make([]byte, connBuf)
+	// The largest legitimate request payload is a maximal batched lookup
+	// (count + MaxOps node ids); a header claiming more is hostile or
+	// corrupt, and rejecting it before the payload is buffered caps what
+	// a drip-feeding client can make this connection hold (the wire-level
+	// MaxPayload bound is 256MB — far too lax for the request direction).
+	maxReqPayload := 4 + 4*s.opt.MaxOps
 	var (
 		buf     []byte // unconsumed request bytes
 		scratch []byte // encode scratch for uncached response bodies
@@ -231,7 +238,23 @@ func (s *Server) serveConn(conn net.Conn) {
 				f, m, derr := wire.DecodeRequest(buf[consumed:])
 				if derr != nil {
 					if errors.Is(derr, wire.ErrShort) {
-						break // half a frame; the next read completes it
+						// Half a frame: if the header is already in and
+						// announces an over-bound payload, refuse now rather
+						// than buffer it; otherwise the next read completes
+						// the frame. (A complete over-bound frame cannot slip
+						// through here: per-type decode checks and the MaxOps
+						// batch cap reject anything this precheck would.)
+						rest := buf[consumed:]
+						if len(rest) >= wire.HeaderSize {
+							if plen := binary.LittleEndian.Uint32(rest[8:12]); int64(plen) > int64(maxReqPayload) {
+								scratch = wire.AppendErrorFrame(scratch[:0], http.StatusBadRequest,
+									fmt.Sprintf("request payload of %d bytes exceeds the %d limit", plen, maxReqPayload))
+								bw.Write(scratch)
+								bw.Flush()
+								return
+							}
+						}
+						break
 					}
 					// Anything structurally invalid is a protocol error:
 					// answer once, then hang up — the stream cannot be
@@ -376,6 +399,7 @@ func (s *Server) streamDeltas(conn net.Conn, bw *bufio.Writer) {
 	}()
 	var (
 		last    *dynamic.Snapshot
+		fired   <-chan struct{}
 		scratch []byte
 	)
 	for {
@@ -383,6 +407,13 @@ func (s *Server) streamDeltas(conn net.Conn, bw *bufio.Writer) {
 		// publish racing between the two closes the channel already held,
 		// so no publication is ever missed.
 		ch := s.svc.Published()
+		if ch == fired {
+			// A live publisher replaces the channel on every publish, so
+			// getting back the one that already fired means the service's
+			// writer has exited: stream whatever is pending below, then end
+			// instead of spinning on a permanently-closed channel.
+			ch = nil
+		}
 		snap := s.svc.Snapshot()
 		if last == nil || snap.Version() > last.Version() {
 			d := snap.DiffFrom(last)
@@ -400,8 +431,12 @@ func (s *Server) streamDeltas(conn net.Conn, bw *bufio.Writer) {
 			}
 			last = snap
 		}
+		if ch == nil {
+			return // publisher exited; final state has been streamed
+		}
 		select {
 		case <-ch:
+			fired = ch
 		case <-gone:
 			return
 		case <-s.done:

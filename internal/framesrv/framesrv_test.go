@@ -3,6 +3,7 @@ package framesrv
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"net"
@@ -295,6 +296,73 @@ func TestProtocolError(t *testing.T) {
 				t.Fatal("connection still open after protocol error")
 			}
 		})
+	}
+}
+
+// TestOversizedRequestRejected pins the request-direction payload bound:
+// a header announcing a payload beyond any legitimate request draws one
+// error frame and a hangup before the payload is ever buffered, so a
+// drip-feeding client cannot make the server hold hundreds of megabytes.
+func TestOversizedRequestRejected(t *testing.T) {
+	addr, _, _ := newTestServer(t, Options{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// A valid header claiming a 1MB batched lookup, payload never sent.
+	hdr := make([]byte, wire.HeaderSize)
+	copy(hdr, "DKW1")
+	hdr[4] = byte(wire.FrameReqCliques)
+	binary.LittleEndian.PutUint32(hdr[8:12], 1<<20)
+	if _, err := conn.Write(hdr); err != nil {
+		t.Fatal(err)
+	}
+
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	c := workload.NewFrameClient(conn)
+	if _, err := c.Recv(); err == nil {
+		t.Fatal("oversized request header did not draw an error")
+	}
+	var one [1]byte
+	if _, err := conn.Read(one[:]); err == nil {
+		t.Fatal("connection still open after an oversized request")
+	}
+}
+
+// TestSubscribeEndsWhenServiceCloses pins the stream's behaviour over a
+// closed Service: the subscriber's connection must end promptly instead
+// of hanging on (or spinning against) a publication that can never come.
+func TestSubscribeEndsWhenServiceCloses(t *testing.T) {
+	g := testGraph(t)
+	s := newTestService(t, g)
+	addr := startServer(t, s, Options{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	c := workload.NewFrameClient(conn)
+	if err := c.Subscribe(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Recv(); err != nil {
+		t.Fatal(err) // the base delta
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for {
+		_, err := c.Recv()
+		if err == nil {
+			continue // a final delta may still be streamed
+		}
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			t.Fatal("subscribe stream still alive 5s after the service closed")
+		}
+		return
 	}
 }
 

@@ -237,6 +237,11 @@ func (s *Service) fail(err error) {
 // channel. A publication racing between the two calls closes the
 // already-held channel, so no version can slip by unobserved. Each
 // returned channel fires once; call Published again for the next tick.
+//
+// After the writer has exited (Close), Published returns the same
+// already-closed channel forever — a waiter wakes immediately instead
+// of hanging, and getting an identical channel twice is the signal
+// that no further publication will ever come.
 func (s *Service) Published() <-chan struct{} {
 	s.pubMu.Lock()
 	ch := s.pubCh
@@ -245,12 +250,21 @@ func (s *Service) Published() <-chan struct{} {
 }
 
 // notifyPublished wakes everything blocked on an earlier Published()
-// channel. Called by the writer after each applied batch group and once
-// on exit (so waiters re-check and observe closure instead of hanging).
+// channel. Called by the writer after each applied batch group.
 func (s *Service) notifyPublished() {
 	s.pubMu.Lock()
 	close(s.pubCh)
 	s.pubCh = make(chan struct{})
+	s.pubMu.Unlock()
+}
+
+// finalPublish is the writer's exit notification: it closes the current
+// broadcast channel and, unlike notifyPublished, does NOT replace it —
+// so every past and future Published() channel is closed and nothing can
+// block on a publication that will never come.
+func (s *Service) finalPublish() {
+	s.pubMu.Lock()
+	close(s.pubCh)
 	s.pubMu.Unlock()
 }
 
@@ -260,7 +274,7 @@ func (s *Service) notifyPublished() {
 // batches while an idle service applies single updates immediately.
 func (s *Service) run(maxBatch int) {
 	defer close(s.done)
-	defer s.notifyPublished()
+	defer s.finalPublish()
 	buf := make([]workload.Op, 0, maxBatch)
 	var pendingFlush []chan struct{}
 	apply := func() {

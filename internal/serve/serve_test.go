@@ -127,6 +127,18 @@ func TestServiceClose(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal("Close must be idempotent")
 	}
+	// Published after the writer's exit returns an already-closed channel
+	// — the same one each time — so no waiter can hang on a publication
+	// that will never come.
+	ch := s.Published()
+	select {
+	case <-ch:
+	default:
+		t.Fatal("Published() after Close returned an unclosed channel")
+	}
+	if s.Published() != ch {
+		t.Fatal("Published() after Close must keep returning the same closed channel")
+	}
 }
 
 func TestServiceEnqueueContext(t *testing.T) {

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"slices"
 
 	"repro/internal/wire"
 )
@@ -116,11 +115,7 @@ func (c *FrameClient) Recv() (*wire.Frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	need := wire.HeaderSize + plen
-	if cap(c.resp) < need {
-		c.resp = make([]byte, need)
-	}
-	c.resp = c.resp[:need]
+	c.growResp(plen)
 	if _, err := io.ReadFull(c.br, c.resp[wire.HeaderSize:]); err != nil {
 		return nil, err
 	}
@@ -152,8 +147,9 @@ func (c *FrameClient) readHeader() (wire.FrameType, int, error) {
 	return wire.FrameType(c.resp[4]), plen, nil
 }
 
-// readError decodes an error frame's payload into a Go error.
-func (c *FrameClient) readError(plen int) error {
+// growResp widens the decode scratch to hold a full frame of plen
+// payload bytes, preserving the header readHeader already filled.
+func (c *FrameClient) growResp(plen int) {
 	need := wire.HeaderSize + plen
 	if cap(c.resp) < need {
 		buf := make([]byte, need)
@@ -161,6 +157,11 @@ func (c *FrameClient) readError(plen int) error {
 		c.resp = buf
 	}
 	c.resp = c.resp[:need]
+}
+
+// readError decodes an error frame's payload into a Go error.
+func (c *FrameClient) readError(plen int) error {
+	c.growResp(plen)
 	if _, err := io.ReadFull(c.br, c.resp[wire.HeaderSize:]); err != nil {
 		return err
 	}
@@ -259,8 +260,13 @@ func (r *Replica) Cliques() [][]int32 { return r.cliques }
 
 // Apply advances the replica by one delta frame. The delta must start
 // exactly at the replica's version (the stream guarantees this); any
-// mismatch, unknown removed id or duplicate added id is an error and
-// leaves the replica unusable.
+// mismatch, unsorted id list, unknown removed id or duplicate added id
+// is an error and leaves the replica unchanged.
+//
+// RemovedIDs, AddedIDs and the replica's own id list are all sorted, so
+// one linear three-way merge rebuilds the state in O(size) regardless of
+// delta churn — no per-id splicing (which would go quadratic on the big
+// base delta a fresh subscription starts with).
 func (r *Replica) Apply(f *wire.Frame) error {
 	if f.Type != wire.FrameDelta {
 		return fmt.Errorf("replica: frame type %d is not a delta", f.Type)
@@ -268,27 +274,56 @@ func (r *Replica) Apply(f *wire.Frame) error {
 	if f.FromVersion != r.version {
 		return fmt.Errorf("replica: delta from version %d onto replica at %d", f.FromVersion, r.version)
 	}
-	for _, id := range f.RemovedIDs {
-		pos, ok := slices.BinarySearch(r.ids, id)
-		if !ok {
-			return fmt.Errorf("replica: delta removes unknown clique id %d", id)
-		}
-		r.ids = slices.Delete(r.ids, pos, pos+1)
-		r.cliques = slices.Delete(r.cliques, pos, pos+1)
+	if !strictlyAscending(f.RemovedIDs) || !strictlyAscending(f.AddedIDs) {
+		return fmt.Errorf("replica: delta ids not strictly ascending")
 	}
-	for i, id := range f.AddedIDs {
-		pos, ok := slices.BinarySearch(r.ids, id)
-		if ok {
+	hint := len(r.ids) + len(f.AddedIDs) - len(f.RemovedIDs)
+	if hint < 0 {
+		return fmt.Errorf("replica: delta removes %d cliques, replica holds %d", len(f.RemovedIDs), len(r.ids))
+	}
+	ids := make([]int32, 0, hint)
+	cliques := make([][]int32, 0, hint)
+	ri, ai := 0, 0
+	for i, id := range r.ids {
+		if ri < len(f.RemovedIDs) && f.RemovedIDs[ri] == id {
+			ri++
+			continue
+		}
+		for ai < len(f.AddedIDs) && f.AddedIDs[ai] < id {
+			ids = append(ids, f.AddedIDs[ai])
+			cliques = append(cliques, f.Cliques[ai])
+			ai++
+		}
+		if ai < len(f.AddedIDs) && f.AddedIDs[ai] == id {
 			return fmt.Errorf("replica: delta adds duplicate clique id %d", id)
 		}
-		r.ids = slices.Insert(r.ids, pos, id)
-		r.cliques = slices.Insert(r.cliques, pos, f.Cliques[i])
+		ids = append(ids, id)
+		cliques = append(cliques, r.cliques[i])
 	}
-	if len(r.cliques) != f.Size {
-		return fmt.Errorf("replica: %d cliques after delta, frame says %d", len(r.cliques), f.Size)
+	if ri < len(f.RemovedIDs) {
+		return fmt.Errorf("replica: delta removes unknown clique id %d", f.RemovedIDs[ri])
 	}
+	for ; ai < len(f.AddedIDs); ai++ {
+		ids = append(ids, f.AddedIDs[ai])
+		cliques = append(cliques, f.Cliques[ai])
+	}
+	if len(cliques) != f.Size {
+		return fmt.Errorf("replica: %d cliques after delta, frame says %d", len(cliques), f.Size)
+	}
+	r.ids, r.cliques = ids, cliques
 	r.version, r.k, r.n, r.m, r.size = f.Version, f.K, f.Nodes, f.Edges, f.Size
 	return nil
+}
+
+// strictlyAscending reports whether ids is sorted with no duplicates —
+// the canonical order delta frames carry and the merge above relies on.
+func strictlyAscending(ids []int32) bool {
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			return false
+		}
+	}
+	return true
 }
 
 // SnapshotFrame appends the full binary snapshot frame for the

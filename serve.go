@@ -135,8 +135,10 @@ func (s *Service) Stats() ServiceStats { return s.s.Stats() }
 // publishes a snapshot (or the service stops). Each call returns the
 // current-generation channel: grab it before loading Snapshot, and a
 // publish racing between the two calls closes the channel you already
-// hold — no notification is ever missed. Used by push consumers (the
-// TCP delta stream) to wait for changes without polling.
+// hold — no notification is ever missed. After Close, every call
+// returns the same already-closed channel, so waiters wake instead of
+// hanging. Used by push consumers (the TCP delta stream) to wait for
+// changes without polling.
 func (s *Service) Published() <-chan struct{} { return s.s.Published() }
 
 // Err returns the sticky durability error that fail-stopped a durable
