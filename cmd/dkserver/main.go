@@ -36,6 +36,19 @@
 // (see internal/framesrv and workload.FrameClient). Both transports
 // serve snapshot bodies from one shared version-keyed cache, and a
 // graceful shutdown drains both listeners before the final checkpoint.
+//
+// Replication: with -tcp set, the process also serves replication
+// streams to followers under the fencing epoch given by -epoch
+// (monotone across primary handoffs — bump it on every failover). A
+// follower process runs with -follow PRIMARY_TCP_ADDR instead of the
+// graph flags: it installs a checkpoint from the primary (or resumes
+// its own -data store), applies the shipped batch stream, serves reads
+// over both transports, and answers /readyz by its replication state
+// (installed + connected + lag within -readylag). Writes against a
+// follower are refused with 403.
+//
+//	dkserver -k 3 -dataset HST -tcp :8081 -epoch 1            # primary
+//	dkserver -follow primary:8081 -addr :8090 -data /var/f1   # follower
 package main
 
 import (
@@ -76,6 +89,9 @@ func main() {
 		maxOps    = flag.Int("maxops", 8192, "maximum ops per /update request and nodes per /cliques batch")
 		maxBody   = flag.Int64("maxbody", 1<<20, "maximum /update request body bytes")
 		drain     = flag.Duration("drain", 15*time.Second, "graceful-shutdown timeout for in-flight requests")
+		follow    = flag.String("follow", "", "replicate from this primary frame-transport address (follower mode)")
+		epoch     = flag.Uint64("epoch", 1, "replication fencing epoch with -tcp; bump on every primary handoff")
+		readyLag  = flag.Uint64("readylag", 1024, "follower replication lag above which /readyz reports 503")
 	)
 	flag.Parse()
 
@@ -97,8 +113,35 @@ func main() {
 		CheckpointEvery: *ckptEvery,
 	}
 
-	var svc *dkclique.Service
-	if *dataDir != "" && dkclique.StoreExists(*dataDir) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var (
+		svc      *dkclique.Service      // primary mode only
+		follower *dkclique.ReplFollower // follower mode only
+		front    server                 // what both transports serve
+		ready    func() error           // the /readyz probe
+	)
+	switch {
+	case *follow != "":
+		f, err := dkclique.NewReplFollower(dkclique.ReplFollowerOptions{
+			Addr: *follow, Dir: *dataDir, Workers: *workers, Fsync: policy,
+			LagBound: *readyLag, Logf: log.Printf,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		go f.Run(ctx)
+		log.Printf("follower: replicating from %s", *follow)
+		start := time.Now()
+		if err := f.WaitInstalled(ctx); err != nil {
+			fatal(fmt.Errorf("follower: waiting for first install: %w", err))
+		}
+		st := f.Status()
+		log.Printf("follower: serving at version %d (epoch %d, %d install) after %s",
+			st.Version, st.Epoch, st.Installs, time.Since(start).Round(time.Millisecond))
+		follower, front, ready = f, f.Front(), f.Ready
+	case *dataDir != "" && dkclique.StoreExists(*dataDir):
 		log.Printf("resuming store in %s", *dataDir)
 		start := time.Now()
 		s, err := dkclique.OpenService(*dataDir, opts)
@@ -111,7 +154,7 @@ func main() {
 		log.Printf("recovered: n=%d m=%d |S|=%d version=%d (replayed %d ops) in %s",
 			snap.N(), snap.M(), snap.Size(), snap.Version(), st.Recovered,
 			time.Since(start).Round(time.Millisecond))
-	} else {
+	default:
 		g, err := loadGraph(*inputPath, *dsName, *genSpec)
 		if err != nil {
 			fatal(err)
@@ -135,6 +178,30 @@ func main() {
 			log.Printf("durable store initialised in %s (fsync=%s)", *dataDir, *fsyncMode)
 		}
 	}
+	if svc != nil {
+		front, ready = svc, svc.Err
+	}
+	closeBackend := func() error {
+		if follower != nil {
+			return follower.Close()
+		}
+		return svc.Close()
+	}
+
+	// With the frame transport up, a primary also serves replication
+	// streams under its fencing epoch. (A follower never does: cascading
+	// replication is not supported, and its frame server carries no
+	// replication handler.)
+	var prim *dkclique.ReplPrimary
+	if *tcpAddr != "" && svc != nil {
+		p, err := svc.AttachPrimary(ctx, *epoch, dkclique.ReplPrimaryOptions{})
+		if err != nil {
+			svc.Close()
+			fatal(err)
+		}
+		prim = p
+		log.Printf("replication primary attached (epoch %d)", *epoch)
+	}
 
 	// One snapshot-body cache shared across transports: the HTTP handler
 	// and the TCP frame server answer a given version from the same
@@ -142,8 +209,10 @@ func main() {
 	cache := new(respcache.Snapshot)
 
 	srv := &http.Server{
-		Addr:    *addr,
-		Handler: httpapi.New(svc, httpapi.Options{MaxOps: *maxOps, MaxBody: *maxBody, Cache: cache}),
+		Addr: *addr,
+		Handler: httpapi.New(front, httpapi.Options{
+			MaxOps: *maxOps, MaxBody: *maxBody, Cache: cache, Ready: ready,
+		}),
 		// Bounded timeouts so a slow or hostile peer (slowloris drip-feeds,
 		// abandoned connections) cannot pin handler goroutines forever.
 		ReadHeaderTimeout: 5 * time.Second,
@@ -152,8 +221,6 @@ func main() {
 		IdleTimeout:       120 * time.Second,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	errc := make(chan error, 2)
 	go func() {
 		log.Printf("serving on %s", *addr)
@@ -161,10 +228,14 @@ func main() {
 	}()
 	var fsrv *framesrv.Server
 	if *tcpAddr != "" {
-		fsrv = framesrv.New(svc, framesrv.Options{MaxOps: *maxOps, Cache: cache})
+		fopt := framesrv.Options{MaxOps: *maxOps, Cache: cache}
+		if prim != nil {
+			fopt.Repl = prim
+		}
+		fsrv = framesrv.New(front, fopt)
 		ln, err := net.Listen("tcp", *tcpAddr)
 		if err != nil {
-			svc.Close()
+			closeBackend()
 			fatal(err)
 		}
 		go func() {
@@ -175,7 +246,7 @@ func main() {
 
 	select {
 	case err := <-errc:
-		svc.Close()
+		closeBackend()
 		fatal(err)
 	case <-ctx.Done():
 		stop() // restore default signal behaviour: a second signal kills
@@ -197,13 +268,29 @@ func main() {
 			log.Printf("listener shutdown: %v", err)
 		}
 		<-done
+		if prim != nil {
+			prim.Close()
+		}
 		// Close drains the update queue into the engine and, with -data,
-		// writes the final checkpoint — nothing accepted is lost.
-		if err := svc.Close(); err != nil {
+		// writes the final checkpoint — nothing accepted is lost. (On a
+		// follower the stream already stopped with the signal context;
+		// its applied state is durable up to the last canon boundary.)
+		if err := closeBackend(); err != nil {
 			fatal(fmt.Errorf("service close: %w", err))
 		}
 		log.Printf("shutdown complete")
 	}
+}
+
+// server is the serving surface both transports need; *dkclique.Service
+// (primary) and a follower's Front both satisfy it.
+type server interface {
+	Snapshot() *dkclique.ResultSnapshot
+	Stats() dkclique.ServiceStats
+	K() int
+	Published() <-chan struct{}
+	Enqueue(ctx context.Context, ops ...dkclique.Update) error
+	Flush(ctx context.Context) error
 }
 
 func loadGraph(path, ds, gen string) (*dkclique.Graph, error) {

@@ -1,0 +1,156 @@
+// Package faultconn wraps a net.Conn with deterministic, seeded fault
+// injection for robustness tests: fragmented (partial) writes, short
+// reads, random delays, and mid-operation kills. The replication
+// convergence suite drives whole fault schedules through it by varying
+// the seed, and transport tests use the fragmentation modes to prove
+// frame reassembly holds under arbitrary packetization.
+//
+// All faults are drawn from one seeded PRNG per connection, so a
+// failing schedule replays exactly from its seed.
+package faultconn
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjectedKill is returned (wrapped) by an operation the injector
+// chose to kill; the underlying connection is closed, so the peer sees
+// a mid-stream hangup — possibly inside a frame.
+var ErrInjectedKill = errors.New("faultconn: injected connection kill")
+
+// Options selects the fault mix. Probabilities are per operation (one
+// Write or Read call); zero disables that fault.
+type Options struct {
+	// Seed fixes the schedule; the same seed over the same operation
+	// sequence injects the same faults.
+	Seed int64
+	// FragmentProb fragments a Write: the bytes reach the wire in small
+	// random chunks with tiny pauses in between, so the peer observes
+	// partial frames on read.
+	FragmentProb float64
+	// ShortReadProb truncates a Read to a small random prefix of the
+	// requested buffer.
+	ShortReadProb float64
+	// DelayProb sleeps up to MaxDelay before the operation.
+	DelayProb float64
+	// MaxDelay bounds injected delays. Default 2ms.
+	MaxDelay time.Duration
+	// KillProb closes the connection mid-operation: a killed Write first
+	// delivers a random prefix (a torn frame) and then fails; a killed
+	// Read just fails. Everything after returns errors, like a real peer
+	// reset.
+	KillProb float64
+}
+
+// Conn is a net.Conn with injected faults. Safe for one reader and one
+// writer goroutine, like net.Conn itself.
+type Conn struct {
+	net.Conn
+	opt Options
+
+	mu     sync.Mutex // guards rng and killed
+	rng    *rand.Rand
+	killed bool
+}
+
+// Wrap wraps c with fault injection.
+func Wrap(c net.Conn, opt Options) *Conn {
+	if opt.MaxDelay <= 0 {
+		opt.MaxDelay = 2 * time.Millisecond
+	}
+	return &Conn{Conn: c, opt: opt, rng: rand.New(rand.NewSource(opt.Seed))}
+}
+
+// roll draws the fault decisions for one operation under the lock, so
+// concurrent Read/Write keep the PRNG consistent.
+func (c *Conn) roll(prob float64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return prob > 0 && c.rng.Float64() < prob
+}
+
+func (c *Conn) intn(n int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n <= 0 {
+		return 0
+	}
+	return c.rng.Intn(n)
+}
+
+func (c *Conn) dead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.killed
+}
+
+func (c *Conn) kill() {
+	c.mu.Lock()
+	c.killed = true
+	c.mu.Unlock()
+	c.Conn.Close()
+}
+
+func (c *Conn) maybeDelay() {
+	if c.roll(c.opt.DelayProb) {
+		time.Sleep(time.Duration(c.intn(int(c.opt.MaxDelay))))
+	}
+}
+
+// Write delivers b, possibly fragmented, delayed, or killed partway.
+func (c *Conn) Write(b []byte) (int, error) {
+	if c.dead() {
+		return 0, ErrInjectedKill
+	}
+	c.maybeDelay()
+	if c.roll(c.opt.KillProb) {
+		// Torn write: a random prefix reaches the peer, then the
+		// connection dies — the peer holds part of a frame forever.
+		n := 0
+		if pre := c.intn(len(b) + 1); pre > 0 {
+			n, _ = c.Conn.Write(b[:pre])
+		}
+		c.kill()
+		return n, ErrInjectedKill
+	}
+	if !c.roll(c.opt.FragmentProb) {
+		return c.Conn.Write(b)
+	}
+	written := 0
+	for written < len(b) {
+		chunk := 1 + c.intn(7)
+		end := written + chunk
+		if end > len(b) {
+			end = len(b)
+		}
+		n, err := c.Conn.Write(b[written:end])
+		written += n
+		if err != nil {
+			return written, err
+		}
+		// A pause between fragments defeats kernel-side coalescing often
+		// enough that the peer actually observes partial frames.
+		time.Sleep(50 * time.Microsecond)
+	}
+	return written, nil
+}
+
+// Read fills b, possibly short, delayed, or killed.
+func (c *Conn) Read(b []byte) (int, error) {
+	if c.dead() {
+		return 0, ErrInjectedKill
+	}
+	c.maybeDelay()
+	if c.roll(c.opt.KillProb) {
+		c.kill()
+		return 0, ErrInjectedKill
+	}
+	if len(b) > 1 && c.roll(c.opt.ShortReadProb) {
+		b = b[:1+c.intn(len(b)-1)]
+	}
+	return c.Conn.Read(b)
+}

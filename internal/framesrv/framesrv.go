@@ -53,6 +53,14 @@ type Service interface {
 	Published() <-chan struct{}
 }
 
+// ReplHandler serves the primary side of a replication stream on a
+// connection whose last request was a replicate frame (repl.Primary
+// implements it). The handler owns the connection until it returns;
+// done is the server's shutdown signal.
+type ReplHandler interface {
+	ServeReplication(conn net.Conn, bw *bufio.Writer, req *wire.Frame, done <-chan struct{})
+}
+
 // Options tunes a Server; the zero value picks the dkserver defaults.
 type Options struct {
 	// MaxOps caps the node ids per batched lookup request. Default 8192,
@@ -67,6 +75,10 @@ type Options struct {
 	// into the future, so requests written before (or racing with) the
 	// shutdown are still read and answered. Default 250ms.
 	DrainGrace time.Duration
+	// Repl, when non-nil, enables replication streams: a replicate
+	// request hands the connection to this handler. Nil answers such
+	// requests with an error frame.
+	Repl ReplHandler
 }
 
 func (o Options) withDefaults() Options {
@@ -265,12 +277,28 @@ func (s *Server) serveConn(conn net.Conn) {
 					return
 				}
 				consumed += m
-				if f.Type == wire.FrameReqSubscribe {
+				if f.Type == wire.FrameReqSubscribe || f.Type == wire.FrameReqReplicate {
+					// Both flip the connection into a push stream, so either
+					// must be the last frame on it.
 					if consumed != len(buf) {
 						scratch = wire.AppendErrorFrame(scratch[:0], http.StatusBadRequest,
-							"frames after subscribe")
+							"frames after a stream request")
 						bw.Write(scratch)
 						bw.Flush()
+						return
+					}
+					if f.Type == wire.FrameReqReplicate {
+						if s.opt.Repl == nil {
+							scratch = wire.AppendErrorFrame(scratch[:0], http.StatusNotImplemented,
+								"replication not enabled on this server")
+							bw.Write(scratch)
+							bw.Flush()
+							return
+						}
+						if bw.Flush() != nil {
+							return
+						}
+						s.opt.Repl.ServeReplication(conn, bw, f, s.done)
 						return
 					}
 					if bw.Flush() != nil {

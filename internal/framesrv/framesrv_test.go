@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultconn"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/respcache"
@@ -236,35 +237,53 @@ func int32Bytes(v []int32) []byte {
 
 // TestPipelining pins the transport's reason to exist: many requests
 // written in one batch come back as individual responses, in request
-// order, after a single flush.
+// order, after a single flush. The partial-writes variant pushes the
+// same pipeline through a fault-injecting conn that fragments every
+// write into tiny paced chunks, so the server's accumulation loop sees
+// half-frames on most reads and must reassemble without reordering.
 func TestPipelining(t *testing.T) {
 	addr, s, _ := newTestServer(t, Options{})
 	snap := s.Snapshot()
-	c := dial(t, addr)
 
-	const depth = 64
-	nodes := make([]int32, depth)
-	for i := range nodes {
-		nodes[i] = int32(i % snap.N())
+	run := func(t *testing.T, c *workload.FrameClient) {
+		const depth = 64
+		nodes := make([]int32, depth)
+		for i := range nodes {
+			nodes[i] = int32(i % snap.N())
+		}
+		for _, u := range nodes {
+			c.SendCliqueOf(u)
+		}
+		if err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		for i, u := range nodes {
+			f, err := c.Recv()
+			if err != nil {
+				t.Fatalf("response %d: %v", i, err)
+			}
+			if f.Node != u {
+				t.Fatalf("response %d is for node %d, want %d (out of order?)", i, f.Node, u)
+			}
+		}
+		if c.Pending() != 0 {
+			t.Fatalf("%d responses unaccounted for", c.Pending())
+		}
 	}
-	for _, u := range nodes {
-		c.SendCliqueOf(u)
-	}
-	if err := c.Flush(); err != nil {
-		t.Fatal(err)
-	}
-	for i, u := range nodes {
-		f, err := c.Recv()
+
+	t.Run("clean", func(t *testing.T) {
+		run(t, dial(t, addr))
+	})
+
+	t.Run("partial-writes", func(t *testing.T) {
+		conn, err := net.Dial("tcp", addr)
 		if err != nil {
-			t.Fatalf("response %d: %v", i, err)
+			t.Fatal(err)
 		}
-		if f.Node != u {
-			t.Fatalf("response %d is for node %d, want %d (out of order?)", i, f.Node, u)
-		}
-	}
-	if c.Pending() != 0 {
-		t.Fatalf("%d responses unaccounted for", c.Pending())
-	}
+		fc := faultconn.Wrap(conn, faultconn.Options{Seed: 1, FragmentProb: 1})
+		t.Cleanup(func() { fc.Close() })
+		run(t, workload.NewFrameClient(fc))
+	})
 }
 
 // TestProtocolError checks that garbage (and response frames, which a

@@ -64,6 +64,13 @@ type Options struct {
 	// two transports answer from the same pre-encoded bytes. Nil gets a
 	// private instance.
 	Cache *respcache.Snapshot
+	// Ready is the /readyz probe: nil error means the process may take
+	// traffic. A primary is ready once recovery completed and the writer
+	// is serving; a follower once it holds an installed snapshot, is
+	// connected to its primary, and its replication lag is under bound.
+	// Leaving Ready nil makes /readyz always succeed — New returning a
+	// handler implies the service behind it is already up.
+	Ready func() error
 }
 
 func (o Options) withDefaults() Options {
@@ -100,6 +107,8 @@ func New(svc Service, opt Options) http.Handler {
 	h.mux.HandleFunc("GET /cliques", h.getCliques)
 	h.mux.HandleFunc("GET /stats", h.getStats)
 	h.mux.HandleFunc("POST /update", h.postUpdate)
+	h.mux.HandleFunc("GET /healthz", h.getHealthz)
+	h.mux.HandleFunc("GET /readyz", h.getReadyz)
 	return h
 }
 
@@ -377,6 +386,28 @@ func (h *handler) getStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// getHealthz is the liveness probe: the process is serving HTTP. It
+// deliberately touches no service state — a wedged writer or a lagging
+// follower is a readiness problem, not a liveness one, and restarting
+// the process for it would only lose the recovery work.
+func (h *handler) getHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeBody(w, http.StatusOK, "text/plain; charset=utf-8", []byte("ok\n"))
+}
+
+// getReadyz is the readiness probe: 200 when Options.Ready (if set)
+// reports nil, 503 with the reason otherwise. Load balancers drain a
+// not-ready instance without killing it.
+func (h *handler) getReadyz(w http.ResponseWriter, _ *http.Request) {
+	if h.opt.Ready != nil {
+		if err := h.opt.Ready(); err != nil {
+			writeBody(w, http.StatusServiceUnavailable, "text/plain; charset=utf-8",
+				[]byte("not ready: "+err.Error()+"\n"))
+			return
+		}
+	}
+	writeBody(w, http.StatusOK, "text/plain; charset=utf-8", []byte("ready\n"))
+}
+
 // postUpdate accepts a JSON batch of edge updates, validates it up
 // front (the engine panics on out-of-range ids by design) and enqueues
 // it; with "flush": true it waits for application before answering.
@@ -418,6 +449,13 @@ func (h *handler) postUpdate(w http.ResponseWriter, r *http.Request) {
 		ops[i] = workload.Op{Insert: op.Insert, U: op.U, V: op.V}
 	}
 	if err := h.svc.Enqueue(r.Context(), ops...); err != nil {
+		// A follower refusing writes is a routing mistake by the client,
+		// not a service outage: 403 tells it to find the primary, and
+		// load balancers must not retry it against the same backend.
+		if errors.Is(err, serve.ErrNotPrimary) {
+			writeError(w, r, http.StatusForbidden, err.Error())
+			return
+		}
 		writeError(w, r, http.StatusServiceUnavailable, err.Error())
 		return
 	}

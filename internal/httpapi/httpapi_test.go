@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -462,5 +463,88 @@ func TestCacheDisabled(t *testing.T) {
 	f, _ := getFrame(t, srv, "/snapshot")
 	if f.Version != snap.Version() || f.Size != snap.Size() {
 		t.Fatalf("uncached frame %+v", f)
+	}
+}
+
+// TestHealthEndpoints pins the probe semantics: /healthz is always 200
+// once the handler serves; /readyz tracks Options.Ready (nil func =
+// always ready, error = 503 carrying the reason).
+func TestHealthEndpoints(t *testing.T) {
+	srv, _, _ := newTestServer(t, Options{})
+	if code, _, _ := get(t, srv, "/healthz", false); code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	if code, _, _ := get(t, srv, "/readyz", false); code != http.StatusOK {
+		t.Fatalf("readyz with nil Ready: status %d", code)
+	}
+
+	var mu sync.Mutex
+	var ready error = errors.New("replication lag 2000 over bound 1024")
+	g := testGraph(t)
+	s := newTestService(t, g)
+	probe := httptest.NewServer(New(s, Options{Ready: func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		return ready
+	}}))
+	t.Cleanup(probe.Close)
+
+	code, _, body := get(t, probe, "/readyz", false)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while not ready: status %d", code)
+	}
+	if !strings.Contains(string(body), "replication lag") {
+		t.Fatalf("readyz body %q does not carry the reason", body)
+	}
+	if code, _, _ := get(t, probe, "/healthz", false); code != http.StatusOK {
+		t.Fatalf("healthz while not ready: status %d (liveness must not track readiness)", code)
+	}
+
+	mu.Lock()
+	ready = nil
+	mu.Unlock()
+	if code, _, _ := get(t, probe, "/readyz", false); code != http.StatusOK {
+		t.Fatalf("readyz after becoming ready: status %d", code)
+	}
+}
+
+// TestUpdateOnFollower pins the write-rejection contract: POST /update
+// against a follower-mode service maps serve.ErrNotPrimary to 403, so
+// clients can tell "wrong node" apart from "service down" (503).
+func TestUpdateOnFollower(t *testing.T) {
+	g := testGraph(t)
+	s := newTestService(t, g)
+	var buf bytes.Buffer
+	err := s.Barrier(context.Background(), func(cp serve.Checkpointer) error {
+		_, err := cp.Checkpoint(&buf)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fol, err := serve.NewFollowerFromCheckpoint(&buf, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fol.Close() })
+	srv := httptest.NewServer(New(fol, Options{}))
+	t.Cleanup(srv.Close)
+
+	resp, err := http.Post(srv.URL+"/update", "application/json",
+		strings.NewReader(`{"ops":[{"insert":true,"u":1,"v":2}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("update on follower: status %d body %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "not the primary") {
+		t.Fatalf("update on follower: body %q does not name the refusal", body)
+	}
+	// Reads still work on a follower.
+	if code, _, _ := get(t, srv, "/snapshot", false); code != http.StatusOK {
+		t.Fatalf("follower snapshot status %d", code)
 	}
 }

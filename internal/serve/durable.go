@@ -184,6 +184,12 @@ func initStore(opt Options, eng *dynamic.Engine) (*durable, error) {
 // starts the writer. Options.Dir is ignored (dir wins); the remaining
 // options tune the resumed service as in New.
 func Open(dir string, opt Options) (*Service, error) {
+	return open(dir, opt, false)
+}
+
+// open is Open with the follower flag (see OpenFollower in repl.go);
+// the flag must be set before the writer starts.
+func open(dir string, opt Options, follower bool) (*Service, error) {
 	opt = opt.withDefaults()
 	opt.Dir = dir
 	lock, err := lockStore(dir)
@@ -246,6 +252,7 @@ func Open(dir string, opt Options) (*Service, error) {
 	}
 	removeStaleWALs(dir, gen)
 	s := wrapEngine(eng, opt)
+	s.follower = follower
 	s.dur = &durable{dir: dir, policy: opt.Fsync, every: opt.CheckpointEvery, log: lg, lock: lock, gen: gen}
 	s.recovered.Store(recovered)
 	s.start(opt.MaxBatch)
@@ -327,5 +334,11 @@ func (s *Service) checkpoint(final bool) error {
 	}
 	os.Remove(walPath(s.dur.dir, old))
 	s.eng.CanonicalizeIndex()
+	// Canonicalization boundaries are part of the replicated history:
+	// every replica must canonicalize at the same version or swap
+	// tie-breaking drifts (see repl.go).
+	if sink := s.replSink(); sink != nil {
+		sink.ReplCanon(s.eng.Snapshot().Version())
+	}
 	return nil
 }

@@ -128,9 +128,13 @@ type Stats struct {
 
 // item is one unit of the writer's input queue: ops to apply and/or a
 // flush marker to close once everything before it has been applied.
+// repl and barrier are replication specials (see repl.go); they run on
+// the writer after the batch group they arrived in has been applied.
 type item struct {
-	ops   []workload.Op
-	flush chan struct{}
+	ops     []workload.Op
+	flush   chan struct{}
+	repl    *replReq
+	barrier *barrierReq
 }
 
 // Service owns a dynamic engine behind a single writer goroutine. All
@@ -154,6 +158,15 @@ type Service struct {
 	// waking every goroutine blocked on an earlier Published() value.
 	pubMu sync.Mutex
 	pubCh chan struct{}
+
+	// follower marks a replica service: Enqueue refuses local writes
+	// with ErrNotPrimary and state advances through Replicate/
+	// Canonicalize (repl.go). Set before the writer starts, never after.
+	follower bool
+
+	// sink is the attached replication sink, stored as a pointer to the
+	// interface value so attachment is one atomic store (see repl.go).
+	sink atomic.Pointer[ReplSink]
 
 	// dur is the durability state (nil for in-memory services); werr
 	// latches the first WAL/checkpoint failure, after which the service is
@@ -277,6 +290,7 @@ func (s *Service) run(maxBatch int) {
 	defer s.finalPublish()
 	buf := make([]workload.Op, 0, maxBatch)
 	var pendingFlush []chan struct{}
+	var specials []item
 	apply := func() {
 		// Chunk to maxBatch so one oversized Enqueue cannot stall the
 		// writer (and snapshot freshness) for an unbounded mega-batch.
@@ -300,6 +314,15 @@ func (s *Service) run(maxBatch int) {
 			s.applied.Add(uint64(end - off))
 			s.changed.Add(uint64(changed))
 			s.batches.Add(1)
+			if changed > 0 {
+				// Ship S-changing batches (the only ones that bump the
+				// version) before maybeCheckpoint so a canon boundary lands
+				// after its batch in the stream. chunk aliases buf — the
+				// sink copies what it retains.
+				if sink := s.replSink(); sink != nil {
+					sink.ReplBatch(svcCheckpointer{s}, chunk, s.eng.Snapshot().Version())
+				}
+			}
 			if s.dur != nil {
 				if err := s.maybeCheckpoint(end - off); err != nil {
 					s.fail(err)
@@ -324,11 +347,27 @@ func (s *Service) run(maxBatch int) {
 		pendingFlush = pendingFlush[:0]
 		// Wake the delta subscribers after the engine published.
 		s.notifyPublished()
+		// Replication specials run at the batch boundary, in arrival
+		// order: a follower's stream applier is synchronous (one item in
+		// flight), so order relative to local ops never matters on the
+		// services that receive them.
+		for _, sp := range specials {
+			switch {
+			case sp.repl != nil:
+				s.applyRepl(sp.repl)
+			case sp.barrier != nil:
+				sp.barrier.done <- s.runBarrier(sp.barrier.fn)
+			}
+		}
+		specials = specials[:0]
 	}
 	collect := func(it item) {
 		buf = append(buf, it.ops...)
 		if it.flush != nil {
 			pendingFlush = append(pendingFlush, it.flush)
+		}
+		if it.repl != nil || it.barrier != nil {
+			specials = append(specials, it)
 		}
 	}
 	for {
@@ -384,6 +423,9 @@ func (s *Service) Enqueue(ctx context.Context, ops ...workload.Op) error {
 		if op.U < 0 || op.V < 0 || int(op.U) >= s.n || int(op.V) >= s.n || op.U == op.V {
 			return fmt.Errorf("serve: invalid edge op (%d,%d) for %d nodes", op.U, op.V, s.n)
 		}
+	}
+	if s.follower {
+		return ErrNotPrimary
 	}
 	if s.closed.Load() {
 		return ErrClosed

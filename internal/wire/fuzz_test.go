@@ -57,6 +57,12 @@ func FuzzWireDecode(f *testing.F) {
 		case FrameDelta:
 			re = AppendDeltaFrame(nil, fr.FromVersion, fr.Version, fr.K, fr.Nodes, fr.Edges,
 				fr.Size, fr.RemovedIDs, fr.AddedIDs, fr.Cliques)
+		case FrameReplCheckpoint:
+			re = AppendReplCheckpointFrame(nil, fr.Epoch, fr.Version, fr.Checkpoint)
+		case FrameReplBatch:
+			re = AppendReplBatchFrame(nil, fr.Epoch, fr.Version, fr.ReplOps)
+		case FrameReplCanon:
+			re = AppendReplCanonFrame(nil, fr.Epoch, fr.Version)
 		default:
 			t.Fatalf("decoded unknown frame type %d", fr.Type)
 		}
@@ -111,6 +117,8 @@ func FuzzRequestDecode(f *testing.F) {
 			re = AppendStatsRequest(nil)
 		case FrameReqSubscribe:
 			re = AppendSubscribeRequest(nil)
+		case FrameReqReplicate:
+			re = AppendReplicateRequest(nil, fr.Epoch, fr.Version, fr.HaveState)
 		default:
 			t.Fatalf("decoded unknown request type %d", fr.Type)
 		}

@@ -97,6 +97,8 @@ func DecodeRequest(data []byte) (*Frame, int, error) {
 		if len(payload) != 0 {
 			err = fmt.Errorf("wire: %d payload bytes on a bodyless request", len(payload))
 		}
+	case FrameReqReplicate:
+		err = f.decodeReplicateRequest(payload)
 	default:
 		err = fmt.Errorf("wire: unknown request frame type %d", typ)
 	}

@@ -173,6 +173,15 @@ type Frame struct {
 	// Error frame fields.
 	Status  int
 	Message string
+
+	// Replication frame fields (see repl.go): the primary epoch stamped
+	// on every stream frame, the opaque engine checkpoint bytes of an
+	// install frame, the edge ops of a shipped batch, and the haveState
+	// flag of a replicate request.
+	Epoch      uint64
+	Checkpoint []byte
+	ReplOps    []EdgeOp
+	HaveState  bool
 }
 
 // beginFrame appends a frame header with placeholder length and CRC,
@@ -335,6 +344,12 @@ func Decode(data []byte) (*Frame, int, error) {
 		err = f.decodeError(payload)
 	case FrameDelta:
 		err = f.decodeDelta(payload)
+	case FrameReplCheckpoint:
+		err = f.decodeReplCheckpoint(payload)
+	case FrameReplBatch:
+		err = f.decodeReplBatch(payload)
+	case FrameReplCanon:
+		err = f.decodeReplCanon(payload)
 	default:
 		err = fmt.Errorf("wire: unknown frame type %d", typ)
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"time"
 
 	"repro/internal/wire"
 )
@@ -31,11 +32,24 @@ type FrameClient struct {
 	out     []byte // accumulated request frames, written by Flush
 	resp    []byte // decode scratch for Recv
 	pending int    // requests flushed or buffered but not yet received
+	timeout time.Duration
 }
 
-// DialFrame connects a frame client to a framesrv address.
+// DialTimeout bounds DialFrame's connection attempt. A hung or
+// blackholed address fails within this budget instead of inheriting the
+// OS connect timeout (minutes).
+const DialTimeout = 5 * time.Second
+
+// DialFrame connects a frame client to a framesrv address, bounded by
+// DialTimeout.
 func DialFrame(addr string) (*FrameClient, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialFrameTimeout(addr, DialTimeout)
+}
+
+// DialFrameTimeout connects with an explicit dial budget; d <= 0 means
+// no bound.
+func DialFrameTimeout(addr string, d time.Duration) (*FrameClient, error) {
+	conn, err := net.DialTimeout("tcp", addr, d)
 	if err != nil {
 		return nil, err
 	}
@@ -49,6 +63,21 @@ func NewFrameClient(conn net.Conn) *FrameClient {
 
 // Close hangs up.
 func (c *FrameClient) Close() error { return c.conn.Close() }
+
+// SetIOTimeout sets the per-operation I/O deadline: every Flush bounds
+// its write and every Recv/RecvRaw bounds its reads by d from the
+// moment the call starts, so a hung server surfaces as a timeout error
+// instead of blocking the client forever. d <= 0 (the default) disables
+// deadlines — required for subscribe/replication streams, which block
+// on reads for as long as the server has nothing to push.
+func (c *FrameClient) SetIOTimeout(d time.Duration) { c.timeout = d }
+
+// armRead sets the read deadline for one receive operation.
+func (c *FrameClient) armRead() {
+	if c.timeout > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(c.timeout))
+	}
+}
 
 // Pending returns the number of requests sent (or buffered) whose
 // responses have not been received yet.
@@ -83,6 +112,9 @@ func (c *FrameClient) SendStats() {
 func (c *FrameClient) Flush() error {
 	if len(c.out) == 0 {
 		return nil
+	}
+	if c.timeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
 	}
 	_, err := c.conn.Write(c.out)
 	c.out = c.out[:0]
@@ -131,8 +163,10 @@ func (c *FrameClient) Recv() (*wire.Frame, error) {
 }
 
 // readHeader reads one frame header into the decode scratch and returns
-// the frame type and payload length.
+// the frame type and payload length. It arms the per-operation read
+// deadline, which the payload reads that follow it inherit.
 func (c *FrameClient) readHeader() (wire.FrameType, int, error) {
+	c.armRead()
 	if cap(c.resp) < wire.HeaderSize {
 		c.resp = make([]byte, wire.HeaderSize, 4096)
 	}
@@ -231,6 +265,17 @@ func (c *FrameClient) Stats() (int, error) {
 // the connection closes; sending anything else is a protocol error.
 func (c *FrameClient) Subscribe() error {
 	c.out = wire.AppendSubscribeRequest(c.out)
+	return c.Flush()
+}
+
+// SendReplicate switches the connection into a replication stream (see
+// internal/repl): the server answers with an optional checkpoint
+// install followed by batch/canon frames, which Recv yields until the
+// connection closes. Like Subscribe, it must be the last request on the
+// connection, and the stream blocks on reads indefinitely — leave the
+// I/O timeout unset or the watchdog disconnects an idle primary.
+func (c *FrameClient) SendReplicate(lastEpoch, lastVersion uint64, haveState bool) error {
+	c.out = wire.AppendReplicateRequest(c.out, lastEpoch, lastVersion, haveState)
 	return c.Flush()
 }
 
