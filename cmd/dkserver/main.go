@@ -73,25 +73,27 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "HTTP listen address")
-		tcpAddr   = flag.String("tcp", "", "raw TCP frame-transport listen address (empty = disabled)")
-		inputPath = flag.String("input", "", "edge-list file to read")
-		dsName    = flag.String("dataset", "", "built-in dataset name instead of -input")
-		genSpec   = flag.String("gen", "", "generate a community graph: NODES,EDGES,SEED")
-		k         = flag.Int("k", 3, "clique size (>= 3)")
-		algName   = flag.String("alg", "LP", "static algorithm for the initial set")
-		workers   = flag.Int("workers", 0, "engine worker goroutines (0 = GOMAXPROCS)")
-		queueCap  = flag.Int("queue", 0, "update queue capacity (0 = default)")
-		maxBatch  = flag.Int("batch", 0, "max ops coalesced per engine batch (0 = default)")
-		dataDir   = flag.String("data", "", "durable store directory (WAL + checkpoints); empty = in-memory")
-		fsyncMode = flag.String("fsync", "batch", `WAL sync policy with -data: "batch" or "none"`)
-		ckptEvery = flag.Int("checkpoint", 0, "applied ops between checkpoints with -data (0 = default)")
-		maxOps    = flag.Int("maxops", 8192, "maximum ops per /update request and nodes per /cliques batch")
-		maxBody   = flag.Int64("maxbody", 1<<20, "maximum /update request body bytes")
-		drain     = flag.Duration("drain", 15*time.Second, "graceful-shutdown timeout for in-flight requests")
-		follow    = flag.String("follow", "", "replicate from this primary frame-transport address (follower mode)")
-		epoch     = flag.Uint64("epoch", 1, "replication fencing epoch with -tcp; bump on every primary handoff")
-		readyLag  = flag.Uint64("readylag", 1024, "follower replication lag above which /readyz reports 503")
+		addr        = flag.String("addr", ":8080", "HTTP listen address")
+		tcpAddr     = flag.String("tcp", "", "raw TCP frame-transport listen address (empty = disabled)")
+		inputPath   = flag.String("input", "", "edge-list file to read")
+		dsName      = flag.String("dataset", "", "built-in dataset name instead of -input")
+		genSpec     = flag.String("gen", "", "generate a community graph: NODES,EDGES,SEED")
+		k           = flag.Int("k", 3, "clique size (>= 3)")
+		algName     = flag.String("alg", "LP", "static algorithm for the initial set")
+		workers     = flag.Int("workers", 0, "engine worker goroutines (0 = GOMAXPROCS)")
+		queueCap    = flag.Int("queue", 0, "update queue capacity (0 = default)")
+		maxBatch    = flag.Int("batch", 0, "max ops coalesced per engine batch (0 = default)")
+		dataDir     = flag.String("data", "", "durable store directory (WAL + checkpoints); empty = in-memory")
+		fsyncMode   = flag.String("fsync", "batch", `WAL sync policy with -data: "batch" or "none"`)
+		ckptEvery   = flag.Int("checkpoint", 0, "applied ops between checkpoints with -data (0 = default)")
+		groupCommit = flag.Duration("groupcommit", 0, "extra fsync coalescing window for the pipelined write path (0 = sync immediately)")
+		serialDur   = flag.Bool("serialdurability", false, "disable the pipelined write path: inline fsyncs and blocking checkpoints")
+		maxOps      = flag.Int("maxops", 8192, "maximum ops per /update request and nodes per /cliques batch")
+		maxBody     = flag.Int64("maxbody", 1<<20, "maximum /update request body bytes")
+		drain       = flag.Duration("drain", 15*time.Second, "graceful-shutdown timeout for in-flight requests")
+		follow      = flag.String("follow", "", "replicate from this primary frame-transport address (follower mode)")
+		epoch       = flag.Uint64("epoch", 1, "replication fencing epoch with -tcp; bump on every primary handoff")
+		readyLag    = flag.Uint64("readylag", 1024, "follower replication lag above which /readyz reports 503")
 	)
 	flag.Parse()
 
@@ -105,12 +107,14 @@ func main() {
 		fatal(fmt.Errorf(`-fsync wants "batch" or "none", got %q`, *fsyncMode))
 	}
 	opts := dkclique.ServiceOptions{
-		Workers:         *workers,
-		QueueCapacity:   *queueCap,
-		MaxBatch:        *maxBatch,
-		Dir:             *dataDir,
-		Fsync:           policy,
-		CheckpointEvery: *ckptEvery,
+		Workers:             *workers,
+		QueueCapacity:       *queueCap,
+		MaxBatch:            *maxBatch,
+		Dir:                 *dataDir,
+		Fsync:               policy,
+		CheckpointEvery:     *ckptEvery,
+		GroupCommitInterval: *groupCommit,
+		SerialDurability:    *serialDur,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -401,10 +401,13 @@ func (s *Server) statsFrame(b []byte, snap *dynamic.Snapshot) []byte {
 		Recovered: st.Recovered, Checkpoints: st.Checkpoints,
 		WALBatches: st.WALBatches, WALBytes: st.WALBytes,
 		Insertions: uint64(es.Insertions), Deletions: uint64(es.Deletions),
-		Swaps:        uint64(es.Swaps),
-		IndexBuildUS: uint64(es.IndexBuild.Microseconds()),
-		QueueDepth:   st.QueueDepth,
-		SnapshotAge:  st.SnapshotAge,
+		Swaps:             uint64(es.Swaps),
+		IndexBuildUS:      uint64(es.IndexBuild.Microseconds()),
+		QueueDepth:        st.QueueDepth,
+		SnapshotAge:       st.SnapshotAge,
+		WALSyncs:          st.WALSyncs,
+		GroupCommitOps:    st.GroupCommitOps,
+		CheckpointStallNs: st.CheckpointStallNs,
 	}
 	return wire.AppendStatsFrame(b, snap.Version(), &ws)
 }

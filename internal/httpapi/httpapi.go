@@ -352,10 +352,13 @@ func (h *handler) getStats(w http.ResponseWriter, r *http.Request) {
 			Recovered: st.Recovered, Checkpoints: st.Checkpoints,
 			WALBatches: st.WALBatches, WALBytes: st.WALBytes,
 			Insertions: uint64(es.Insertions), Deletions: uint64(es.Deletions),
-			Swaps:        uint64(es.Swaps),
-			IndexBuildUS: uint64(es.IndexBuild.Microseconds()),
-			QueueDepth:   st.QueueDepth,
-			SnapshotAge:  st.SnapshotAge,
+			Swaps:             uint64(es.Swaps),
+			IndexBuildUS:      uint64(es.IndexBuild.Microseconds()),
+			QueueDepth:        st.QueueDepth,
+			SnapshotAge:       st.SnapshotAge,
+			WALSyncs:          st.WALSyncs,
+			GroupCommitOps:    st.GroupCommitOps,
+			CheckpointStallNs: st.CheckpointStallNs,
 		}
 		buf := getBuf()
 		defer putBuf(buf)
@@ -383,6 +386,9 @@ func (h *handler) getStats(w http.ResponseWriter, r *http.Request) {
 		IndexMS:    float64(es.IndexBuild.Microseconds()) / 1000,
 		QueueDepth: st.QueueDepth,
 		SnapAge:    st.SnapshotAge,
+		WALSyncs:   st.WALSyncs,
+		GroupOps:   st.GroupCommitOps,
+		CkptStall:  st.CheckpointStallNs,
 	})
 }
 
@@ -529,6 +535,13 @@ type StatsResponse struct {
 	IndexMS    float64 `json:"index_build_ms"`
 	QueueDepth uint64  `json:"queue_depth"`
 	SnapAge    uint64  `json:"snapshot_age"`
+	// Write-path pipeline counters (zero for in-memory services):
+	// completed WAL fsyncs, ops those fsyncs made durable (ratio =
+	// group-commit coalescing factor), and cumulative writer stall on
+	// checkpoint rollovers in nanoseconds.
+	WALSyncs  uint64 `json:"wal_syncs,omitempty"`
+	GroupOps  uint64 `json:"group_commit_ops,omitempty"`
+	CkptStall uint64 `json:"checkpoint_stall_ns,omitempty"`
 }
 
 // UpdateRequest is the JSON body of POST /update.

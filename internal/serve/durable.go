@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"syscall"
+	"time"
 
 	"repro/internal/dynamic"
 	"repro/internal/wal"
@@ -22,23 +24,34 @@ import (
 //
 //   - The writer goroutine appends every drained batch to the WAL
 //     *before* handing it to ApplyBatch; under wal.SyncEveryBatch the
-//     append fsyncs, under wal.SyncNone the sync is deferred to the next
-//     Flush (so Flush returning still means "durable").
+//     append is covered by an fsync before its ops are acked, under
+//     wal.SyncNone the sync is deferred to the next Flush (so Flush
+//     returning still means "durable"). By default the fsyncs run on the
+//     dedicated group-commit syncer so applying overlaps syncing (see
+//     pipeline.go); Options.SerialDurability runs them inline instead.
 //   - Every CheckpointEvery applied ops — and on Close — the engine state
 //     is checkpointed: the checkpoint is written to a temp file, fsynced,
 //     atomically renamed over checkpoint.dkc, the directory synced, and a
-//     fresh WAL generation started; the previous generation's log is then
+//     fresh WAL generation started; superseded generations' logs are then
 //     deleted. The engine canonicalizes its candidate index at the same
 //     boundary, which is what makes recovery byte-identical (see
-//     dynamic.CanonicalizeIndex).
+//     dynamic.CanonicalizeIndex). Pipelined services capture the image in
+//     memory and install it in the background, so the writer only stalls
+//     for the capture; the WAL generation still rolls at the capture
+//     point, which is what lets recovery find the boundary.
 //   - Open loads the checkpoint, replays the matching WAL generation's
 //     intact record prefix through ApplyBatch (a torn tail from a crash
-//     mid-append is truncated away), and resumes appending.
+//     mid-append is truncated away), then walks any newer generations a
+//     crashed-in-flight install left behind — canonicalizing between
+//     generations exactly as the live engine did — and resumes appending
+//     to the newest one.
 //
 // Store layout inside Dir:
 //
 //	checkpoint.dkc   store header (magic, WAL generation) + engine checkpoint
 //	wal-<gen>.log    the WAL covering updates applied since that checkpoint
+//	                 (during a background install, wal-<gen+1>.log already
+//	                 collects updates past the captured-but-uninstalled one)
 //
 // A WAL failure fail-stops the service: the op that could not be logged is
 // not applied, the error sticks, and every later Enqueue/Flush/Close
@@ -51,6 +64,9 @@ var storeMagic = [8]byte{'D', 'K', 'C', 'Q', 'S', 'R', 'V', '1'}
 // checkpointName is the checkpoint file inside a store directory.
 const checkpointName = "checkpoint.dkc"
 
+// storeHdrSize is the checkpoint file's header: magic + WAL generation.
+const storeHdrSize = 16
+
 // durable is the writer-owned durability state of a Service.
 type durable struct {
 	dir       string
@@ -60,6 +76,49 @@ type durable struct {
 	lock      *os.File // flock-held LOCK file; exclusivity for the store
 	gen       int64
 	sinceCkpt int
+
+	// unsynced counts ops appended since the last inline fsync — the
+	// serial-mode twin of groupSyncer.pending, feeding GroupCommitOps.
+	unsynced int
+	// chunks is the writer's scratch for vectored group appends.
+	chunks [][]workload.Op
+	// ckptBuf is the reusable checkpoint capture image (store header +
+	// engine image). It is handed to the installer by reference and
+	// reclaimed only after the next wait — both sides only read it.
+	ckptBuf []byte
+
+	// sync and ckpt are the pipeline goroutines (pipeline.go); nil under
+	// Options.SerialDurability, in which case fsyncs and checkpoints run
+	// inline on the writer as they did before the pipeline existed.
+	sync *groupSyncer
+	ckpt *installer
+}
+
+// startPipeline launches the group-commit syncer and the background
+// checkpoint installer, unless serial durability was requested. Called
+// after the Service owns its durable state, before the writer starts.
+func (d *durable) startPipeline(s *Service, opt Options) {
+	if opt.SerialDurability {
+		return
+	}
+	d.sync = newGroupSyncer(s, d.log, opt.GroupCommitInterval)
+	d.ckpt = newInstaller(s)
+}
+
+// stopPipeline winds both pipeline goroutines down: the syncer works off
+// (or error-acks) everything pending, the installer finishes any
+// in-flight checkpoint. Called with the writer already exited; idempotent
+// via the nil checks because Close owns the fields afterwards.
+func (d *durable) stopPipeline() {
+	if d.sync != nil {
+		d.sync.stop()
+		d.sync = nil
+	}
+	if d.ckpt != nil {
+		d.ckpt.stop()
+		d.ckpt.wait()
+		d.ckpt = nil
+	}
 }
 
 // lockStore takes the store's exclusive advisory lock (flock on a LOCK
@@ -113,22 +172,23 @@ func syncDir(dir string) error {
 	return cerr
 }
 
-// writeCheckpointFile atomically installs a checkpoint of eng, tagged
-// with the WAL generation that will cover updates applied after it.
-func writeCheckpointFile(dir string, gen int64, eng *dynamic.Engine) error {
+// storeHeader returns the checkpoint file header for a WAL generation.
+func storeHeader(gen int64) [storeHdrSize]byte {
+	var hdr [storeHdrSize]byte
+	copy(hdr[:8], storeMagic[:])
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(gen))
+	return hdr
+}
+
+// installFile atomically installs checkpoint content produced by fill:
+// temp file, fsync, rename over checkpoint.dkc, directory sync.
+func installFile(dir string, fill func(f *os.File) error) error {
 	tmp := filepath.Join(dir, "checkpoint.tmp")
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	// No buffering layer here: WriteCheckpoint buffers internally, and the
-	// two header writes below are one-off.
-	var hdr [16]byte
-	copy(hdr[:8], storeMagic[:])
-	binary.LittleEndian.PutUint64(hdr[8:], uint64(gen))
-	if _, err = f.Write(hdr[:]); err == nil {
-		err = eng.WriteCheckpoint(f)
-	}
+	err = fill(f)
 	if err == nil {
 		err = f.Sync()
 	}
@@ -143,6 +203,31 @@ func writeCheckpointFile(dir string, gen int64, eng *dynamic.Engine) error {
 		return err
 	}
 	return syncDir(dir)
+}
+
+// writeCheckpointFile atomically installs a checkpoint of eng, tagged
+// with the WAL generation that will cover updates applied after it.
+// Used by the serial path; pipelined installs go through installImage
+// with an already-captured buffer.
+func writeCheckpointFile(dir string, gen int64, eng *dynamic.Engine) error {
+	return installFile(dir, func(f *os.File) error {
+		// No buffering layer here: WriteCheckpoint buffers internally, and
+		// the header write below is one-off.
+		hdr := storeHeader(gen)
+		if _, err := f.Write(hdr[:]); err != nil {
+			return err
+		}
+		return eng.WriteCheckpoint(f)
+	})
+}
+
+// installImage atomically installs an already-serialized checkpoint file
+// image (header included). The background installer's half of a capture.
+func installImage(dir string, data []byte) error {
+	return installFile(dir, func(f *os.File) error {
+		_, err := f.Write(data)
+		return err
+	})
 }
 
 // initStore creates a fresh durable store for a newly built engine: an
@@ -167,7 +252,10 @@ func initStore(opt Options, eng *dynamic.Engine) (*durable, error) {
 	if err := writeCheckpointFile(opt.Dir, gen, eng); err != nil {
 		return fail(err)
 	}
-	lg, err := wal.Create(walPath(opt.Dir, gen), opt.Fsync)
+	// The log itself is created with SyncNone regardless of policy: serve
+	// owns every fsync (inline or on the group-commit syncer) so it can
+	// coalesce them and count them; d.policy still records what was asked.
+	lg, err := wal.Create(walPath(opt.Dir, gen), wal.SyncNone)
 	if err != nil {
 		return fail(err)
 	}
@@ -228,8 +316,7 @@ func open(dir string, opt Options, follower bool) (*Service, error) {
 	}
 	n := eng.Graph().N()
 	recovered := uint64(0)
-	wp := walPath(dir, gen)
-	valid, err := wal.Replay(wp, func(ops []workload.Op) error {
+	replay := func(ops []workload.Op) error {
 		for _, op := range ops {
 			if int(op.U) >= n || int(op.V) >= n {
 				return fmt.Errorf("serve: wal op (%d,%d) out of range for %d nodes", op.U, op.V, n)
@@ -238,42 +325,79 @@ func open(dir string, opt Options, follower bool) (*Service, error) {
 		eng.ApplyBatch(ops)
 		recovered += uint64(len(ops))
 		return nil
-	})
+	}
+	ckptGen := gen
+	wp := walPath(dir, gen)
+	valid, err := wal.Replay(wp, replay)
 	if err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return nil, err
+	}
+	// Chain recovery past in-flight checkpoint installs: a pipelined
+	// service rolls to WAL generation g+1 at the in-memory capture and
+	// installs checkpoint g+1 in the background, so a crash inside that
+	// window leaves checkpoint.dkc one (or, across repeated crashes,
+	// several) generations behind the newest log. Each generation switch
+	// was a canonicalization boundary on the live engine; reproducing it
+	// between the replays is what keeps the recovered lineage — and any
+	// follower fed from it — byte-identical (see dynamic.CanonicalizeIndex
+	// and repl.go). The newest generation takes over as the append target.
+	for {
+		nwp := walPath(dir, gen+1)
+		if _, serr := os.Stat(nwp); serr != nil {
+			break
+		}
+		eng.CanonicalizeIndex()
+		gen++
+		wp = nwp
+		valid, err = wal.Replay(wp, replay)
+		if err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return nil, err
+		}
 	}
 	// A crash can land between the checkpoint rename and the creation of
 	// its WAL generation; a missing (or headerless) log simply means no
 	// updates survived it, so start the generation's log fresh. Resume
-	// truncates any torn tail beyond the intact prefix.
-	lg, err := wal.Resume(wp, valid, opt.Fsync)
+	// truncates any torn tail beyond the intact prefix. SyncNone because
+	// serve owns the fsyncs (see initStore).
+	lg, err := wal.Resume(wp, valid, wal.SyncNone)
 	if err != nil {
 		return nil, err
 	}
-	removeStaleWALs(dir, gen)
+	removeStaleWALs(dir, ckptGen, gen)
 	s := wrapEngine(eng, opt)
 	s.follower = follower
 	s.dur = &durable{dir: dir, policy: opt.Fsync, every: opt.CheckpointEvery, log: lg, lock: lock, gen: gen}
+	// Anchor the checkpoint schedule to the replayed backlog so a service
+	// that keeps crashing before its first rollover cannot grow the WAL
+	// chain without bound.
+	s.dur.sinceCkpt = int(recovered)
 	s.recovered.Store(recovered)
+	s.dur.startPipeline(s, opt)
 	s.start(opt.MaxBatch)
 	ok = true
 	return s, nil
 }
 
-// removeStaleWALs deletes log files of generations other than gen — left
-// behind when a crash interrupted a checkpoint's cleanup. Best effort.
-func removeStaleWALs(dir string, gen int64) {
+// removeStaleWALs deletes log files of generations outside [lo, hi] — left
+// behind when a crash interrupted a checkpoint's cleanup. Generations in
+// the range stay: during a background install, lo is still referenced by
+// the on-disk checkpoint while hi collects new appends. Best effort.
+func removeStaleWALs(dir string, lo, hi int64) {
 	matches, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
-	keep := walPath(dir, gen)
 	for _, m := range matches {
-		if m != keep {
+		var g int64
+		if _, err := fmt.Sscanf(filepath.Base(m), "wal-%d.log", &g); err != nil {
+			continue
+		}
+		if g < lo || g > hi {
 			os.Remove(m)
 		}
 	}
 }
 
-// appendWAL logs one about-to-be-applied batch. Called by the writer
-// goroutine only.
+// appendWAL logs one about-to-be-applied batch (the follower replication
+// path applies exactly one record per stream item; the local writer uses
+// appendWALGroup). Called by the writer goroutine only.
 func (s *Service) appendWAL(ops []workload.Op) error {
 	nb, err := s.dur.log.Append(ops)
 	if err != nil {
@@ -281,6 +405,59 @@ func (s *Service) appendWAL(ops []workload.Op) error {
 	}
 	s.walBatches.Add(1)
 	s.walBytes.Add(uint64(nb))
+	return s.walAppended(len(ops))
+}
+
+// appendWALGroup logs a whole drain cycle ahead of application: one
+// record per maxBatch chunk — mirroring the ApplyBatch chunking — framed
+// into a single vectored write. Called by the writer goroutine only.
+func (s *Service) appendWALGroup(buf []workload.Op, maxBatch int) error {
+	d := s.dur
+	chunks := d.chunks[:0]
+	for off := 0; off < len(buf); off += maxBatch {
+		chunks = append(chunks, buf[off:min(off+maxBatch, len(buf))])
+	}
+	d.chunks = chunks
+	nb, err := d.log.AppendGroup(chunks)
+	if err != nil {
+		return err
+	}
+	s.walBatches.Add(uint64(len(chunks)))
+	s.walBytes.Add(uint64(nb))
+	return s.walAppended(len(buf))
+}
+
+// walAppended dispatches the post-append durability work for ops that
+// just reached the log file: pipelined services notify the group-commit
+// syncer (requesting a commit under SyncEveryBatch), serial ones fsync
+// inline right here — still strictly before the ops can be acked.
+func (s *Service) walAppended(ops int) error {
+	d := s.dur
+	if d.sync != nil {
+		d.sync.noteAppend(ops, d.policy == wal.SyncEveryBatch)
+		return nil
+	}
+	d.unsynced += ops
+	if d.policy == wal.SyncEveryBatch {
+		return s.syncWALInline()
+	}
+	return nil
+}
+
+// syncWALInline fsyncs the log on the calling goroutine and settles the
+// group-commit accounting for the ops it covered. Serial mode only (or
+// Close, after the pipeline stopped).
+func (s *Service) syncWALInline() error {
+	d := s.dur
+	if !d.log.Dirty() {
+		return nil
+	}
+	if err := d.log.Sync(); err != nil {
+		return err
+	}
+	s.walSyncs.Add(1)
+	s.groupCommitOps.Add(uint64(d.unsynced))
+	d.unsynced = 0
 	return nil
 }
 
@@ -292,24 +469,116 @@ func (s *Service) maybeCheckpoint(applied int) error {
 	if s.dur.sinceCkpt < s.dur.every {
 		return nil
 	}
-	return s.checkpoint(false)
+	return s.storeCheckpoint()
 }
 
-// checkpoint writes a checkpoint and starts the next WAL generation.
+// storeCheckpoint rolls the store over at the current batch boundary —
+// pipelined services capture in memory and install in the background,
+// serial ones write the full checkpoint inline — and accounts the
+// writer's stall either way. Called with the writer quiescent: on the
+// writer goroutine itself (periodic, repl canon, replication catch-up).
+func (s *Service) storeCheckpoint() error {
+	start := time.Now()
+	defer func() { s.ckptStallNs.Add(uint64(time.Since(start))) }()
+	if s.dur.ckpt != nil {
+		return s.captureCheckpoint()
+	}
+	return s.checkpointInline(false)
+}
+
+// captureCheckpoint is the writer-side half of a pipelined checkpoint:
+// drain what must be durable, serialize the engine image into memory,
+// roll the WAL generation, canonicalize, and hand the slow install to the
+// background goroutine. The writer resumes applying immediately after.
+func (s *Service) captureCheckpoint() error {
+	d := s.dur
+	// Exactly one install in flight: absorb the previous one first (a
+	// fast no-op in the steady state — CheckpointEvery ops of apply time
+	// dwarf one image install).
+	if err := d.ckpt.wait(); err != nil {
+		return err
+	}
+	// The old generation must be complete and durable before the switch:
+	// recovery treats the generation boundary as the canonicalization
+	// point, so no record may migrate across it afterwards.
+	if err := d.sync.drain(); err != nil {
+		return err
+	}
+	gen := d.gen + 1
+	buf := bytes.NewBuffer(d.ckptBuf[:0])
+	hdr := storeHeader(gen)
+	buf.Write(hdr[:])
+	if err := s.eng.WriteCheckpoint(buf); err != nil {
+		return err
+	}
+	d.ckptBuf = buf.Bytes()
+	lg, err := wal.Create(walPath(d.dir, gen), wal.SyncNone)
+	if err != nil {
+		return err
+	}
+	// The new generation's directory entry must be durable before any op
+	// logged to it is acked — and before the capture may install, since
+	// recovery discovers the capture boundary by this file's existence.
+	if err := syncDir(d.dir); err != nil {
+		lg.Close()
+		return err
+	}
+	oldLog := d.log
+	d.log = lg
+	d.sync.setLog(lg)
+	d.gen = gen
+	d.sinceCkpt = 0
+	// Counted at capture: this is when the boundary lands in the history,
+	// whether or not the install has hit the disk yet.
+	s.checkpoints.Add(1)
+	s.eng.CanonicalizeIndex()
+	// Canonicalization boundaries are part of the replicated history:
+	// every replica must canonicalize at the same version or swap
+	// tie-breaking drifts (see repl.go).
+	if sink := s.replSink(); sink != nil {
+		sink.ReplCanon(s.eng.Snapshot().Version())
+	}
+	d.ckpt.start(installReq{data: d.ckptBuf, gen: gen, oldLog: oldLog, done: make(chan error, 1)})
+	return nil
+}
+
+// installCheckpoint is the background half of a pipelined checkpoint:
+// close the superseded log, install the captured image atomically, and
+// drop WAL generations the install made redundant. Runs on the installer
+// goroutine; errors are latched by the caller.
+func (s *Service) installCheckpoint(req installReq) error {
+	// The old generation gets no further appends (the writer switched
+	// before handing us the request) and was drained durable; closing it
+	// first frees the descriptor whatever happens below. Its file stays
+	// until the install succeeds — recovery still needs it otherwise.
+	if err := req.oldLog.Close(); err != nil {
+		return err
+	}
+	if testSkipInstall.Load() {
+		return nil
+	}
+	if err := installImage(s.dur.dir, req.data); err != nil {
+		return err
+	}
+	removeStaleWALs(s.dur.dir, req.gen, req.gen)
+	return nil
+}
+
+// checkpointInline writes a checkpoint and starts the next WAL
+// generation, all on the calling goroutine — the serial-durability path.
 // final (Close) skips the new generation and the index canonicalization —
 // the checkpoint alone carries the whole state, so recovery replays
 // nothing and the dying engine needs no further determinism upkeep.
 // Called with the writer quiescent: either on the writer goroutine itself
-// or from Close after the writer exited.
-func (s *Service) checkpoint(final bool) error {
-	if err := s.dur.log.Sync(); err != nil {
+// or from Close after the writer exited and the pipeline stopped.
+func (s *Service) checkpointInline(final bool) error {
+	if err := s.syncWALInline(); err != nil {
 		return err
 	}
 	gen := s.dur.gen + 1
 	if err := writeCheckpointFile(s.dur.dir, gen, s.eng); err != nil {
 		return err
 	}
-	old := s.dur.gen
 	s.dur.gen = gen
 	s.dur.sinceCkpt = 0
 	s.checkpoints.Add(1)
@@ -321,10 +590,10 @@ func (s *Service) checkpoint(final bool) error {
 		return err
 	}
 	if final {
-		os.Remove(walPath(s.dur.dir, old))
+		removeStaleWALs(s.dur.dir, gen, gen)
 		return nil
 	}
-	lg, err := wal.Create(walPath(s.dur.dir, gen), s.dur.policy)
+	lg, err := wal.Create(walPath(s.dur.dir, gen), wal.SyncNone)
 	if err != nil {
 		return err
 	}
@@ -332,7 +601,7 @@ func (s *Service) checkpoint(final bool) error {
 	if err := syncDir(s.dur.dir); err != nil {
 		return err
 	}
-	os.Remove(walPath(s.dur.dir, old))
+	removeStaleWALs(s.dur.dir, gen, gen)
 	s.eng.CanonicalizeIndex()
 	// Canonicalization boundaries are part of the replicated history:
 	// every replica must canonicalize at the same version or swap

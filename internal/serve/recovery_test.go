@@ -19,13 +19,17 @@ import (
 // crashForTest simulates a hard stop: the writer is killed once idle and
 // the log handle closed without the final checkpoint Close would write,
 // so the store holds only what the WAL protocol itself made durable. The
-// flock is released too — a real crash releases it with the process.
+// pipeline goroutines are stopped (their fds must not outlive the fake
+// process death) but, unlike Close, nothing else is flushed or
+// checkpointed. The flock is released too — a real crash releases it
+// with the process.
 func (s *Service) crashForTest() {
 	s.closeOnce.Do(func() {
 		s.closed.Store(true)
 		close(s.quit)
 		<-s.done
 		if s.dur != nil {
+			s.dur.stopPipeline()
 			if s.dur.log != nil {
 				s.dur.log.Close()
 			}
@@ -136,48 +140,59 @@ func TestOpenAfterGracefulClose(t *testing.T) {
 // TestCrashRecovery is the acceptance property: run a random op stream
 // through a durable service with frequent checkpoints, hard-stop at a
 // random point, Open the dir — the recovered snapshot must be
-// byte-identical to the pre-crash one and the engine must verify.
+// byte-identical to the pre-crash one and the engine must verify. Runs
+// against both the pipelined (default) and the serial durable path; the
+// pipelined rows cover background group commits and off-writer installs
+// racing the crash.
 func TestCrashRecovery(t *testing.T) {
 	ctx := context.Background()
-	for seed := int64(0); seed < 4; seed++ {
-		dir := t.TempDir()
-		g := gen.CommunitySocial(300, 8, 0.3, 800, 50+seed)
-		rng := rand.New(rand.NewSource(60 + seed))
-		// Tiny CheckpointEvery forces several checkpoint + canonicalize +
-		// WAL-rollover cycles mid-stream; SyncNone exercises the
-		// flush-time sync path.
-		s := durableService(t, g, dir, Options{Fsync: wal.SyncNone, CheckpointEvery: 64})
-		rounds := 5 + rng.Intn(20)
-		for i := 0; i < rounds; i++ {
-			if err := s.Enqueue(ctx, randomOps(g, rng, 1+rng.Intn(40))...); err != nil {
-				t.Fatal(err)
-			}
-			// Flush every round: the acked prefix is the whole stream.
-			if err := s.Flush(ctx); err != nil {
-				t.Fatal(err)
-			}
-		}
-		want := s.Snapshot()
-		s.crashForTest()
+	for _, mode := range []struct {
+		name   string
+		serial bool
+	}{{"pipelined", false}, {"serial", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			for seed := int64(0); seed < 4; seed++ {
+				dir := t.TempDir()
+				g := gen.CommunitySocial(300, 8, 0.3, 800, 50+seed)
+				rng := rand.New(rand.NewSource(60 + seed))
+				// Tiny CheckpointEvery forces several checkpoint + canonicalize +
+				// WAL-rollover cycles mid-stream; SyncNone exercises the
+				// flush-time sync path.
+				opt := Options{Fsync: wal.SyncNone, CheckpointEvery: 64, SerialDurability: mode.serial}
+				s := durableService(t, g, dir, opt)
+				rounds := 5 + rng.Intn(20)
+				for i := 0; i < rounds; i++ {
+					if err := s.Enqueue(ctx, randomOps(g, rng, 1+rng.Intn(40))...); err != nil {
+						t.Fatal(err)
+					}
+					// Flush every round: the acked prefix is the whole stream.
+					if err := s.Flush(ctx); err != nil {
+						t.Fatal(err)
+					}
+				}
+				want := s.Snapshot()
+				s.crashForTest()
 
-		r, err := Open(dir, Options{Fsync: wal.SyncNone, CheckpointEvery: 64})
-		if err != nil {
-			t.Fatalf("seed %d: %v", seed, err)
-		}
-		sameState(t, r.Snapshot(), want)
-		if err := r.eng.Verify(); err != nil {
-			t.Fatalf("seed %d: recovered engine: %v", seed, err)
-		}
-		// And the recovered service accepts further traffic.
-		if err := r.Enqueue(ctx, randomOps(g, rng, 5)...); err != nil {
-			t.Fatal(err)
-		}
-		if err := r.Flush(ctx); err != nil {
-			t.Fatal(err)
-		}
-		if err := r.Close(); err != nil {
-			t.Fatal(err)
-		}
+				r, err := Open(dir, opt)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				sameState(t, r.Snapshot(), want)
+				if err := r.eng.Verify(); err != nil {
+					t.Fatalf("seed %d: recovered engine: %v", seed, err)
+				}
+				// And the recovered service accepts further traffic.
+				if err := r.Enqueue(ctx, randomOps(g, rng, 5)...); err != nil {
+					t.Fatal(err)
+				}
+				if err := r.Flush(ctx); err != nil {
+					t.Fatal(err)
+				}
+				if err := r.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -185,13 +200,22 @@ func TestCrashRecovery(t *testing.T) {
 // after a crash: recovery must land on the state at some batch boundary
 // of the acked stream — never garbage, never a torn batch — and verify.
 func TestCrashRecoveryTornTail(t *testing.T) {
+	for _, mode := range []struct {
+		name   string
+		serial bool
+	}{{"pipelined", false}, {"serial", true}} {
+		t.Run(mode.name, func(t *testing.T) { testCrashRecoveryTornTail(t, mode.serial) })
+	}
+}
+
+func testCrashRecoveryTornTail(t *testing.T, serial bool) {
 	ctx := context.Background()
 	dir := t.TempDir()
 	g := gen.CommunitySocial(250, 8, 0.3, 700, 71)
 	rng := rand.New(rand.NewSource(73))
 	// No mid-stream checkpoints: the WAL carries the whole stream, so a
 	// cut can land anywhere in it.
-	s := durableService(t, g, dir, Options{Fsync: wal.SyncNone, CheckpointEvery: 1 << 20})
+	s := durableService(t, g, dir, Options{Fsync: wal.SyncNone, CheckpointEvery: 1 << 20, SerialDurability: serial})
 
 	// Flush after every enqueue so batch boundaries are deterministic:
 	// one WAL record per round. Capture the post-round snapshots as the

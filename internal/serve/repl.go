@@ -211,7 +211,7 @@ func (s *Service) applyRepl(req *replReq) {
 	if req.canon {
 		var err error
 		if s.dur != nil {
-			if err = s.checkpoint(false); err != nil {
+			if err = s.storeCheckpoint(); err != nil {
 				s.fail(err)
 			}
 		} else {
@@ -270,15 +270,24 @@ func (c svcCheckpointer) Checkpoint(w io.Writer) (uint64, error) {
 	}
 	if s.dur != nil {
 		// On a durable service the capture must be a real store
-		// checkpoint: checkpoint(false) canonicalizes the live index at
+		// checkpoint: storeCheckpoint canonicalizes the live index at
 		// this version, and doing that without rolling the store would
 		// break byte-identical crash recovery mid-generation. It also
 		// emits ReplCanon for the boundary.
-		if err := s.checkpoint(false); err != nil {
+		if err := s.storeCheckpoint(); err != nil {
 			s.fail(err)
 			return 0, err
 		}
 		ver := s.eng.Snapshot().Version()
+		if s.dur.ckpt != nil {
+			// Pipelined: the capture that just rolled the store holds the
+			// exact image to serve. Write those bytes (minus the store
+			// header) rather than re-serializing the engine, and never
+			// touch the possibly half-installed on-disk file. Read-only
+			// aliasing with the background installer is safe.
+			_, err := w.Write(s.dur.ckptBuf[storeHdrSize:])
+			return ver, err
+		}
 		return ver, s.eng.WriteCheckpoint(w)
 	}
 	ver := s.eng.Snapshot().Version()
@@ -318,6 +327,7 @@ func NewFollowerFromCheckpoint(r io.Reader, opt Options) (*Service, error) {
 		}
 		s.dur = dur
 		s.checkpoints.Add(1)
+		dur.startPipeline(s, opt)
 	}
 	s.start(opt.MaxBatch)
 	return s, nil

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/dynamic"
 	"repro/internal/graph"
@@ -67,6 +68,18 @@ type Options struct {
 	// a durable service. Default 1 << 17. Each checkpoint truncates the
 	// WAL, bounding both recovery replay time and disk growth.
 	CheckpointEvery int
+	// GroupCommitInterval optionally delays the pipelined syncer's fsync
+	// after a commit request so trailing batches join the same group. The
+	// default (0) syncs immediately — coalescing then comes only from
+	// appends that land while the previous fsync is in flight, which is
+	// already the common case under load. Ignored with SerialDurability.
+	GroupCommitInterval time.Duration
+	// SerialDurability disables the write-path pipeline (see pipeline.go)
+	// and restores the fully serial durable path: fsyncs run inline on the
+	// writer between append and apply, and checkpoints block the writer for
+	// the full image write. Durability semantics are identical either way;
+	// this exists for A/B benchmarking and as an escape hatch.
+	SerialDurability bool
 }
 
 func (o Options) withDefaults() Options {
@@ -113,6 +126,18 @@ type Stats struct {
 	// Zero for non-durable services.
 	WALBatches uint64
 	WALBytes   uint64
+	// WALSyncs counts completed WAL fsyncs; GroupCommitOps counts the ops
+	// those fsyncs made durable. Their ratio is the group-commit
+	// coalescing factor — ops per fsync — which is the whole win of the
+	// pipelined write path: under SyncEveryBatch the serial path pins it
+	// near one batch, the pipeline lets it grow with load.
+	WALSyncs       uint64
+	GroupCommitOps uint64
+	// CheckpointStallNs is cumulative wall time the writer spent stalled
+	// on checkpoint rollovers. Pipelined services stall only for the
+	// in-memory capture (plus any wait for a previous install still in
+	// flight); serial ones pay the full image write + fsync + rename here.
+	CheckpointStallNs uint64
 	// QueueDepth is the instantaneous update backlog: ops accepted by
 	// Enqueue that the writer has not yet applied. Unlike every field
 	// above it is a gauge, not a cumulative counter — it falls back to
@@ -175,15 +200,18 @@ type Service struct {
 	dur  *durable
 	werr atomic.Pointer[error]
 
-	enqueued    atomic.Uint64
-	applied     atomic.Uint64
-	changed     atomic.Uint64
-	batches     atomic.Uint64
-	flushes     atomic.Uint64
-	recovered   atomic.Uint64
-	checkpoints atomic.Uint64
-	walBatches  atomic.Uint64
-	walBytes    atomic.Uint64
+	enqueued       atomic.Uint64
+	applied        atomic.Uint64
+	changed        atomic.Uint64
+	batches        atomic.Uint64
+	flushes        atomic.Uint64
+	recovered      atomic.Uint64
+	checkpoints    atomic.Uint64
+	walBatches     atomic.Uint64
+	walBytes       atomic.Uint64
+	walSyncs       atomic.Uint64
+	groupCommitOps atomic.Uint64
+	ckptStallNs    atomic.Uint64
 }
 
 // New builds a Service over a starting graph and initial clique set
@@ -207,6 +235,7 @@ func New(g *graph.Graph, k int, initial [][]int32, opt Options) (*Service, error
 		}
 		s.dur = dur
 		s.checkpoints.Add(1)
+		dur.startPipeline(s, opt)
 	}
 	s.start(opt.MaxBatch)
 	return s, nil
@@ -291,25 +320,28 @@ func (s *Service) run(maxBatch int) {
 	buf := make([]workload.Op, 0, maxBatch)
 	var pendingFlush []chan struct{}
 	var specials []item
+	var waiterBuf []syncWaiter
 	apply := func() {
+		if s.dur != nil && len(buf) > 0 && s.Err() == nil {
+			// Write-ahead for the whole drain cycle: every chunk's record
+			// reaches the log file — in one vectored write — before any
+			// chunk is applied. On a log failure the service fail-stops:
+			// nothing below applies, so the durable state stays a
+			// prefix-exact image of the engine. Record boundaries equal the
+			// maxBatch chunking below, so the log replays through the exact
+			// ApplyBatch calls the live engine saw.
+			if err := s.appendWALGroup(buf, maxBatch); err != nil {
+				s.fail(err)
+			}
+		}
 		// Chunk to maxBatch so one oversized Enqueue cannot stall the
 		// writer (and snapshot freshness) for an unbounded mega-batch.
 		for off := 0; off < len(buf); off += maxBatch {
+			if s.dur != nil && s.Err() != nil {
+				break
+			}
 			end := min(off+maxBatch, len(buf))
 			chunk := buf[off:end]
-			if s.dur != nil {
-				// Write-ahead: the batch reaches the log before the engine.
-				// On a log failure the service fail-stops — this chunk and
-				// everything after it is discarded, never applied, so the
-				// durable state stays a prefix-exact image of the engine.
-				if s.Err() != nil {
-					break
-				}
-				if err := s.appendWAL(chunk); err != nil {
-					s.fail(err)
-					break
-				}
-			}
 			changed := s.eng.ApplyBatch(chunk)
 			s.applied.Add(uint64(end - off))
 			s.changed.Add(uint64(changed))
@@ -331,20 +363,34 @@ func (s *Service) run(maxBatch int) {
 			}
 		}
 		buf = buf[:0]
-		// Acking a flush promises durability: under deferred-sync policies
-		// force the log down before waking anyone.
-		if s.dur != nil && len(pendingFlush) > 0 && s.Err() == nil {
-			if err := s.dur.log.Sync(); err != nil {
-				s.fail(err)
+		// Acking a flush promises durability. Pipelined: hand the markers
+		// to the syncer — they ride the next group commit and wake strictly
+		// after the covering fsync (or after the failure latch), without
+		// stalling the writer here. Serial/in-memory: sync inline (under
+		// deferred-sync policies) and ack on the spot.
+		if s.dur != nil && s.dur.sync != nil {
+			if len(pendingFlush) > 0 {
+				waiterBuf = waiterBuf[:0]
+				for _, f := range pendingFlush {
+					waiterBuf = append(waiterBuf, syncWaiter{ch: f, flush: true})
+				}
+				s.dur.sync.await(waiterBuf)
+				pendingFlush = pendingFlush[:0]
 			}
+		} else {
+			if s.dur != nil && len(pendingFlush) > 0 && s.Err() == nil {
+				if err := s.syncWALInline(); err != nil {
+					s.fail(err)
+				}
+			}
+			for _, f := range pendingFlush {
+				// Count before waking the flusher: a caller returning from
+				// Flush must observe its own flush in Stats.
+				s.flushes.Add(1)
+				close(f)
+			}
+			pendingFlush = pendingFlush[:0]
 		}
-		for _, f := range pendingFlush {
-			// Count before waking the flusher: a caller returning from
-			// Flush must observe its own flush in Stats.
-			s.flushes.Add(1)
-			close(f)
-		}
-		pendingFlush = pendingFlush[:0]
 		// Wake the delta subscribers after the engine published.
 		s.notifyPublished()
 		// Replication specials run at the batch boundary, in arrival
@@ -513,10 +559,15 @@ func (s *Service) Close() error {
 		if s.dur == nil {
 			return
 		}
-		// The writer has exited; its durability state is ours now.
+		// The writer has exited; its durability state is ours now. Wind
+		// the pipeline down first: the syncer acks every outstanding group
+		// commit (so no Flush caller hangs), the installer finishes the
+		// in-flight checkpoint. Only then is the final inline checkpoint
+		// meaningful — and on a latched failure it is skipped entirely.
+		s.dur.stopPipeline()
 		if err := s.Err(); err != nil {
 			s.closeErr = err
-		} else if err := s.checkpoint(true); err != nil {
+		} else if err := s.checkpointInline(true); err != nil {
 			s.fail(err)
 			s.closeErr = err
 		}
@@ -572,6 +623,9 @@ func (s *Service) Stats() Stats {
 	st.Checkpoints = s.checkpoints.Load()
 	st.WALBatches = s.walBatches.Load()
 	st.WALBytes = s.walBytes.Load()
+	st.WALSyncs = s.walSyncs.Load()
+	st.GroupCommitOps = s.groupCommitOps.Load()
+	st.CheckpointStallNs = s.ckptStallNs.Load()
 	// Gauges. QueueDepth inherits the Applied-before-Enqueued load order
 	// above, so it can transiently over-count an in-flight Enqueue but
 	// never goes negative; SnapshotAge is internally consistent because

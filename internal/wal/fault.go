@@ -1,0 +1,99 @@
+package wal
+
+import "sync"
+
+// FaultFile wraps a File and injects faults on the write/fsync path — the
+// test seam the durability property tests drive through WrapFile. Beyond
+// injection it tracks what a crash would preserve: WrittenBytes is how far
+// the file content reaches, SyncedBytes how much of it a completed fsync
+// covers. Cutting the real file at SyncedBytes is the harshest crash the
+// protocol must survive with every acked op intact.
+//
+// The hooks run with the wrapper's lock held, before the underlying
+// operation; returning a non-nil error suppresses the operation and
+// surfaces the error to the caller. Counters passed to the hooks are
+// 1-based indices of the attempt ("fail the 3rd fsync" = n == 3). A nil
+// hook injects nothing. Safe for concurrent use.
+type FaultFile struct {
+	F File
+
+	// BeforeWrite and BeforeSync, when non-nil, run before each attempt
+	// with its 1-based index; a returned error aborts the attempt.
+	BeforeWrite func(n int) error
+	BeforeSync  func(n int) error
+
+	mu      sync.Mutex
+	writes  int
+	syncs   int
+	written int64
+	synced  int64
+}
+
+// Write counts the attempt, consults BeforeWrite, and forwards.
+func (f *FaultFile) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	f.writes++
+	if f.BeforeWrite != nil {
+		if err := f.BeforeWrite(f.writes); err != nil {
+			f.mu.Unlock()
+			return 0, err
+		}
+	}
+	f.mu.Unlock()
+	n, err := f.F.Write(p)
+	f.mu.Lock()
+	f.written += int64(n)
+	f.mu.Unlock()
+	return n, err
+}
+
+// Sync counts the attempt, consults BeforeSync, and forwards. On success
+// the synced watermark advances to the bytes written before the fsync
+// started — the same conservative promise a real fsync makes.
+func (f *FaultFile) Sync() error {
+	f.mu.Lock()
+	f.syncs++
+	if f.BeforeSync != nil {
+		if err := f.BeforeSync(f.syncs); err != nil {
+			f.mu.Unlock()
+			return err
+		}
+	}
+	mark := f.written
+	f.mu.Unlock()
+	if err := f.F.Sync(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if mark > f.synced {
+		f.synced = mark
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *FaultFile) Close() error                       { return f.F.Close() }
+func (f *FaultFile) Truncate(size int64) error          { return f.F.Truncate(size) }
+func (f *FaultFile) Seek(o int64, w int) (int64, error) { return f.F.Seek(o, w) }
+
+// WrittenBytes returns how many bytes have reached the underlying file.
+func (f *FaultFile) WrittenBytes() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.written
+}
+
+// SyncedBytes returns the byte offset a completed fsync covers — the
+// crash-survivable prefix of the file.
+func (f *FaultFile) SyncedBytes() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.synced
+}
+
+// Syncs returns the number of fsync attempts so far.
+func (f *FaultFile) Syncs() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncs
+}

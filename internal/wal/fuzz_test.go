@@ -61,7 +61,8 @@ func FuzzWALDecode(f *testing.F) {
 		l := &Log{policy: SyncNone}
 		img := append([]byte(nil), magic[:]...)
 		for _, ops := range batches {
-			b := l.encode(ops)
+			b := l.encode(l.buf[:0], ops)
+			l.buf = b
 			img = append(img, b...)
 		}
 		if !bytes.Equal(img, data[:valid]) {

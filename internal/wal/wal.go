@@ -29,6 +29,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync/atomic"
 
 	"repro/internal/workload"
 )
@@ -62,24 +63,59 @@ const (
 	SyncNone
 )
 
-// Log is an open write-ahead log positioned for appending. It is not safe
-// for concurrent use; the serving layer's single writer owns it.
+// File is the file-like handle a Log appends to — the subset of *os.File
+// the log needs. Production logs always sit on real files; tests swap in
+// wrappers through WrapFile to inject write/fsync faults and observe
+// synced offsets (see FaultFile).
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+}
+
+// WrapFile, when non-nil, wraps every file Create and Resume open. It is
+// a test seam for fault injection only — production code must leave it
+// nil. Set it before any log is opened and restore it after; it is read
+// without synchronization.
+var WrapFile func(path string, f *os.File) File
+
+func openedFile(path string, f *os.File) File {
+	if WrapFile != nil {
+		return WrapFile(path, f)
+	}
+	return f
+}
+
+// Log is an open write-ahead log positioned for appending.
+//
+// Concurrency: appends (Append/AppendGroup) belong to a single owner —
+// the serving layer's writer goroutine. Sync may be called by ONE other
+// goroutine concurrently with appends; that is the group-commit split
+// (the writer appends batch N+1 while a background syncer fsyncs batch
+// N). An fsync only promises durability for bytes written before it
+// started, which is exactly what the size/synced pair below tracks:
+// bytes racing into the file during an fsync stay unsynced until the
+// next one. Dirty/Synced/Size are safe from any goroutine.
 type Log struct {
-	f      *os.File
+	f      File
 	policy SyncPolicy
-	size   int64
+	size   atomic.Int64 // bytes appended (header + records)
+	synced atomic.Int64 // bytes covered by a completed fsync
+	syncs  atomic.Uint64
 	buf    []byte
-	dirty  bool // bytes appended since the last fsync
 }
 
 // Create creates (or truncates) a log at path, writes the header and
 // syncs it, so even an immediately-crashed store leaves a replayable
 // empty log behind.
 func Create(path string, policy SyncPolicy) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	osf, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
 	}
+	f := openedFile(path, osf)
 	if _, err := f.Write(magic[:]); err != nil {
 		f.Close()
 		return nil, err
@@ -88,7 +124,10 @@ func Create(path string, policy SyncPolicy) (*Log, error) {
 		f.Close()
 		return nil, err
 	}
-	return &Log{f: f, policy: policy, size: HeaderSize}, nil
+	l := &Log{f: f, policy: policy}
+	l.size.Store(HeaderSize)
+	l.synced.Store(HeaderSize)
+	return l, nil
 }
 
 // Resume opens an existing log for appending after a replay reported
@@ -99,10 +138,11 @@ func Resume(path string, valid int64, policy SyncPolicy) (*Log, error) {
 	if valid < HeaderSize {
 		return Create(path, policy)
 	}
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	osf, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
+	f := openedFile(path, osf)
 	if err := f.Truncate(valid); err != nil {
 		f.Close()
 		return nil, err
@@ -115,12 +155,30 @@ func Resume(path string, valid int64, policy SyncPolicy) (*Log, error) {
 		f.Close()
 		return nil, err
 	}
-	return &Log{f: f, policy: policy, size: valid}, nil
+	l := &Log{f: f, policy: policy}
+	l.size.Store(valid)
+	l.synced.Store(valid)
+	return l, nil
 }
 
-// encode frames one batch as a record in the log's reusable buffer.
-func (l *Log) encode(ops []workload.Op) []byte {
-	b := l.buf[:0]
+// grow makes sure the scratch buffer can hold need more bytes without a
+// mid-append reallocation: one exact-size grow instead of append's
+// incremental doubling, and the grown buffer is reused by every later
+// encode — the warm append path allocates nothing (pinned by
+// TestAppendZeroAlloc).
+func (l *Log) grow(need int) {
+	if cap(l.buf)-len(l.buf) < need {
+		nb := make([]byte, len(l.buf), len(l.buf)+need)
+		copy(nb, l.buf)
+		l.buf = nb
+	}
+}
+
+// encode frames one batch as a record appended to the log's reusable
+// scratch buffer, header and payload contiguous, and returns the
+// extended buffer.
+func (l *Log) encode(b []byte, ops []workload.Op) []byte {
+	mark := len(b)
 	b = binary.LittleEndian.AppendUint32(b, uint32(4+opSize*len(ops)))
 	b = append(b, 0, 0, 0, 0) // CRC placeholder
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(ops)))
@@ -133,8 +191,7 @@ func (l *Log) encode(ops []workload.Op) []byte {
 		b = binary.LittleEndian.AppendUint32(b, uint32(op.U))
 		b = binary.LittleEndian.AppendUint32(b, uint32(op.V))
 	}
-	binary.LittleEndian.PutUint32(b[4:8], crc32.ChecksumIEEE(b[recHdrSize:]))
-	l.buf = b
+	binary.LittleEndian.PutUint32(b[mark+4:mark+8], crc32.ChecksumIEEE(b[mark+recHdrSize:]))
 	return b
 }
 
@@ -143,15 +200,49 @@ func (l *Log) encode(ops []workload.Op) []byte {
 // for further appends (the file may hold a torn record, which replay
 // tolerates); callers should fail-stop.
 func (l *Log) Append(ops []workload.Op) (int, error) {
-	if payload := 4 + opSize*len(ops); payload > maxRecordPayload {
+	payload := 4 + opSize*len(ops)
+	if payload > maxRecordPayload {
 		return 0, fmt.Errorf("wal: batch of %d ops exceeds the record bound", len(ops))
 	}
-	b := l.encode(ops)
+	l.grow(recHdrSize + payload)
+	return l.append(l.encode(l.buf[:0], ops))
+}
+
+// AppendGroup writes one record per batch in a single vectored write:
+// every record is framed into the shared scratch, headers and payloads
+// back to back, and the whole group reaches the file in one syscall —
+// the write-ahead cost of a multi-chunk drain cycle is one write instead
+// of one per chunk. Under SyncEveryBatch the group is synced once, which
+// is the degenerate (inline) form of group commit. An error means none
+// of the group's batches may be applied; callers should fail-stop.
+func (l *Log) AppendGroup(batches [][]workload.Op) (int, error) {
+	need := 0
+	for _, ops := range batches {
+		payload := 4 + opSize*len(ops)
+		if payload > maxRecordPayload {
+			return 0, fmt.Errorf("wal: batch of %d ops exceeds the record bound", len(ops))
+		}
+		need += recHdrSize + payload
+	}
+	l.grow(need)
+	b := l.buf[:0]
+	for _, ops := range batches {
+		b = l.encode(b, ops)
+	}
+	return l.append(b)
+}
+
+// append writes an already-framed record group and applies the sync
+// policy. b aliases l.buf.
+func (l *Log) append(b []byte) (int, error) {
+	l.buf = b
+	if len(b) == 0 {
+		return 0, nil
+	}
 	if _, err := l.f.Write(b); err != nil {
 		return 0, err
 	}
-	l.size += int64(len(b))
-	l.dirty = true
+	l.size.Add(int64(len(b)))
 	if l.policy == SyncEveryBatch {
 		if err := l.Sync(); err != nil {
 			return 0, err
@@ -161,15 +252,20 @@ func (l *Log) Append(ops []workload.Op) (int, error) {
 }
 
 // Sync forces appended records to stable storage. A no-op when nothing
-// was appended since the last sync.
+// was appended since the last completed sync. Safe to call from one
+// goroutine concurrently with the appender (see the Log doc): bytes
+// appended after the fsync starts are not counted as synced and ride the
+// next call.
 func (l *Log) Sync() error {
-	if !l.dirty {
+	appended := l.size.Load()
+	if appended == l.synced.Load() {
 		return nil
 	}
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
-	l.dirty = false
+	l.synced.Store(appended)
+	l.syncs.Add(1)
 	return nil
 }
 
@@ -184,7 +280,18 @@ func (l *Log) Close() error {
 }
 
 // Size returns the current file size in bytes (header + appended records).
-func (l *Log) Size() int64 { return l.size }
+func (l *Log) Size() int64 { return l.size.Load() }
+
+// Synced returns the byte offset covered by the last completed fsync:
+// everything below it survives a machine crash.
+func (l *Log) Synced() int64 { return l.synced.Load() }
+
+// Dirty reports whether bytes appended since the last completed fsync
+// exist — whether a Sync would actually issue an fsync.
+func (l *Log) Dirty() bool { return l.size.Load() != l.synced.Load() }
+
+// Syncs returns the number of completed fsyncs the log has issued.
+func (l *Log) Syncs() uint64 { return l.syncs.Load() }
 
 // Replay reads the log at path and calls fn once per intact record, in
 // append order, with the decoded batch. It returns the byte offset of the

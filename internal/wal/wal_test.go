@@ -244,3 +244,40 @@ func TestReplayMissingFile(t *testing.T) {
 		t.Fatalf("want fs.ErrNotExist, got %v", err)
 	}
 }
+
+// TestAppendZeroAlloc pins the warm append path at zero allocations:
+// after the scratch buffer has grown to the record size once, neither
+// Append nor AppendGroup may allocate. This is load-bearing for the
+// serve writer loop, which appends on the hot path of every batch.
+func TestAppendZeroAlloc(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Create(filepath.Join(dir, "wal.log"), SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	rng := rand.New(rand.NewSource(7))
+	ops := randOps(rng, 256)
+	group := [][]workload.Op{ops[:100], ops[100:200], ops[200:]}
+	// Warm: grow the scratch to its steady-state size.
+	if _, err := l.Append(ops); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendGroup(group); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		if _, err := l.Append(ops); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("warm Append allocates %.1f times per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		if _, err := l.AppendGroup(group); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("warm AppendGroup allocates %.1f times per run, want 0", n)
+	}
+}

@@ -125,11 +125,16 @@ type Stats struct {
 	Insertions, Deletions, Swaps uint64
 	IndexBuildUS                 uint64
 	QueueDepth, SnapshotAge      uint64
+	// Write-path pipeline counters: completed WAL fsyncs, the ops those
+	// fsyncs made durable (their ratio is the group-commit coalescing
+	// factor), and cumulative writer stall on checkpoint rollovers.
+	WALSyncs, GroupCommitOps uint64
+	CheckpointStallNs        uint64
 }
 
 // statsFields is the number of 8-byte counters a stats payload carries
 // after the version.
-const statsFields = 18
+const statsFields = 21
 
 // Frame is one decoded frame. Only the fields of the decoded Type are
 // meaningful; slices alias the input buffer's decoded copies and belong
@@ -273,6 +278,8 @@ func AppendStatsFrame(b []byte, version uint64, st *Stats) []byte {
 		st.Insertions, st.Deletions, st.Swaps,
 		st.IndexBuildUS,
 		st.QueueDepth, st.SnapshotAge,
+		st.WALSyncs, st.GroupCommitOps,
+		st.CheckpointStallNs,
 	} {
 		b = binary.LittleEndian.AppendUint64(b, v)
 	}
@@ -498,7 +505,9 @@ func (f *Frame) decodeStats(p []byte) error {
 		WALBatches: v[10], WALBytes: v[11],
 		Insertions: v[12], Deletions: v[13], Swaps: v[14],
 		IndexBuildUS: v[15],
-		QueueDepth: v[16], SnapshotAge: v[17],
+		QueueDepth:   v[16], SnapshotAge: v[17],
+		WALSyncs: v[18], GroupCommitOps: v[19],
+		CheckpointStallNs: v[20],
 	}
 	return nil
 }

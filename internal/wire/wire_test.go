@@ -85,6 +85,7 @@ func TestStatsRoundTrip(t *testing.T) {
 		Batches: 7, Flushes: 8, Recovered: 9, Checkpoints: 10,
 		WALBatches: 11, WALBytes: 12, Insertions: 13, Deletions: 14,
 		Swaps: 15, IndexBuildUS: 16, QueueDepth: 17, SnapshotAge: 18,
+		WALSyncs: 19, GroupCommitOps: 20, CheckpointStallNs: 21,
 	}
 	b := AppendStatsFrame(nil, 123, st)
 	f, _, err := Decode(b)

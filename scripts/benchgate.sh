@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # benchgate.sh BASE.txt PR.txt [MAX_REGRESSION_PCT] [BENCH_NAME]
-# benchgate.sh --speedup PR.txt MIN_RATIO FAST_BENCH SLOW_BENCH
+# benchgate.sh --speedup PR.txt MIN_RATIO FAST_BENCH SLOW_BENCH [UNIT]
 #
 # Minimal benchstat-style regression gate: extracts the ns/op samples of
 # one benchmark from two `go test -bench` outputs, compares their medians,
@@ -14,6 +14,9 @@
 # commit's bench binary predates the benchmark (base-vs-PR comparison is
 # impossible: no base samples exist) — e.g. the wire read path gates
 # cached /snapshot against the uncached JSON encode from the same run.
+# UNIT picks which benchmark metric to compare (default ns/op); custom
+# b.ReportMetric units work too — the write-path gate compares the
+# stall-ns/ckpt metric of the pipelined vs serial checkpoint rows.
 #
 # The gate fails loudly — never vacuously: a missing/empty input file, a
 # bench run that ended in FAIL, or an input with zero samples of the
@@ -32,9 +35,13 @@ check_file() {
 }
 
 median() {
-    # median FILE BENCH: prints the median ns/op of BENCH in FILE.
-    awk -v bench="$2" '
-        $1 ~ "^"bench"(-[0-9]+)?$" && $4 == "ns/op" { v[n++] = $3 }
+    # median FILE BENCH [UNIT]: prints BENCH's median UNIT (default
+    # ns/op) in FILE. A bench line is "Name iters  v1 unit1  v2 unit2 …"
+    # so the value/unit pairs are scanned from field 3.
+    awk -v bench="$2" -v unit="${3:-ns/op}" '
+        $1 ~ "^"bench"(-[0-9]+)?$" {
+            for (i = 3; i < NF; i += 2) if ($(i+1) == unit) { v[n++] = $i; break }
+        }
         END {
             if (n == 0) { print "NA"; exit }
             # insertion sort: counts are tiny
@@ -50,14 +57,14 @@ median() {
 
 if [ "${1:-}" = "--speedup" ]; then
     shift
-    [ $# -ge 4 ] || die "usage: benchgate.sh --speedup PR.txt MIN_RATIO FAST_BENCH SLOW_BENCH"
-    file=$1 min_ratio=$2 fast=$3 slow=$4
+    [ $# -ge 4 ] || die "usage: benchgate.sh --speedup PR.txt MIN_RATIO FAST_BENCH SLOW_BENCH [UNIT]"
+    file=$1 min_ratio=$2 fast=$3 slow=$4 unit=${5:-ns/op}
     check_file "$file"
-    fast_ns=$(median "$file" "$fast")
-    slow_ns=$(median "$file" "$slow")
-    [ "$fast_ns" != "NA" ] || die "no $fast ns/op samples in $file — wrong -bench filter or the bench run failed"
-    [ "$slow_ns" != "NA" ] || die "no $slow ns/op samples in $file — wrong -bench filter or the bench run failed"
-    echo "benchgate: median ns/op: $slow=$slow_ns $fast=$fast_ns (want >= ${min_ratio}x)"
+    fast_ns=$(median "$file" "$fast" "$unit")
+    slow_ns=$(median "$file" "$slow" "$unit")
+    [ "$fast_ns" != "NA" ] || die "no $fast $unit samples in $file — wrong -bench filter or the bench run failed"
+    [ "$slow_ns" != "NA" ] || die "no $slow $unit samples in $file — wrong -bench filter or the bench run failed"
+    echo "benchgate: median $unit: $slow=$slow_ns $fast=$fast_ns (want >= ${min_ratio}x)"
     awk -v s="$slow_ns" -v f="$fast_ns" -v m="$min_ratio" 'BEGIN {
         ratio = s / f
         printf "benchgate: speedup %.1fx\n", ratio
