@@ -53,6 +53,37 @@ type Service interface {
 	Published() <-chan struct{}
 }
 
+// TenantHandle is one resolved, pinned tenant: the read surface a
+// request is answered against plus the tenant's private response-body
+// cache. Release must be called when the request (or, for subscribe,
+// the stream) is done — it unpins the tenant for idle eviction.
+// *manager.Handle satisfies this.
+type TenantHandle interface {
+	Service
+	Cache() *respcache.Snapshot
+	Release()
+}
+
+// TenantResolver resolves the tenant name of a request frame to a
+// pinned handle. name is never empty — the server substitutes its
+// default tenant name for frames without a tenant suffix before
+// resolving. Errors are answered as error frames: a *StatusError
+// chooses the status, anything else answers 404 (the common failure is
+// an unknown tenant).
+type TenantResolver interface {
+	AcquireTenant(name string) (TenantHandle, error)
+}
+
+// StatusError carries the HTTP-equivalent status a resolver failure
+// should answer with.
+type StatusError struct {
+	Code int
+	Err  error
+}
+
+func (e *StatusError) Error() string { return e.Err.Error() }
+func (e *StatusError) Unwrap() error { return e.Err }
+
 // ReplHandler serves the primary side of a replication stream on a
 // connection whose last request was a replicate frame (repl.Primary
 // implements it). The handler owns the connection until it returns;
@@ -77,8 +108,19 @@ type Options struct {
 	DrainGrace time.Duration
 	// Repl, when non-nil, enables replication streams: a replicate
 	// request hands the connection to this handler. Nil answers such
-	// requests with an error frame.
+	// requests with an error frame. Replication streams are never
+	// tenant-routed — they serve the default tenant's service.
 	Repl ReplHandler
+	// Tenants, when non-nil, enables multi-tenant serving: every request
+	// frame is resolved through it — frames without a tenant suffix
+	// resolve as DefaultTenant — and answered against the returned
+	// handle's service and cache. Nil keeps the single-tenant behaviour:
+	// the constructor's service answers everything and a tenant-suffixed
+	// frame gets a 404 error frame.
+	Tenants TenantResolver
+	// DefaultTenant is the name substituted for requests without a
+	// tenant suffix when Tenants is set. Default "default".
+	DefaultTenant string
 }
 
 func (o Options) withDefaults() Options {
@@ -87,6 +129,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DrainGrace <= 0 {
 		o.DrainGrace = 250 * time.Millisecond
+	}
+	if o.DefaultTenant == "" {
+		o.DefaultTenant = "default"
 	}
 	return o
 }
@@ -301,10 +346,21 @@ func (s *Server) serveConn(conn net.Conn) {
 						s.opt.Repl.ServeReplication(conn, bw, f, s.done)
 						return
 					}
+					svc, _, release, rerr := s.resolve(f)
+					if rerr != nil {
+						scratch = wire.AppendErrorFrame(scratch[:0], statusOf(rerr), rerr.Error())
+						bw.Write(scratch)
+						bw.Flush()
+						return
+					}
+					// The handle pins the tenant for the stream's whole
+					// lifetime — eviction must not close the engine under a
+					// live subscriber.
+					defer release()
 					if bw.Flush() != nil {
 						return
 					}
-					s.streamDeltas(conn, bw)
+					s.streamDeltas(conn, bw, svc)
 					return
 				}
 				scratch = s.respond(bw, f, scratch)
@@ -322,15 +378,55 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+// resolve pins the service and cache a request frame is answered
+// against. Without a resolver the constructor's service answers
+// suffix-free frames and a tenant-suffixed frame fails; with one, every
+// frame resolves through it (suffix-free frames as the default tenant).
+// The returned release unpins the tenant and is non-nil iff err is nil.
+func (s *Server) resolve(f *wire.Frame) (Service, *respcache.Snapshot, func(), error) {
+	if s.opt.Tenants == nil {
+		if f.Tenant != "" {
+			return nil, nil, nil, &StatusError{Code: http.StatusNotFound,
+				Err: fmt.Errorf("unknown tenant %q: multi-tenant serving not enabled", f.Tenant)}
+		}
+		return s.svc, s.cache, func() {}, nil
+	}
+	name := f.Tenant
+	if name == "" {
+		name = s.opt.DefaultTenant
+	}
+	h, err := s.opt.Tenants.AcquireTenant(name)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return h, h.Cache(), h.Release, nil
+}
+
+// statusOf maps a resolver error to its error-frame status.
+func statusOf(err error) int {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Code
+	}
+	return http.StatusNotFound
+}
+
 // respond answers one request frame into bw, reusing scratch for bodies
-// that are not served from the shared cache. Each request is resolved
-// against the latest snapshot at its turn, so response versions are
-// monotone within a connection.
+// that are not served from the per-tenant cache. Each request resolves
+// its tenant and then the latest snapshot at its turn, so response
+// versions are monotone within a connection per tenant.
 func (s *Server) respond(bw *bufio.Writer, f *wire.Frame, scratch []byte) []byte {
-	snap := s.svc.Snapshot()
+	svc, cache, release, err := s.resolve(f)
+	if err != nil {
+		scratch = wire.AppendErrorFrame(scratch[:0], statusOf(err), err.Error())
+		bw.Write(scratch)
+		return scratch
+	}
+	defer release()
+	snap := svc.Snapshot()
 	switch f.Type {
 	case wire.FrameReqSnapshot:
-		bw.Write(s.cache.Binary(snap, !f.HasCliques))
+		bw.Write(cache.Binary(snap, !f.HasCliques))
 		return scratch
 	case wire.FrameReqClique:
 		u := f.Node
@@ -343,7 +439,7 @@ func (s *Server) respond(bw *bufio.Writer, f *wire.Frame, scratch []byte) []byte
 	case wire.FrameReqCliques:
 		scratch = s.batched(scratch[:0], snap, f.Queried)
 	case wire.FrameReqStats:
-		scratch = s.statsFrame(scratch[:0], snap)
+		scratch = s.statsFrame(scratch[:0], snap, svc)
 	}
 	bw.Write(scratch)
 	return scratch
@@ -391,8 +487,8 @@ func (s *Server) batched(b []byte, snap *dynamic.Snapshot, queried []int32) []by
 
 // statsFrame encodes the service + engine counters, mirroring the HTTP
 // /stats handler.
-func (s *Server) statsFrame(b []byte, snap *dynamic.Snapshot) []byte {
-	st := s.svc.Stats()
+func (s *Server) statsFrame(b []byte, snap *dynamic.Snapshot, svc Service) []byte {
+	st := svc.Stats()
 	es := snap.Stats()
 	ws := wire.Stats{
 		Size: uint64(snap.Size()), Nodes: uint64(snap.N()), Edges: uint64(snap.M()),
@@ -418,7 +514,7 @@ func (s *Server) statsFrame(b []byte, snap *dynamic.Snapshot) []byte {
 // so the first frame carries the whole current snapshot. The stream
 // ends when the client hangs up, sends anything further (a protocol
 // error), or the server shuts down.
-func (s *Server) streamDeltas(conn net.Conn, bw *bufio.Writer) {
+func (s *Server) streamDeltas(conn net.Conn, bw *bufio.Writer, svc Service) {
 	// The serving loop stopped reading; a watchdog takes over the read
 	// side so a hangup (or a stray frame) ends the stream promptly.
 	conn.SetReadDeadline(time.Time{})
@@ -437,7 +533,7 @@ func (s *Server) streamDeltas(conn net.Conn, bw *bufio.Writer) {
 		// Grab the notification channel BEFORE loading the snapshot: a
 		// publish racing between the two closes the channel already held,
 		// so no publication is ever missed.
-		ch := s.svc.Published()
+		ch := svc.Published()
 		if ch == fired {
 			// A live publisher replaces the channel on every publish, so
 			// getting back the one that already fired means the service's
@@ -445,7 +541,7 @@ func (s *Server) streamDeltas(conn net.Conn, bw *bufio.Writer) {
 			// instead of spinning on a permanently-closed channel.
 			ch = nil
 		}
-		snap := s.svc.Snapshot()
+		snap := svc.Snapshot()
 		if last == nil || snap.Version() > last.Version() {
 			d := snap.DiffFrom(last)
 			var from uint64

@@ -92,6 +92,11 @@ func contentType(bin bool) string {
 // writeError answers in the representation the client asked for: an
 // error frame for binary clients, {"error": msg} otherwise.
 func writeError(w http.ResponseWriter, r *http.Request, code int, msg string) {
+	if mw, ok := w.(*muxErrorWriter); ok {
+		// A handler-chosen status, not a mux fallback: disarm the
+		// interception so this negotiated body (and message) survives.
+		mw.deliberate = true
+	}
 	if wantBinary(r) {
 		buf := getBuf()
 		defer putBuf(buf)

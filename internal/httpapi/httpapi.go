@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/dynamic"
+	"repro/internal/manager"
 	"repro/internal/respcache"
 	"repro/internal/serve"
 	"repro/internal/wire"
@@ -113,7 +114,44 @@ func New(svc Service, opt Options) http.Handler {
 }
 
 func (h *handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	h.mux.ServeHTTP(w, r)
+	h.mux.ServeHTTP(&muxErrorWriter{ResponseWriter: w, r: r}, r)
+}
+
+// muxErrorWriter intercepts the stdlib mux's fallback responses — the
+// plain-text 404 for unmatched routes and 405 for method mismatches —
+// and re-answers them in the negotiated representation (JSON object or
+// binary error frame), like every handler-produced error. Handlers that
+// answer those statuses deliberately (an unknown tenant is a 404) go
+// through writeError, which flips deliberate so the handler's own
+// negotiated body passes through untouched; only the mux's bare
+// WriteHeader(404/405) is re-answered. The Allow header the mux sets
+// on a 405 survives (it lands in the header map before WriteHeader).
+type muxErrorWriter struct {
+	http.ResponseWriter
+	r           *http.Request
+	intercepted bool
+	deliberate  bool
+}
+
+func (w *muxErrorWriter) WriteHeader(code int) {
+	if !w.deliberate && (code == http.StatusNotFound || code == http.StatusMethodNotAllowed) {
+		w.intercepted = true
+		msg := "not found"
+		if code == http.StatusMethodNotAllowed {
+			msg = "method not allowed"
+		}
+		writeError(w.ResponseWriter, w.r, code, msg)
+		return
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *muxErrorWriter) Write(p []byte) (int, error) {
+	if w.intercepted {
+		// Swallow the stdlib plain-text body; the negotiated one is out.
+		return len(p), nil
+	}
+	return w.ResponseWriter.Write(p)
 }
 
 // wantBinary reports whether the client asked for binary frames: the
@@ -460,6 +498,13 @@ func (h *handler) postUpdate(w http.ResponseWriter, r *http.Request) {
 		// load balancers must not retry it against the same backend.
 		if errors.Is(err, serve.ErrNotPrimary) {
 			writeError(w, r, http.StatusForbidden, err.Error())
+			return
+		}
+		// A tenant over its op quota is backpressure, not an outage: 429
+		// tells the client to slow down on THIS tenant while the process
+		// keeps serving the others.
+		if errors.Is(err, manager.ErrQuota) {
+			writeError(w, r, http.StatusTooManyRequests, err.Error())
 			return
 		}
 		writeError(w, r, http.StatusServiceUnavailable, err.Error())

@@ -1,0 +1,117 @@
+package httpapi
+
+import (
+	"net/http/httptest"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/manager"
+	"repro/internal/workload"
+)
+
+// Multi-tenant routing overhead: the same cached binary /snapshot read,
+// served by the single-tenant handler at the root vs the manager-routed
+// /t/{tenant}/ path with four open tenants. The routed row adds exactly
+// the per-request tenant cost — PathValue parse, manager map lookup,
+// handle pin/unpin — on top of an otherwise identical read, so the pair
+// gates "routing costs ≤10% on cached reads" in CI (benchgate.sh
+// --overhead). Recorded in BENCH_tenant.json.
+
+var mbench struct {
+	once    sync.Once
+	names   []string
+	single  *httptest.Server // httpapi.New over tenant-equivalent state
+	multi   *httptest.Server // httpapi.NewMulti over a 4-tenant manager
+	fullLen int
+}
+
+func multiBenchSetup(b *testing.B) {
+	mbench.once.Do(func() {
+		benchSetup(b) // reuse the single-tenant server and shared transport
+		mbench.single = bench.cached
+		// Not b.TempDir: the manager outlives this invocation (the struct
+		// is shared across -count repetitions), so its root must too.
+		root, err := os.MkdirTemp("", "dkmultibench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := manager.Open(root, manager.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Four modest tenants: the routed row measures routing, not four
+		// copies of the 20k-node encode, so the bodies are kept small and
+		// equal-shaped across tenants.
+		mbench.names = []string{"t0", "t1", "t2", "t3"}
+		for i, name := range mbench.names {
+			if err := m.Create(name, manager.TenantConfig{K: 3, Nodes: 2000, Edges: 4000, Seed: int64(i + 1)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		mbench.multi = httptest.NewServer(NewMulti(m, Options{}))
+		c := &workload.HTTPClient{Base: mbench.multi.URL, Client: bench.httpc, Tenant: "t0", Binary: true}
+		n, err := c.Snapshot(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mbench.fullLen = n
+	})
+}
+
+// BenchmarkServeMultiTenant compares cached binary snapshot reads with
+// and without tenant routing. The single row serves one 2000-node
+// tenant-shaped store through the plain handler; the routed row spreads
+// the same reads across four such tenants behind /t/{name}/. Keep both
+// rows in one run for the CI overhead gate.
+func BenchmarkServeMultiTenant(b *testing.B) {
+	multiBenchSetup(b)
+
+	// A dedicated single-tenant server over the same shape as one routed
+	// tenant, so the only difference between the rows is the routing.
+	m, err := manager.Open(b.TempDir(), manager.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Create("solo", manager.TenantConfig{K: 3, Nodes: 2000, Edges: 4000, Seed: 1}); err != nil {
+		b.Fatal(err)
+	}
+	h, err := m.Acquire("solo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.Release()
+	solo := httptest.NewServer(New(h, Options{Cache: h.Cache()}))
+	defer solo.Close()
+
+	b.Run("single", func(b *testing.B) {
+		b.SetBytes(int64(mbench.fullLen))
+		b.RunParallel(func(pb *testing.PB) {
+			c := &workload.HTTPClient{Base: solo.URL, Client: bench.httpc, Binary: true}
+			for pb.Next() {
+				if _, err := c.Snapshot(true); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	})
+	var seq atomic.Int64
+	b.Run("routed", func(b *testing.B) {
+		b.SetBytes(int64(mbench.fullLen))
+		b.RunParallel(func(pb *testing.PB) {
+			// Each parallel client pins one of the four tenants; together
+			// they exercise concurrent acquire/release across the manager.
+			name := mbench.names[int(seq.Add(1))%len(mbench.names)]
+			c := &workload.HTTPClient{Base: mbench.multi.URL, Client: bench.httpc, Tenant: name, Binary: true}
+			for pb.Next() {
+				if _, err := c.Snapshot(true); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	})
+}

@@ -1,0 +1,309 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/manager"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// newMultiServer builds a manager over a temp root with two differently
+// shaped tenants ("alpha" larger than "beta") plus the default one, and
+// serves it through NewMulti.
+func newMultiServer(t testing.TB, mopt manager.Options) (*httptest.Server, *manager.Manager) {
+	t.Helper()
+	m, err := manager.Open(t.TempDir(), mopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	for _, tc := range []struct {
+		name string
+		cfg  manager.TenantConfig
+	}{
+		{manager.DefaultTenant, manager.TenantConfig{K: 3, Nodes: 300, Edges: 600, Seed: 1}},
+		{"alpha", manager.TenantConfig{K: 3, Nodes: 400, Edges: 900, Seed: 2}},
+		{"beta", manager.TenantConfig{K: 4, Nodes: 200, Edges: 500, Seed: 3}},
+	} {
+		if err := m.Create(tc.name, tc.cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(NewMulti(m, Options{}))
+	t.Cleanup(srv.Close)
+	return srv, m
+}
+
+// TestMultiRouting: root routes answer the default tenant, /t/{name}/
+// routes answer that tenant, and the bodies reflect each tenant's own
+// graph shape.
+func TestMultiRouting(t *testing.T) {
+	srv, m := newMultiServer(t, manager.Options{})
+	shape := func(path string) (nodes, k int) {
+		var body struct {
+			Nodes int `json:"nodes"`
+			K     int `json:"k"`
+		}
+		code, _, raw := get(t, srv, path, false)
+		if code != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, code, raw)
+		}
+		if err := json.Unmarshal(raw, &body); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return body.Nodes, body.K
+	}
+	want := func(name string) (nodes, k int) {
+		h, err := m.Acquire(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer h.Release()
+		return h.Snapshot().N(), h.K()
+	}
+	for _, tc := range []struct {
+		path   string
+		tenant string
+	}{
+		{"/snapshot?cliques=0", manager.DefaultTenant},
+		{"/t/default/snapshot?cliques=0", manager.DefaultTenant},
+		{"/t/alpha/snapshot?cliques=0", "alpha"},
+		{"/t/beta/snapshot?cliques=0", "beta"},
+	} {
+		wn, wk := want(tc.tenant)
+		if n, k := shape(tc.path); n != wn || k != wk {
+			t.Fatalf("GET %s: n=%d k=%d, want tenant %s's (%d, %d)", tc.path, n, k, tc.tenant, wn, wk)
+		}
+	}
+	// The three tenants really are differently shaped, or the routing
+	// assertions above prove nothing.
+	an, _ := want("alpha")
+	bn, bk := want("beta")
+	dn, dk := want(manager.DefaultTenant)
+	if an == bn || an == dn || bk == dk {
+		t.Fatalf("test tenants collide in shape: alpha n=%d beta (n=%d,k=%d) default (n=%d,k=%d)", an, bn, bk, dn, dk)
+	}
+	// Stats and point lookups route too.
+	if code, _, _ := get(t, srv, "/t/beta/stats", false); code != http.StatusOK {
+		t.Fatalf("/t/beta/stats: status %d", code)
+	}
+	if code, _, _ := get(t, srv, "/t/beta/clique/5", false); code != http.StatusOK {
+		t.Fatalf("/t/beta/clique/5: status %d", code)
+	}
+}
+
+// TestMultiUnknownTenant: resolver failures answer in the negotiated
+// representation with the manager's message, not the stdlib fallback.
+func TestMultiUnknownTenant(t *testing.T) {
+	srv, _ := newMultiServer(t, manager.Options{})
+	code, ct, body := get(t, srv, "/t/nope/stats", false)
+	if code != http.StatusNotFound || ct != "application/json" {
+		t.Fatalf("unknown tenant: status %d ct %q", code, ct)
+	}
+	if !strings.Contains(string(body), "unknown tenant") {
+		t.Fatalf("unknown tenant body %q lost the manager message", body)
+	}
+	f, _ := getFrameStatus(t, srv, "/t/nope/stats")
+	if f.Type != wire.FrameError || f.Status != http.StatusNotFound {
+		t.Fatalf("binary unknown tenant: type %d status %d", f.Type, f.Status)
+	}
+	if code, _, _ := get(t, srv, "/t/UPPER/stats", false); code != http.StatusBadRequest {
+		t.Fatalf("invalid tenant name: status %d, want 400", code)
+	}
+}
+
+// getFrameStatus fetches path with the binary accept header without
+// insisting on a 200 (getFrame does), for error-frame assertions.
+func getFrameStatus(t *testing.T, srv *httptest.Server, path string) (*wire.Frame, int) {
+	t.Helper()
+	code, ct, body := get(t, srv, path, true)
+	if ct != wire.ContentType {
+		t.Fatalf("GET %s content type %q", path, ct)
+	}
+	f, _, err := wire.Decode(body)
+	if err != nil {
+		t.Fatalf("GET %s: decode: %v", path, err)
+	}
+	return f, code
+}
+
+// TestMultiNegotiatedFallbacks: unmatched routes and method mismatches
+// keep the muxErrorWriter treatment under the multi handler.
+func TestMultiNegotiatedFallbacks(t *testing.T) {
+	srv, _ := newMultiServer(t, manager.Options{})
+	code, ct, _ := get(t, srv, "/bogus", false)
+	if code != http.StatusNotFound || ct != "application/json" {
+		t.Fatalf("mux 404: status %d ct %q", code, ct)
+	}
+	f, code := getFrameStatus(t, srv, "/bogus")
+	if code != http.StatusNotFound || f.Type != wire.FrameError {
+		t.Fatalf("binary mux 404: status %d type %d", code, f.Type)
+	}
+	resp, err := http.Post(srv.URL+"/snapshot", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") == "" {
+		t.Fatalf("mux 405: status %d allow %q", resp.StatusCode, resp.Header.Get("Allow"))
+	}
+}
+
+// TestMultiCacheIsolation: two tenants' cached snapshot bodies never
+// cross — each /snapshot response matches that tenant's own state on
+// repeated (cache-hitting) reads.
+func TestMultiCacheIsolation(t *testing.T) {
+	srv, _ := newMultiServer(t, manager.Options{})
+	read := func(path string) []byte {
+		code, _, body := get(t, srv, path, false)
+		if code != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, code)
+		}
+		return body
+	}
+	alpha1 := read("/t/alpha/snapshot")
+	beta1 := read("/t/beta/snapshot")
+	if bytes.Equal(alpha1, beta1) {
+		t.Fatal("alpha and beta serve identical snapshot bodies")
+	}
+	// Second reads hit each tenant's cache; the bodies must still be the
+	// tenant's own. (Both tenants are at version 1 here — a shared cache
+	// keyed by version would serve whichever body landed first.)
+	if got := read("/t/alpha/snapshot"); !bytes.Equal(got, alpha1) {
+		t.Fatal("alpha's cached body differs from its first read")
+	}
+	if got := read("/t/beta/snapshot"); !bytes.Equal(got, beta1) {
+		t.Fatal("beta's cached body differs from its first read")
+	}
+}
+
+// TestMultiUpdateAndAdmin: tenant-scoped writes apply to that tenant
+// only, and the admin endpoints list and create tenants.
+func TestMultiUpdateAndAdmin(t *testing.T) {
+	srv, m := newMultiServer(t, manager.Options{})
+	applied := func(name string) uint64 {
+		h, err := m.Acquire(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer h.Release()
+		return h.Stats().Applied
+	}
+	resp, err := http.Post(srv.URL+"/t/alpha/update", "application/json",
+		strings.NewReader(`{"ops":[{"insert":true,"u":1,"v":2}],"flush":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /t/alpha/update: status %d", resp.StatusCode)
+	}
+	if got := applied("alpha"); got != 1 {
+		t.Fatalf("alpha applied %d ops after flushed update, want 1", got)
+	}
+	if got := applied("beta"); got != 0 {
+		t.Fatalf("beta applied %d ops on alpha's update, want 0", got)
+	}
+
+	var list TenantsResponse
+	code, _, body := get(t, srv, "/tenants", false)
+	if code != http.StatusOK {
+		t.Fatalf("GET /tenants: status %d", code)
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Tenants) != 3 {
+		t.Fatalf("GET /tenants: %d rows, want 3", len(list.Tenants))
+	}
+
+	resp, err = http.Post(srv.URL+"/tenants/gamma", "application/json",
+		strings.NewReader(`{"k":3,"nodes":100,"edges":200,"seed":9}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info manager.TenantInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || info.Name != "gamma" || !info.Open {
+		t.Fatalf("POST /tenants/gamma: status %d info %+v", resp.StatusCode, info)
+	}
+	if code, _, _ := get(t, srv, "/t/gamma/stats", false); code != http.StatusOK {
+		t.Fatalf("created tenant does not serve: status %d", code)
+	}
+	// Duplicate create: 409.
+	resp, err = http.Post(srv.URL+"/tenants/gamma", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate POST /tenants/gamma: status %d, want 409", resp.StatusCode)
+	}
+	// Bad name: 400.
+	resp, err = http.Post(srv.URL+"/tenants/UPPER", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("POST /tenants/UPPER: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestMultiQuota: a tenant past its queued-op budget answers 429 in the
+// negotiated representation.
+func TestMultiQuota(t *testing.T) {
+	srv, _ := newMultiServer(t, manager.Options{MaxQueuedOps: 4})
+	var ops []string
+	for i := 0; i < 5; i++ {
+		ops = append(ops, `{"insert":true,"u":1,"v":2}`)
+	}
+	resp, err := http.Post(srv.URL+"/t/alpha/update", "application/json",
+		strings.NewReader(`{"ops":[`+strings.Join(ops, ",")+`]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota update: status %d, want 429", resp.StatusCode)
+	}
+}
+
+// TestMultiHTTPClientTenant: the workload HTTP client's Tenant field
+// routes every request at the named tenant.
+func TestMultiHTTPClientTenant(t *testing.T) {
+	srv, m := newMultiServer(t, manager.Options{})
+	applied := func(name string) uint64 {
+		h, err := m.Acquire(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer h.Release()
+		return h.Stats().Applied
+	}
+	c := &workload.HTTPClient{Base: srv.URL, Tenant: "beta"}
+	if _, err := c.Snapshot(true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Cliques([]int32{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Update([]workload.Op{{Insert: true, U: 7, V: 8}}, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := applied("beta"); got != 1 {
+		t.Fatalf("beta applied %d ops after tenant-targeted flushed update, want 1", got)
+	}
+	if got := applied(manager.DefaultTenant); got != 0 {
+		t.Fatal("tenant-targeted update leaked to the default tenant")
+	}
+}

@@ -1,0 +1,410 @@
+package manager
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dynamic"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// testGraph is a small clique-rich graph, deterministic in seed.
+func testGraph(n, hubEdges int, seed int64) *graph.Graph {
+	return gen.CommunitySocial(n, 8, 0.25, hubEdges, seed)
+}
+
+// sameState asserts two snapshots are byte-identical in everything
+// recovery promises (mirrors the serve-package helper): version, shape,
+// clique list, and the full membership index.
+func sameState(t *testing.T, got, want *dynamic.Snapshot) {
+	t.Helper()
+	if got.Version() != want.Version() {
+		t.Fatalf("version %d, want %d", got.Version(), want.Version())
+	}
+	if got.K() != want.K() || got.N() != want.N() || got.M() != want.M() || got.Size() != want.Size() {
+		t.Fatalf("shape (k=%d n=%d m=%d size=%d), want (k=%d n=%d m=%d size=%d)",
+			got.K(), got.N(), got.M(), got.Size(), want.K(), want.N(), want.M(), want.Size())
+	}
+	if !reflect.DeepEqual(got.Cliques(), want.Cliques()) {
+		t.Fatal("clique lists differ")
+	}
+	for u := int32(0); int(u) < want.N(); u++ {
+		if !reflect.DeepEqual(got.CliqueOf(u), want.CliqueOf(u)) {
+			t.Fatalf("membership of node %d differs", u)
+		}
+	}
+}
+
+// randomOps returns n random edge toggles over g's node-id space.
+func randomOps(g *graph.Graph, rng *rand.Rand, n int) []workload.Op {
+	ops := make([]workload.Op, 0, n)
+	for len(ops) < n {
+		u, v := int32(rng.Intn(g.N())), int32(rng.Intn(g.N()))
+		if u != v {
+			ops = append(ops, workload.Op{Insert: rng.Intn(2) == 0, U: u, V: v})
+		}
+	}
+	return ops
+}
+
+func openManager(t *testing.T, root string, opt Options) *Manager {
+	t.Helper()
+	m, err := Open(root, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+func TestValidName(t *testing.T) {
+	for _, ok := range []string{"a", "default", "t-1.x_y", "0", "a.b-c_d9"} {
+		if err := ValidName(ok); err != nil {
+			t.Errorf("ValidName(%q) = %v, want nil", ok, err)
+		}
+	}
+	bad := []string{"", "UPPER", "-x", ".hidden", "a/b", "sp ace", "ünïcode",
+		"very-long-name-very-long-name-very-long-name-very-long-name-xxxxx"}
+	for _, name := range bad {
+		if err := ValidName(name); !errors.Is(err, ErrBadName) {
+			t.Errorf("ValidName(%q) = %v, want ErrBadName", name, err)
+		}
+	}
+}
+
+func TestCreateAcquireLifecycle(t *testing.T) {
+	m := openManager(t, t.TempDir(), Options{})
+	if err := m.Create("alpha", TenantConfig{K: 3, Nodes: 200, Edges: 400, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Create("alpha", TenantConfig{}); !errors.Is(err, ErrTenantExists) {
+		t.Fatalf("duplicate create: %v, want ErrTenantExists", err)
+	}
+	if _, err := m.Acquire("missing"); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("acquire unknown: %v, want ErrUnknownTenant", err)
+	}
+	if _, err := m.Acquire("BAD NAME"); !errors.Is(err, ErrBadName) {
+		t.Fatalf("acquire bad name: %v, want ErrBadName", err)
+	}
+	h, err := m.Acquire("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	if h.Name() != "alpha" || h.K() != 3 {
+		t.Fatalf("handle name=%q k=%d, want alpha/3", h.Name(), h.K())
+	}
+	if snap := h.Snapshot(); snap.N() != 200 || snap.Size() == 0 {
+		t.Fatalf("alpha snapshot n=%d size=%d, want n=200 and a non-empty set", snap.N(), snap.Size())
+	}
+	rows := m.List()
+	if len(rows) != 1 || rows[0].Name != "alpha" || !rows[0].Open || rows[0].Handles != 1 {
+		t.Fatalf("List() = %+v, want one open alpha with one handle", rows)
+	}
+}
+
+// TestConcurrentFirstTouch: however many goroutines race the first
+// Acquire of a registered-but-closed tenant, exactly one store open
+// runs and every caller gets a working handle on the same service.
+func TestConcurrentFirstTouch(t *testing.T) {
+	root := t.TempDir()
+	m := openManager(t, root, Options{})
+	if err := m.Create("alpha", TenantConfig{K: 3, Nodes: 200, Edges: 400, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m = openManager(t, root, Options{})
+	if got := m.Opens(); got != 0 {
+		t.Fatalf("registration alone opened %d stores, want 0 (lazy)", got)
+	}
+	const racers = 32
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		handles []*Handle
+	)
+	start := make(chan struct{})
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			h, err := m.Acquire("alpha")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			handles = append(handles, h)
+			mu.Unlock()
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := m.Opens(); got != 1 {
+		t.Fatalf("%d racing first touches ran %d store opens, want exactly 1", racers, got)
+	}
+	if len(handles) != racers {
+		t.Fatalf("%d handles, want %d", len(handles), racers)
+	}
+	svc := handles[0].Service()
+	for _, h := range handles {
+		if h.Service() != svc {
+			t.Fatal("racing acquires returned different services")
+		}
+		h.Release()
+	}
+}
+
+// TestIdleEvictionMidTraffic: with an aggressive idle-close, a client
+// that keeps writing and re-acquiring across evictions never loses an
+// acked op — every reopen recovers the exact pre-eviction state.
+func TestIdleEvictionMidTraffic(t *testing.T) {
+	m := openManager(t, t.TempDir(), Options{IdleClose: 20 * time.Millisecond})
+	if err := m.Create("alpha", TenantConfig{K: 3, Nodes: 200, Edges: 400, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	g := testGraph(200, 400, 1)
+	rng := rand.New(rand.NewSource(2))
+	var want *dynamic.Snapshot
+	for round := 0; round < 8; round++ {
+		h, err := m.Acquire("alpha")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want != nil {
+			sameState(t, h.Snapshot(), want)
+		}
+		if err := h.Enqueue(ctx, randomOps(g, rng, 25)...); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Flush(ctx); err != nil {
+			t.Fatal(err)
+		}
+		want = h.Snapshot()
+		h.Release()
+		// Sit idle long enough that the janitor closes the tenant under
+		// our feet before the next round touches it again.
+		time.Sleep(60 * time.Millisecond)
+	}
+	if m.Evictions() == 0 {
+		t.Fatal("no idle evictions happened; the test exercised nothing")
+	}
+	if m.Opens() < 2 {
+		t.Fatalf("%d opens; eviction rounds should have forced reopens", m.Opens())
+	}
+}
+
+// TestCrashRecovery: a managed tenant killed mid-flight (no final
+// checkpoint) recovers byte-identically under a fresh manager, exactly
+// like a bare durable service.
+func TestCrashRecovery(t *testing.T) {
+	root := t.TempDir()
+	m := openManager(t, root, Options{})
+	if err := m.Create("alpha", TenantConfig{K: 3, Nodes: 200, Edges: 400, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := m.Acquire("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	g := testGraph(200, 400, 1)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 6; i++ {
+		if err := h.Enqueue(ctx, randomOps(g, rng, 30)...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	want := h.Snapshot()
+	h.Service().Crash()
+	h.Release()
+	m.Close() // the crashed tenant is already closed; Close reaps the rest
+
+	m2 := openManager(t, root, Options{})
+	h2, err := m2.Acquire("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Release()
+	sameState(t, h2.Snapshot(), want)
+	// The recovered tenant keeps serving writes.
+	if err := h2.Enqueue(ctx, randomOps(g, rng, 10)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := h2.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTenantLimit: the open-store cap evicts idle tenants LRU-first and
+// refuses the open only when every open tenant is pinned.
+func TestTenantLimit(t *testing.T) {
+	m := openManager(t, t.TempDir(), Options{MaxTenants: 2})
+	for _, name := range []string{"a", "b", "c"} {
+		// Nodes only — empty graphs keep creates (which also count against
+		// the cap, evicting as needed) cheap.
+		if err := m.Create(name, TenantConfig{K: 3, Nodes: 50}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ha, err := m.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := m.Acquire("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both slots pinned: c cannot open.
+	if _, err := m.Acquire("c"); !errors.Is(err, ErrTenantLimit) {
+		t.Fatalf("acquire over pinned cap: %v, want ErrTenantLimit", err)
+	}
+	ha.Release()
+	// a is idle now; c's open evicts it.
+	hc, err := m.Acquire("c")
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	defer hc.Release()
+	defer hb.Release()
+	if m.Evictions() == 0 {
+		t.Fatal("capacity-pressure acquire evicted nothing")
+	}
+	for _, row := range m.List() {
+		if row.Name == "a" && row.Open {
+			t.Fatal("evicted tenant a still open")
+		}
+	}
+}
+
+// TestQuota: Enqueue fails fast with ErrQuota once a tenant's backlog
+// would exceed the per-tenant budget, instead of blocking the caller.
+func TestQuota(t *testing.T) {
+	// The quota check compares depth+len(ops) against the budget, so one
+	// oversized batch trips it deterministically even on an empty queue —
+	// no need to race the writer's drain speed.
+	m := openManager(t, t.TempDir(), Options{
+		MaxQueuedOps: 8,
+		Service:      serve.Options{QueueCapacity: 64},
+	})
+	if err := m.Create("alpha", TenantConfig{K: 3, Nodes: 50}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := m.Acquire("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	ctx := context.Background()
+	big := make([]workload.Op, 9)
+	for i := range big {
+		big[i] = workload.Op{Insert: true, U: int32(i), V: int32(i + 1)}
+	}
+	if err := h.Enqueue(ctx, big...); !errors.Is(err, ErrQuota) {
+		t.Fatalf("oversized enqueue: %v, want ErrQuota", err)
+	}
+	if err := h.Enqueue(ctx, big[:8]...); err != nil {
+		t.Fatalf("within-budget enqueue: %v", err)
+	}
+	if err := h.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheIsolation: every tenant owns a private response cache, and a
+// reopened tenant gets a fresh one — snapshot versions are per-engine
+// counters, so any sharing could leak one tenant's bodies to another.
+func TestCacheIsolation(t *testing.T) {
+	m := openManager(t, t.TempDir(), Options{})
+	for _, name := range []string{"a", "b"} {
+		if err := m.Create(name, TenantConfig{K: 3, Nodes: 50}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ha, err := m.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := m.Acquire("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha.Cache() == nil || ha.Cache() == hb.Cache() {
+		t.Fatal("tenants share a response cache")
+	}
+	// Same tenant, same incarnation: the cache is shared across handles
+	// (that is what makes it a cache).
+	ha2, err := m.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha2.Cache() != ha.Cache() {
+		t.Fatal("two handles on one open tenant see different caches")
+	}
+	ha2.Release()
+	hb.Release()
+	ha.Release()
+}
+
+func TestHTTPStatus(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want int
+	}{
+		{ErrUnknownTenant, 404},
+		{ErrBadName, 400},
+		{ErrTenantExists, 409},
+		{ErrQuota, 429},
+		{ErrTenantLimit, 503},
+		{ErrClosed, 503},
+		{errors.New("anything else"), 500},
+	} {
+		if got := HTTPStatus(tc.err); got != tc.want {
+			t.Errorf("HTTPStatus(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestManagerClose: Close is idempotent, fails further acquires, and
+// releases every tenant's flock so a second manager can take the root.
+func TestManagerClose(t *testing.T) {
+	root := t.TempDir()
+	m := openManager(t, root, Options{})
+	if err := m.Create("alpha", TenantConfig{K: 3, Nodes: 50}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Acquire("alpha"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("acquire after close: %v, want ErrClosed", err)
+	}
+	if err := m.Create("beta", TenantConfig{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("create after close: %v, want ErrClosed", err)
+	}
+	m2 := openManager(t, root, Options{})
+	h, err := m2.Acquire("alpha")
+	if err != nil {
+		t.Fatalf("second manager over a closed root: %v", err)
+	}
+	h.Release()
+}

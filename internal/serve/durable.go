@@ -129,11 +129,11 @@ func (d *durable) stopPipeline() {
 func lockStore(dir string) (*os.File, error) {
 	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("serve: store %s: create lock file: %w", dir, err)
 	}
 	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("serve: store %s is in use by another process: %w", dir, err)
+		return nil, fmt.Errorf("serve: store %s: another process holds this store (close it or choose a different store directory): %w", dir, err)
 	}
 	return f, nil
 }

@@ -16,27 +16,10 @@ import (
 	"repro/internal/workload"
 )
 
-// crashForTest simulates a hard stop: the writer is killed once idle and
-// the log handle closed without the final checkpoint Close would write,
-// so the store holds only what the WAL protocol itself made durable. The
-// pipeline goroutines are stopped (their fds must not outlive the fake
-// process death) but, unlike Close, nothing else is flushed or
-// checkpointed. The flock is released too — a real crash releases it
-// with the process.
-func (s *Service) crashForTest() {
-	s.closeOnce.Do(func() {
-		s.closed.Store(true)
-		close(s.quit)
-		<-s.done
-		if s.dur != nil {
-			s.dur.stopPipeline()
-			if s.dur.log != nil {
-				s.dur.log.Close()
-			}
-			s.dur.unlock()
-		}
-	})
-}
+// crashForTest simulates a hard stop; see Crash, which now carries the
+// implementation so fault-injection tests outside this package (the
+// managed-tenant recovery property in internal/manager) can use it too.
+func (s *Service) crashForTest() { s.Crash() }
 
 // sameState asserts two snapshots are byte-identical in everything
 // recovery promises: version, shape, clique list, and the full

@@ -41,6 +41,17 @@ import (
 // ErrClosed is returned by Enqueue and Flush after Close.
 var ErrClosed = errors.New("serve: service closed")
 
+// Gate bounds how many services may run engine applies at once. A
+// process hosting many services (see internal/manager) hands each the
+// same Gate so the aggregate apply parallelism — the expensive part of
+// the write pipeline — stays bounded no matter how many tenants are
+// live. Acquire blocks until a slot frees; Release returns it.
+// Implementations must be safe for concurrent use.
+type Gate interface {
+	Acquire()
+	Release()
+}
+
 // Options tunes a Service; the zero value of every field selects a
 // sensible default.
 type Options struct {
@@ -80,6 +91,15 @@ type Options struct {
 	// the full image write. Durability semantics are identical either way;
 	// this exists for A/B benchmarking and as an escape hatch.
 	SerialDurability bool
+	// ApplyGate, when non-nil, is acquired around every local ApplyBatch
+	// call so a process hosting many services can cap their aggregate
+	// apply parallelism (the engine fans each batch out to Workers
+	// goroutines; N unbounded tenants would mean N×Workers). The gate
+	// covers the engine work only — WAL appends, fsyncs, and checkpoint
+	// installs stay ungated, so a slow tenant's apply never blocks
+	// another's durability. Follower replication applies are ungated too:
+	// the stream applier is already one-in-flight.
+	ApplyGate Gate
 }
 
 func (o Options) withDefaults() Options {
@@ -166,9 +186,10 @@ type item struct {
 // exported methods are safe for concurrent use by any number of
 // goroutines; the read path never blocks on the writer.
 type Service struct {
-	eng *dynamic.Engine
-	k   int
-	n   int // node-id bound for op validation
+	eng  *dynamic.Engine
+	k    int
+	n    int  // node-id bound for op validation
+	gate Gate // optional cross-service apply limiter (Options.ApplyGate)
 
 	in   chan item
 	quit chan struct{} // closed by Close to stop the writer
@@ -248,6 +269,7 @@ func wrapEngine(eng *dynamic.Engine, opt Options) *Service {
 		eng:   eng,
 		k:     eng.K(),
 		n:     eng.Graph().N(),
+		gate:  opt.ApplyGate,
 		in:    make(chan item, opt.QueueCapacity),
 		quit:  make(chan struct{}),
 		done:  make(chan struct{}),
@@ -342,7 +364,7 @@ func (s *Service) run(maxBatch int) {
 			}
 			end := min(off+maxBatch, len(buf))
 			chunk := buf[off:end]
-			changed := s.eng.ApplyBatch(chunk)
+			changed := s.applyChunk(chunk)
 			s.applied.Add(uint64(end - off))
 			s.changed.Add(uint64(changed))
 			s.batches.Add(1)
@@ -448,6 +470,16 @@ func (s *Service) run(maxBatch int) {
 			}
 		}
 	}
+}
+
+// applyChunk runs one ApplyBatch call under the cross-service apply
+// gate, if one was configured. Writer goroutine only.
+func (s *Service) applyChunk(chunk []workload.Op) int {
+	if s.gate != nil {
+		s.gate.Acquire()
+		defer s.gate.Release()
+	}
+	return s.eng.ApplyBatch(chunk)
 }
 
 // Enqueue queues edge updates for the writer and returns once they are
@@ -581,6 +613,30 @@ func (s *Service) Close() error {
 		s.dur.unlock()
 	})
 	return s.closeErr
+}
+
+// Crash is fault-injection support: it simulates a hard process stop.
+// The writer is stopped once idle and the log handle closed WITHOUT the
+// final checkpoint Close would write, so the store holds only what the
+// WAL protocol itself made durable; the pipeline goroutines are stopped
+// (their fds must not outlive the fake process death) but nothing else
+// is flushed or checkpointed. The flock is released too — a real crash
+// releases it with the process. Recovery tests (here and in
+// internal/manager) Open the store afterwards and assert byte-identical
+// state; production code has no reason to call this.
+func (s *Service) Crash() {
+	s.closeOnce.Do(func() {
+		s.closed.Store(true)
+		close(s.quit)
+		<-s.done
+		if s.dur != nil {
+			s.dur.stopPipeline()
+			if s.dur.log != nil {
+				s.dur.log.Close()
+			}
+			s.dur.unlock()
+		}
+	})
 }
 
 // Snapshot returns the latest published result snapshot — one atomic

@@ -80,16 +80,22 @@ func FuzzWireDecode(f *testing.F) {
 func FuzzRequestDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(magic[:])
-	f.Add(AppendSnapshotRequest(nil, true))
-	f.Add(AppendSnapshotRequest(nil, false))
-	f.Add(AppendCliqueRequest(nil, 42))
-	f.Add(AppendCliquesRequest(nil, []int32{1, 2, 3}))
-	f.Add(AppendCliquesRequest(nil, nil))
-	f.Add(AppendStatsRequest(nil))
-	f.Add(AppendSubscribeRequest(nil))
+	f.Add(AppendSnapshotRequest(nil, true, ""))
+	f.Add(AppendSnapshotRequest(nil, false, ""))
+	f.Add(AppendCliqueRequest(nil, 42, ""))
+	f.Add(AppendCliquesRequest(nil, []int32{1, 2, 3}, ""))
+	f.Add(AppendCliquesRequest(nil, nil, ""))
+	f.Add(AppendStatsRequest(nil, ""))
+	f.Add(AppendSubscribeRequest(nil, ""))
+	// Tenant-suffixed variants of every request type.
+	f.Add(AppendSnapshotRequest(nil, true, "alpha"))
+	f.Add(AppendCliqueRequest(nil, 42, "t-1.x_y"))
+	f.Add(AppendCliquesRequest(nil, []int32{1, 2}, "beta"))
+	f.Add(AppendStatsRequest(nil, "default"))
+	f.Add(AppendSubscribeRequest(nil, "feed"))
 	// A response frame: DecodeRequest must reject it outright.
 	f.Add(AppendErrorFrame(nil, 404, "x"))
-	f.Add(append(AppendSubscribeRequest(nil), 0xde, 0xad))
+	f.Add(append(AppendSubscribeRequest(nil, ""), 0xde, 0xad))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, n, err := DecodeRequest(data)
@@ -108,15 +114,15 @@ func FuzzRequestDecode(f *testing.F) {
 		var re []byte
 		switch fr.Type {
 		case FrameReqSnapshot:
-			re = AppendSnapshotRequest(nil, fr.HasCliques)
+			re = AppendSnapshotRequest(nil, fr.HasCliques, fr.Tenant)
 		case FrameReqClique:
-			re = AppendCliqueRequest(nil, fr.Node)
+			re = AppendCliqueRequest(nil, fr.Node, fr.Tenant)
 		case FrameReqCliques:
-			re = AppendCliquesRequest(nil, fr.Queried)
+			re = AppendCliquesRequest(nil, fr.Queried, fr.Tenant)
 		case FrameReqStats:
-			re = AppendStatsRequest(nil)
+			re = AppendStatsRequest(nil, fr.Tenant)
 		case FrameReqSubscribe:
-			re = AppendSubscribeRequest(nil)
+			re = AppendSubscribeRequest(nil, fr.Tenant)
 		case FrameReqReplicate:
 			re = AppendReplicateRequest(nil, fr.Epoch, fr.Version, fr.HaveState)
 		default:

@@ -143,6 +143,12 @@ type Frame struct {
 	Type    FrameType
 	Version uint64
 
+	// Tenant is the tenant a REQUEST frame targets ("" = the server's
+	// default tenant). Carried as an optional, version-gated suffix on
+	// the request payloads — see request.go; response frames never set
+	// it.
+	Tenant string
+
 	// Snapshot fields.
 	K          int
 	Nodes      int

@@ -245,12 +245,12 @@ func TestDeltaRoundTrip(t *testing.T) {
 // decoder accepts the other side's frames.
 func TestRequestRoundTrip(t *testing.T) {
 	reqs := [][]byte{
-		AppendSnapshotRequest(nil, true),
-		AppendSnapshotRequest(nil, false),
-		AppendCliqueRequest(nil, 42),
-		AppendCliquesRequest(nil, []int32{1, 2, 3}),
-		AppendStatsRequest(nil),
-		AppendSubscribeRequest(nil),
+		AppendSnapshotRequest(nil, true, ""),
+		AppendSnapshotRequest(nil, false, ""),
+		AppendCliqueRequest(nil, 42, ""),
+		AppendCliquesRequest(nil, []int32{1, 2, 3}, ""),
+		AppendStatsRequest(nil, ""),
+		AppendSubscribeRequest(nil, ""),
 	}
 	for i, b := range reqs {
 		f, n, err := DecodeRequest(b)
@@ -278,5 +278,49 @@ func TestRequestRoundTrip(t *testing.T) {
 	// Responses are not requests.
 	if _, _, err := DecodeRequest(AppendErrorFrame(nil, 404, "x")); err == nil {
 		t.Fatal("DecodeRequest accepted a response frame")
+	}
+}
+
+// TestRequestTenantSuffix pins the version-gated tenant field: every
+// request type round-trips its tenant name, the suffix-free encodings
+// are byte-identical to the pre-multi-tenant frames (the gate), and
+// malformed suffixes are rejected.
+func TestRequestTenantSuffix(t *testing.T) {
+	encode := map[string]func(tenant string) []byte{
+		"snapshot":  func(tn string) []byte { return AppendSnapshotRequest(nil, true, tn) },
+		"clique":    func(tn string) []byte { return AppendCliqueRequest(nil, 7, tn) },
+		"cliques":   func(tn string) []byte { return AppendCliquesRequest(nil, []int32{1, 2}, tn) },
+		"stats":     func(tn string) []byte { return AppendStatsRequest(nil, tn) },
+		"subscribe": func(tn string) []byte { return AppendSubscribeRequest(nil, tn) },
+	}
+	for name, enc := range encode {
+		for _, tenant := range []string{"", "alpha", "t-1.x_y", "a"} {
+			b := enc(tenant)
+			f, n, err := DecodeRequest(b)
+			if err != nil {
+				t.Fatalf("%s tenant %q: %v", name, tenant, err)
+			}
+			if n != len(b) || f.Tenant != tenant {
+				t.Fatalf("%s tenant %q: decoded %q, consumed %d of %d", name, tenant, f.Tenant, n, len(b))
+			}
+		}
+		// The empty-tenant frame is the old frame: re-adding a suffix must
+		// be the only difference.
+		if len(enc("")) >= len(enc("a")) {
+			t.Fatalf("%s: tenant suffix did not extend the frame", name)
+		}
+	}
+	// Malformed suffixes: bad charset, leading '-', truncated length.
+	for _, bad := range []string{"UPPER", "-x", "a/b", "sp ace"} {
+		if _, _, err := DecodeRequest(AppendStatsRequest(nil, bad)); err == nil {
+			t.Fatalf("accepted tenant %q", bad)
+		}
+	}
+	// A declared suffix longer than the payload remainder.
+	b := AppendStatsRequest(nil, "ab")
+	b[HeaderSize] = 9 // tlen says 9, only 2 name bytes follow
+	b = endFrame(b, 0)
+	if _, _, err := DecodeRequest(b); err == nil {
+		t.Fatal("accepted truncated tenant suffix")
 	}
 }

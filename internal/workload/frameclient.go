@@ -33,6 +33,7 @@ type FrameClient struct {
 	resp    []byte // decode scratch for Recv
 	pending int    // requests flushed or buffered but not yet received
 	timeout time.Duration
+	tenant  string // tenant name stamped on every request ("" = default)
 }
 
 // DialTimeout bounds DialFrame's connection attempt. A hung or
@@ -83,28 +84,32 @@ func (c *FrameClient) armRead() {
 // responses have not been received yet.
 func (c *FrameClient) Pending() int { return c.pending }
 
+// SetTenant targets every subsequent request at the named tenant of a
+// multi-tenant server ("" reverts to the server's default tenant).
+func (c *FrameClient) SetTenant(name string) { c.tenant = name }
+
 // SendSnapshot buffers a snapshot request; full selects the whole
 // member list over the lean header-only variant.
 func (c *FrameClient) SendSnapshot(full bool) {
-	c.out = wire.AppendSnapshotRequest(c.out, full)
+	c.out = wire.AppendSnapshotRequest(c.out, full, c.tenant)
 	c.pending++
 }
 
 // SendCliqueOf buffers a point-lookup request.
 func (c *FrameClient) SendCliqueOf(node int32) {
-	c.out = wire.AppendCliqueRequest(c.out, node)
+	c.out = wire.AppendCliqueRequest(c.out, node, c.tenant)
 	c.pending++
 }
 
 // SendCliques buffers a batched-lookup request.
 func (c *FrameClient) SendCliques(nodes []int32) {
-	c.out = wire.AppendCliquesRequest(c.out, nodes)
+	c.out = wire.AppendCliquesRequest(c.out, nodes, c.tenant)
 	c.pending++
 }
 
 // SendStats buffers a stats request.
 func (c *FrameClient) SendStats() {
-	c.out = wire.AppendStatsRequest(c.out)
+	c.out = wire.AppendStatsRequest(c.out, c.tenant)
 	c.pending++
 }
 
@@ -264,7 +269,7 @@ func (c *FrameClient) Stats() (int, error) {
 // it returns, Recv yields delta frames (feed them to a Replica) until
 // the connection closes; sending anything else is a protocol error.
 func (c *FrameClient) Subscribe() error {
-	c.out = wire.AppendSubscribeRequest(c.out)
+	c.out = wire.AppendSubscribeRequest(c.out, c.tenant)
 	return c.Flush()
 }
 

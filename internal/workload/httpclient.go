@@ -29,10 +29,23 @@ type HTTPClient struct {
 	// Binary requests wire frames (Accept: application/x-dkclique-frame)
 	// instead of JSON on every read.
 	Binary bool
+	// Tenant, when non-empty, targets the named tenant of a multi-tenant
+	// server: every path is prefixed with /t/{tenant}. Empty hits the
+	// root-level routes (the server's default tenant).
+	Tenant string
 
 	buf  []byte // response drain scratch
 	path []byte // request path scratch
 	body []byte // update body scratch
+}
+
+// root returns the URL prefix every request starts from: Base, plus the
+// tenant route prefix when one is targeted.
+func (c *HTTPClient) root() string {
+	if c.Tenant == "" {
+		return c.Base
+	}
+	return c.Base + "/t/" + c.Tenant
 }
 
 func (c *HTTPClient) client() *http.Client {
@@ -90,7 +103,7 @@ func (c *HTTPClient) Update(ops []Op, flush bool) error {
 	b = strconv.AppendBool(b, flush)
 	b = append(b, '}')
 	c.body = b
-	resp, err := c.client().Post(c.Base+"/update", "application/json", bytes.NewReader(b))
+	resp, err := c.client().Post(c.root()+"/update", "application/json", bytes.NewReader(b))
 	if err != nil {
 		return err
 	}
@@ -155,7 +168,7 @@ func (c *HTTPClient) Replay(ops []ClientOp, writeBatch int) (ReplayStats, error)
 // get issues one GET and drains the response through the client's
 // scratch buffer, returning the body size.
 func (c *HTTPClient) get(path string) (int, error) {
-	req, err := http.NewRequest(http.MethodGet, c.Base+path, nil)
+	req, err := http.NewRequest(http.MethodGet, c.root()+path, nil)
 	if err != nil {
 		return 0, err
 	}

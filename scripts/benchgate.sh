@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # benchgate.sh BASE.txt PR.txt [MAX_REGRESSION_PCT] [BENCH_NAME]
 # benchgate.sh --speedup PR.txt MIN_RATIO FAST_BENCH SLOW_BENCH [UNIT]
+# benchgate.sh --overhead PR.txt MAX_PCT BASE_BENCH LOADED_BENCH [UNIT]
 #
 # Minimal benchstat-style regression gate: extracts the ns/op samples of
 # one benchmark from two `go test -bench` outputs, compares their medians,
@@ -17,6 +18,12 @@
 # UNIT picks which benchmark metric to compare (default ns/op); custom
 # b.ReportMetric units work too — the write-path gate compares the
 # stall-ns/ckpt metric of the pipelined vs serial checkpoint rows.
+#
+# --overhead is --speedup's inverse: the median of LOADED_BENCH may
+# exceed the median of BASE_BENCH by at most MAX_PCT percent. It gates a
+# feature that is supposed to cost (almost) nothing on an existing path —
+# e.g. multi-tenant routing on cached snapshot reads, where the routed
+# row adds tenant resolution to an otherwise identical request.
 #
 # The gate fails loudly — never vacuously: a missing/empty input file, a
 # bench run that ended in FAIL, or an input with zero samples of the
@@ -70,6 +77,25 @@ if [ "${1:-}" = "--speedup" ]; then
         printf "benchgate: speedup %.1fx\n", ratio
         exit (ratio < m) ? 1 : 0
     }' || { echo "benchgate: FAIL — $fast is less than ${min_ratio}x faster than $slow" >&2; exit 1; }
+    echo "benchgate: OK"
+    exit 0
+fi
+
+if [ "${1:-}" = "--overhead" ]; then
+    shift
+    [ $# -ge 4 ] || die "usage: benchgate.sh --overhead PR.txt MAX_PCT BASE_BENCH LOADED_BENCH [UNIT]"
+    file=$1 max_pct=$2 base=$3 loaded=$4 unit=${5:-ns/op}
+    check_file "$file"
+    base_ns=$(median "$file" "$base" "$unit")
+    loaded_ns=$(median "$file" "$loaded" "$unit")
+    [ "$base_ns" != "NA" ] || die "no $base $unit samples in $file — wrong -bench filter or the bench run failed"
+    [ "$loaded_ns" != "NA" ] || die "no $loaded $unit samples in $file — wrong -bench filter or the bench run failed"
+    echo "benchgate: median $unit: $base=$base_ns $loaded=$loaded_ns (limit +$max_pct%)"
+    awk -v b="$base_ns" -v l="$loaded_ns" -v m="$max_pct" 'BEGIN {
+        delta = (l - b) / b * 100
+        printf "benchgate: overhead %+.1f%%\n", delta
+        exit (delta > m) ? 1 : 0
+    }' || { echo "benchgate: FAIL — $loaded costs more than $max_pct% over $base" >&2; exit 1; }
     echo "benchgate: OK"
     exit 0
 fi

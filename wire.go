@@ -47,22 +47,22 @@ const (
 // include selects the full member list over the lean header-only
 // variant.
 func EncodeWireSnapshotRequest(b []byte, include bool) []byte {
-	return wire.AppendSnapshotRequest(b, include)
+	return wire.AppendSnapshotRequest(b, include, "")
 }
 
 // EncodeWireCliqueRequest appends a point-lookup request frame to b.
 func EncodeWireCliqueRequest(b []byte, node int32) []byte {
-	return wire.AppendCliqueRequest(b, node)
+	return wire.AppendCliqueRequest(b, node, "")
 }
 
 // EncodeWireCliquesRequest appends a batched-lookup request frame to b.
 func EncodeWireCliquesRequest(b []byte, nodes []int32) []byte {
-	return wire.AppendCliquesRequest(b, nodes)
+	return wire.AppendCliquesRequest(b, nodes, "")
 }
 
 // EncodeWireStatsRequest appends a stats request frame to b.
 func EncodeWireStatsRequest(b []byte) []byte {
-	return wire.AppendStatsRequest(b)
+	return wire.AppendStatsRequest(b, "")
 }
 
 // EncodeWireSubscribeRequest appends a subscribe request frame to b:
@@ -70,7 +70,45 @@ func EncodeWireStatsRequest(b []byte) []byte {
 // starting from the empty base, so the first delta carries the whole
 // current snapshot.
 func EncodeWireSubscribeRequest(b []byte) []byte {
-	return wire.AppendSubscribeRequest(b)
+	return wire.AppendSubscribeRequest(b, "")
+}
+
+// The Tenant variants target a named tenant on a multi-tenant server
+// (dkserver -root): the request frame carries the tenant name as a
+// suffix and the server routes it to that tenant's engine. An empty
+// tenant is the unsuffixed frame and addresses the reserved tenant
+// "default", so the plain helpers above keep working against a
+// multi-tenant server unchanged.
+
+// EncodeWireSnapshotRequestTenant is EncodeWireSnapshotRequest
+// addressed to a named tenant.
+func EncodeWireSnapshotRequestTenant(b []byte, include bool, tenant string) []byte {
+	return wire.AppendSnapshotRequest(b, include, tenant)
+}
+
+// EncodeWireCliqueRequestTenant is EncodeWireCliqueRequest addressed to
+// a named tenant.
+func EncodeWireCliqueRequestTenant(b []byte, node int32, tenant string) []byte {
+	return wire.AppendCliqueRequest(b, node, tenant)
+}
+
+// EncodeWireCliquesRequestTenant is EncodeWireCliquesRequest addressed
+// to a named tenant.
+func EncodeWireCliquesRequestTenant(b []byte, nodes []int32, tenant string) []byte {
+	return wire.AppendCliquesRequest(b, nodes, tenant)
+}
+
+// EncodeWireStatsRequestTenant is EncodeWireStatsRequest addressed to a
+// named tenant.
+func EncodeWireStatsRequestTenant(b []byte, tenant string) []byte {
+	return wire.AppendStatsRequest(b, tenant)
+}
+
+// EncodeWireSubscribeRequestTenant is EncodeWireSubscribeRequest
+// addressed to a named tenant: the delta stream follows that tenant's
+// publications for the connection's lifetime.
+func EncodeWireSubscribeRequestTenant(b []byte, tenant string) []byte {
+	return wire.AppendSubscribeRequest(b, tenant)
 }
 
 // WireLookup resolves one node of a batched lookup frame: the index of
